@@ -1,0 +1,40 @@
+/// \file bench_ablation_seeds.cpp
+/// Ablation: sensitivity of the headline result to the annealing seed.
+/// Simulated annealing is stochastic; the paper reports averages with error
+/// bars over circuits but a reproduction should also show that per-circuit
+/// numbers are stable across seeds.
+
+#include "bench_common.h"
+
+using namespace mmflow;
+
+int main() {
+  set_log_level(LogLevel::Silent);
+  auto config = bench::BenchConfig::from_env();
+  bench::print_header("Ablation: seed sensitivity of the DCS speed-up", config);
+
+  auto suite_config = config;
+  suite_config.pairs = 1;  // one circuit, several seeds
+  const auto benches = bench::build_suite("RegExp", suite_config);
+  const auto& b = benches.front();
+
+  std::printf("circuit %s, DCS-WireLength:\n\n", b.name.c_str());
+  std::printf("%-6s | %-9s | %-12s | %-10s\n", "seed", "speed-up",
+              "wires vs MDR", "merged conns");
+  std::printf("-------+-----------+--------------+-------------\n");
+  Summary speedups;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    config.seed = seed;
+    const auto record =
+        bench::run_one(b, core::CombinedCost::WireLength, config);
+    speedups.add(record.reconfig.dcs_speedup());
+    std::printf("%-6llu | %8.2fx | %11.0f%% | %5zu/%zu\n",
+                static_cast<unsigned long long>(seed),
+                record.reconfig.dcs_speedup(),
+                100.0 * record.wirelength.mean_ratio(), record.merged,
+                record.total_conns);
+  }
+  std::printf("\nspread: %s (stddev %.2f)\n",
+              bench::summary_str(speedups).c_str(), speedups.stddev());
+  return 0;
+}

@@ -1,0 +1,111 @@
+#pragma once
+/// \file bench_common.h
+/// Shared harness for the experiment-reproduction benches. Every bench
+/// prints the paper's reported values next to the measured ones.
+///
+/// Environment knobs:
+///   MMFLOW_PAIRS  multi-mode circuits per suite (default 3; 0 = all 10,
+///                 the paper's full experiment)
+///   MMFLOW_INNER  annealing effort (VPR inner_num; default 5, paper-grade 10)
+///   MMFLOW_SEED   master seed (default 1)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/suites.h"
+#include "common/log.h"
+#include "common/stats.h"
+#include "core/flows.h"
+#include "common/strings.h"
+#include "core/metrics.h"
+
+namespace mmflow::bench {
+
+struct BenchConfig {
+  int pairs = 3;
+  double inner_num = 5.0;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] static BenchConfig from_env() {
+    BenchConfig config;
+    if (const char* p = std::getenv("MMFLOW_PAIRS")) config.pairs = std::atoi(p);
+    if (const char* i = std::getenv("MMFLOW_INNER")) {
+      config.inner_num = std::atof(i);
+    }
+    if (const char* s = std::getenv("MMFLOW_SEED")) {
+      config.seed = std::strtoull(s, nullptr, 10);
+    }
+    return config;
+  }
+
+  [[nodiscard]] apps::SuiteOptions suite_options() const {
+    apps::SuiteOptions options;
+    options.seed = seed;
+    options.limit_pairs = pairs;
+    return options;
+  }
+
+  [[nodiscard]] core::FlowOptions flow_options(core::CombinedCost cost) const {
+    core::FlowOptions options;
+    options.cost_engine = cost;
+    options.seed = seed;
+    options.anneal.inner_num = inner_num;
+    return options;
+  }
+};
+
+/// One multi-mode circuit's results under one cost engine.
+struct ExperimentRecord {
+  std::string name;
+  core::ReconfigMetrics reconfig;
+  core::WirelengthMetrics wirelength;
+  std::size_t merged = 0;
+  std::size_t total_conns = 0;
+  int channel_width = 0;
+};
+
+inline std::vector<apps::MultiModeBenchmark> build_suite(
+    const std::string& suite, const BenchConfig& config) {
+  const auto options = config.suite_options();
+  if (suite == "RegExp") return apps::regexp_suite(options);
+  if (suite == "FIR") return apps::fir_suite(options);
+  if (suite == "MCNC") return apps::mcnc_suite(options);
+  throw PreconditionError("unknown suite " + suite);
+}
+
+inline ExperimentRecord run_one(const apps::MultiModeBenchmark& bench,
+                                core::CombinedCost cost,
+                                const BenchConfig& config,
+                                bool exploit_dontcares = true) {
+  const auto experiment =
+      core::run_experiment(bench.modes, config.flow_options(cost));
+  ExperimentRecord record;
+  record.name = bench.name;
+  record.reconfig = core::reconfig_metrics(
+      experiment, bitstream::MuxEncoding::Binary, exploit_dontcares);
+  record.wirelength = core::wirelength_metrics(experiment);
+  record.merged = experiment.merged_connections;
+  record.total_conns = experiment.total_mode_connections;
+  record.channel_width = experiment.region.channel_width;
+  return record;
+}
+
+inline void print_header(const char* title, const BenchConfig& config) {
+  std::printf("=== %s ===\n", title);
+  std::printf("(pairs per suite: %d%s, anneal inner_num: %.0f, seed: %llu)\n\n",
+              config.pairs == 0 ? 10 : config.pairs,
+              config.pairs == 0 ? " [full paper experiment]" : "",
+              config.inner_num,
+              static_cast<unsigned long long>(config.seed));
+}
+
+/// "avg [min, max]" formatting used throughout (paper uses error bars).
+inline std::string summary_str(const Summary& s, int digits = 2) {
+  return format_double(s.mean(), digits) + " [" +
+         format_double(s.min(), digits) + ", " + format_double(s.max(), digits) +
+         "]";
+}
+
+}  // namespace mmflow::bench

@@ -1,0 +1,105 @@
+/// \file bench_perf_place.cpp
+/// Throughput microbenchmarks (google-benchmark) for the placement engines:
+/// the conventional VPR-style placer and the multi-mode combined placement.
+
+#include <benchmark/benchmark.h>
+
+#include "aig/bridge.h"
+#include "common/log.h"
+#include "core/combined_place.h"
+#include "place/placer.h"
+#include "techmap/mapper.h"
+
+namespace {
+
+using namespace mmflow;
+
+techmap::LutCircuit random_mode(int gates, std::uint64_t seed) {
+  Rng rng(seed);
+  netlist::Netlist nl("m");
+  std::vector<netlist::SignalId> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back(nl.add_input("i" + std::to_string(i)));
+  for (int g = 0; g < gates; ++g) {
+    const auto a = pool[rng.next_below(pool.size())];
+    const auto b = pool[rng.next_below(pool.size())];
+    pool.push_back(rng.next_bool(0.5) ? nl.add_xor(a, b) : nl.add_and(a, b));
+  }
+  for (int i = 0; i < 6; ++i) {
+    nl.add_output("o" + std::to_string(i), pool[pool.size() - 1 - i]);
+  }
+  return techmap::map_to_luts(aig::aig_from_netlist(nl));
+}
+
+void BM_Place(benchmark::State& state) {
+  set_log_level(LogLevel::Silent);
+  const auto mode = random_mode(static_cast<int>(state.range(0)), 1);
+  const auto netlist = place::to_place_netlist(mode);
+  const arch::DeviceGrid grid(arch::size_device(
+      static_cast<int>(netlist.num_clbs()), static_cast<int>(netlist.num_ios()),
+      1.3));
+  place::PlacerOptions options;
+  options.anneal.inner_num = 3.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    place::PlacerStats stats;
+    benchmark::DoNotOptimize(place::place(netlist, grid, options, &stats));
+    state.counters["moves/s"] = benchmark::Counter(
+        static_cast<double>(stats.moves_attempted), benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_Place)->Arg(150)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_CombinedPlace(benchmark::State& state) {
+  set_log_level(LogLevel::Silent);
+  std::vector<techmap::LutCircuit> modes{
+      random_mode(static_cast<int>(state.range(0)), 1),
+      random_mode(static_cast<int>(state.range(0)), 2)};
+  int max_clbs = 0;
+  int max_ios = 0;
+  for (const auto& m : modes) {
+    max_clbs = std::max<int>(max_clbs, static_cast<int>(m.num_blocks()));
+    max_ios = std::max<int>(max_ios,
+                            static_cast<int>(m.num_pis() + m.num_pos()));
+  }
+  const arch::DeviceGrid grid(arch::size_device(max_clbs, max_ios, 1.3));
+  core::CombinedPlaceOptions options;
+  options.anneal.inner_num = 3.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    core::CombinedPlaceStats stats;
+    benchmark::DoNotOptimize(
+        core::combined_place(modes, grid, options, &stats));
+    state.counters["moves/s"] = benchmark::Counter(
+        static_cast<double>(stats.moves_attempted), benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_CombinedPlace)->Arg(150)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_CombinedPlaceEdgeMatch(benchmark::State& state) {
+  set_log_level(LogLevel::Silent);
+  std::vector<techmap::LutCircuit> modes{random_mode(200, 1),
+                                         random_mode(200, 2)};
+  int max_clbs = 0;
+  int max_ios = 0;
+  for (const auto& m : modes) {
+    max_clbs = std::max<int>(max_clbs, static_cast<int>(m.num_blocks()));
+    max_ios = std::max<int>(max_ios,
+                            static_cast<int>(m.num_pis() + m.num_pos()));
+  }
+  const arch::DeviceGrid grid(arch::size_device(max_clbs, max_ios, 1.3));
+  core::CombinedPlaceOptions options;
+  options.cost = core::CombinedCost::EdgeMatch;
+  options.anneal.inner_num = 3.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    benchmark::DoNotOptimize(core::combined_place(modes, grid, options));
+  }
+}
+BENCHMARK(BM_CombinedPlaceEdgeMatch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

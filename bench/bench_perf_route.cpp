@@ -1,0 +1,111 @@
+/// \file bench_perf_route.cpp
+/// Throughput microbenchmarks (google-benchmark) for the router: RRG
+/// construction, single-mode PathFinder routing, and the multi-mode
+/// connection router (TRoute).
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "arch/rrg.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "route/router.h"
+
+namespace {
+
+using namespace mmflow;
+
+arch::ArchSpec spec_with(int n, int w) {
+  arch::ArchSpec spec;
+  spec.nx = n;
+  spec.ny = n;
+  spec.channel_width = w;
+  return spec;
+}
+
+route::RouteProblem random_problem(const arch::RoutingGraph& rrg, int nets,
+                                   int num_modes, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto& spec = rrg.spec();
+  route::RouteProblem problem;
+  problem.num_modes = num_modes;
+  std::set<std::pair<int, int>> used_sources;
+  for (int n = 0; n < nets; ++n) {
+    route::RouteNet net;
+    net.name = "n" + std::to_string(n);
+    const int sx = static_cast<int>(rng.next_int(1, spec.nx));
+    const int sy = static_cast<int>(rng.next_int(1, spec.ny));
+    // One block drives one net per mode: skip duplicate source sites.
+    if (!used_sources.emplace(sx, sy).second) continue;
+    net.source_node = rrg.clb_source(sx, sy);
+    const int fanout = 1 + static_cast<int>(rng.next_below(3));
+    for (int f = 0; f < fanout; ++f) {
+      int tx = static_cast<int>(rng.next_int(1, spec.nx));
+      int ty = static_cast<int>(rng.next_int(1, spec.ny));
+      if (tx == sx && ty == sy) tx = (tx % spec.nx) + 1;
+      const route::ModeMask mask =
+          num_modes == 1
+              ? 1u
+              : static_cast<route::ModeMask>(
+                    1u + rng.next_below((1u << num_modes) - 1));
+      net.conns.push_back(route::RouteConn{rrg.clb_sink(tx, ty), mask});
+    }
+    problem.nets.push_back(std::move(net));
+  }
+  return problem;
+}
+
+void BM_BuildRrg(benchmark::State& state) {
+  const auto spec = spec_with(static_cast<int>(state.range(0)), 12);
+  for (auto _ : state) {
+    const arch::RoutingGraph rrg(spec);
+    benchmark::DoNotOptimize(rrg.num_edges());
+  }
+}
+BENCHMARK(BM_BuildRrg)->Arg(10)->Arg(20)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_RouteSingleMode(benchmark::State& state) {
+  set_log_level(LogLevel::Silent);
+  const arch::RoutingGraph rrg(spec_with(16, 10));
+  const auto problem = random_problem(rrg, static_cast<int>(state.range(0)), 1, 3);
+  std::size_t conns = 0;
+  for (const auto& net : problem.nets) conns += net.conns.size();
+  for (auto _ : state) {
+    const auto result = route::route(rrg, problem);
+    benchmark::DoNotOptimize(result.success);
+    state.counters["conns/s"] = benchmark::Counter(
+        static_cast<double>(conns), benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_RouteSingleMode)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+void BM_RouteMultiMode(benchmark::State& state) {
+  set_log_level(LogLevel::Silent);
+  const arch::RoutingGraph rrg(spec_with(16, 10));
+  const auto problem =
+      random_problem(rrg, static_cast<int>(state.range(0)), 2, 5);
+  for (auto _ : state) {
+    const auto result = route::route(rrg, problem);
+    benchmark::DoNotOptimize(result.success);
+  }
+}
+BENCHMARK(BM_RouteMultiMode)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+void BM_MinChannelWidth(benchmark::State& state) {
+  set_log_level(LogLevel::Silent);
+  auto spec = spec_with(10, 1);
+  for (auto _ : state) {
+    const int w = route::min_channel_width(
+        spec,
+        [](const arch::RoutingGraph& rrg) {
+          return random_problem(rrg, 60, 1, 7);
+        });
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_MinChannelWidth)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

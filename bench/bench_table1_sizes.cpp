@@ -1,0 +1,51 @@
+/// \file bench_table1_sizes.cpp
+/// Reproduces Table I: "Size of the LUT circuits used in the experiments"
+/// (minimum / average / maximum 4-LUT count per suite). The full base-
+/// circuit sets are always built (sizes are cheap to compute).
+
+#include <map>
+#include <set>
+
+#include "bench_common.h"
+
+using namespace mmflow;
+
+int main() {
+  set_log_level(LogLevel::Silent);
+  bench::BenchConfig config = bench::BenchConfig::from_env();
+  config.pairs = 0;  // Table I lists the full suites
+  bench::print_header("Table I: size of the LUT circuits", config);
+
+  struct PaperRow {
+    int min, avg, max;
+  };
+  const std::map<std::string, PaperRow> paper = {
+      {"RegExp", {224, 243, 261}},
+      {"FIR", {235, 302, 371}},
+      {"MCNC", {264, 310, 404}},
+  };
+
+  std::printf("%-8s | %21s | %21s\n", "", "paper (min/avg/max)",
+              "measured (min/avg/max)");
+  std::printf("---------+-----------------------+----------------------\n");
+  for (const auto& [suite, row] : paper) {
+    const auto benches = bench::build_suite(suite, config);
+    // Collect distinct base circuits (each appears in several pairs).
+    std::set<std::string> seen;
+    Summary sizes;
+    for (const auto& b : benches) {
+      for (const auto& mode : b.modes) {
+        if (seen.insert(mode.name()).second) {
+          sizes.add(static_cast<double>(mode.num_blocks()));
+        }
+      }
+    }
+    std::printf("%-8s | %6d %6d %6d  | %7.0f %6.0f %6.0f\n", suite.c_str(),
+                row.min, row.avg, row.max, sizes.min(), sizes.mean(),
+                sizes.max());
+  }
+  std::printf(
+      "\nNote: RegExp rules and MCNC clones are substitutes for the paper's\n"
+      "unavailable originals, calibrated to the same size band (DESIGN.md).\n");
+  return 0;
+}

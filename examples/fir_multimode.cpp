@@ -1,0 +1,102 @@
+/// \file fir_multimode.cpp
+/// The paper's adaptive-filtering scenario: a receiver that switches between
+/// a low-pass and a high-pass FIR filter. Shows the whole specialization
+/// pipeline — generic filter, constant propagation, multi-mode
+/// implementation — plus a functional demo filtering a test signal.
+///
+/// Run:  ./fir_multimode [seed]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "aig/bridge.h"
+#include "apps/fir/fir.h"
+#include "apps/suites.h"
+#include "common/log.h"
+#include "core/flows.h"
+#include "core/metrics.h"
+#include "techmap/mapper.h"
+
+using namespace mmflow;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::Warning);
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+
+  const apps::fir::FirSpec spec = apps::suite_fir_spec();
+  const auto lp = apps::fir::random_coefficients(
+      spec, apps::fir::FilterKind::LowPass, seed * 2, 0.7);
+  const auto hp = apps::fir::random_coefficients(
+      spec, apps::fir::FilterKind::HighPass, seed * 2 + 1, 0.7);
+
+  std::printf("low-pass coefficients : ");
+  for (const int c : lp.values) std::printf("%d ", c);
+  std::printf("\nhigh-pass coefficients: ");
+  for (const int c : hp.values) std::printf("%d ", c);
+  std::printf("\n\n");
+
+  // Generic filter vs specialized modes (the paper's "3x smaller").
+  const netlist::Netlist generic = apps::fir::generic_fir(spec);
+  const auto generic_mapped =
+      techmap::map_to_luts(aig::aig_from_netlist(generic));
+  std::vector<techmap::LutCircuit> modes;
+  for (const auto* coeffs : {&lp, &hp}) {
+    auto mapped = techmap::map_to_luts(aig::aig_from_netlist(
+        generic, apps::fir::coefficient_bindings(spec, *coeffs)));
+    mapped.set_name(coeffs == &lp ? "lowpass" : "highpass");
+    modes.push_back(std::move(mapped));
+  }
+  std::printf("generic filter : %zu LUTs\n", generic_mapped.num_blocks());
+  std::printf("specialized LP : %zu LUTs (%.1fx smaller)\n",
+              modes[0].num_blocks(),
+              static_cast<double>(generic_mapped.num_blocks()) /
+                  static_cast<double>(modes[0].num_blocks()));
+  std::printf("specialized HP : %zu LUTs (%.1fx smaller)\n\n",
+              modes[1].num_blocks(),
+              static_cast<double>(generic_mapped.num_blocks()) /
+                  static_cast<double>(modes[1].num_blocks()));
+
+  // Functional demo: filter a noisy two-tone signal with both modes.
+  {
+    std::vector<std::uint32_t> samples;
+    const int amp = (1 << spec.data_width) / 4;
+    for (int t = 0; t < 24; ++t) {
+      const double slow = std::sin(2 * M_PI * t / 16.0);
+      const double fast = std::sin(2 * M_PI * t / 2.0);
+      samples.push_back(static_cast<std::uint32_t>(
+          amp * (1.2 + 0.5 * slow + 0.5 * fast)));
+    }
+    const auto y_lp = apps::fir::fir_reference(spec, lp, samples);
+    const auto y_hp = apps::fir::fir_reference(spec, hp, samples);
+    std::printf("t :  x  |  LP out | HP out (two's complement, %d bits)\n",
+                spec.output_width());
+    for (std::size_t t = 12; t < samples.size(); ++t) {
+      std::printf("%2zu: %3u | %7llu | %7llu\n", t, samples[t],
+                  static_cast<unsigned long long>(y_lp[t]),
+                  static_cast<unsigned long long>(y_hp[t]));
+    }
+  }
+
+  // Multi-mode implementation.
+  core::FlowOptions options;
+  options.seed = seed;
+  options.anneal.inner_num = 5.0;
+  const auto experiment = core::run_experiment(modes, options);
+  const auto metrics =
+      core::reconfig_metrics(experiment, bitstream::MuxEncoding::Binary);
+  const auto wl = core::wirelength_metrics(experiment);
+  const auto area = core::area_metrics(modes);
+
+  std::printf("\nmulti-mode implementation (region %dx%d, W=%d):\n",
+              experiment.region.nx, experiment.region.ny,
+              experiment.region.channel_width);
+  std::printf("  area vs generic filter : %.0f%%\n",
+              100.0 * static_cast<double>(area.region_clbs) /
+                  static_cast<double>(generic_mapped.num_blocks()));
+  std::printf("  reconfiguration speed-up (DCS vs MDR): %.2fx\n",
+              metrics.dcs_speedup());
+  std::printf("  wire-length ratio vs MDR             : %.2f\n",
+              wl.mean_ratio());
+  return 0;
+}

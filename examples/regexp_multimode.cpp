@@ -1,0 +1,93 @@
+/// \file regexp_multimode.cpp
+/// The paper's motivating scenario: a network appliance that matches one of
+/// several intrusion-detection signatures at a time (multi-mode circuit).
+/// Builds two regex matching engines, implements them as a multi-mode
+/// circuit with both MDR and DCS, verifies the specialized hardware against
+/// the software matcher, and prints the reconfiguration comparison.
+///
+/// Run:  ./regexp_multimode [rule_index_a] [rule_index_b]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "aig/bridge.h"
+#include "apps/regexp/engine.h"
+#include "apps/regexp/regex.h"
+#include "common/log.h"
+#include "core/flows.h"
+#include "core/metrics.h"
+#include "techmap/mapper.h"
+
+using namespace mmflow;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::Warning);
+  const auto& rules = apps::regexp::bleeding_edge_style_rules();
+  const std::size_t ia = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 0;
+  const std::size_t ib = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1;
+  if (ia >= rules.size() || ib >= rules.size() || ia == ib) {
+    std::fprintf(stderr, "usage: %s [0..%zu] [0..%zu] (distinct)\n", argv[0],
+                 rules.size() - 1, rules.size() - 1);
+    return 1;
+  }
+
+  std::printf("mode 0 rule: %s\n", rules[ia].c_str());
+  std::printf("mode 1 rule: %s\n\n", rules[ib].c_str());
+
+  // Compile both rules to mapped LUT circuits.
+  std::vector<techmap::LutCircuit> modes;
+  for (const std::size_t r : {ia, ib}) {
+    apps::regexp::EngineStats stats;
+    auto mapped = techmap::map_to_luts(
+        aig::aig_from_netlist(apps::regexp::regex_engine(rules[r], &stats)));
+    mapped.set_name("re" + std::to_string(r));
+    std::printf("engine %zu: %zu NFA states -> %zu LUTs (%zu FFs)\n", r,
+                stats.num_positions, mapped.num_blocks(), mapped.num_ffs());
+    modes.push_back(std::move(mapped));
+  }
+
+  // Sanity: the mode-0 engine agrees with the software matcher on a probe.
+  {
+    techmap::LutSimulator hw(modes[0]);
+    apps::regexp::StreamMatcher sw(rules[ia]);
+    // Satisfies rule 0: >=12-char segment, then ../ traversal, then a
+    // lowercase filename with a flagged extension.
+    const std::string probe =
+        "GET /cgi_bin_scripts_v2../../../../passwd.sh HTTP";
+    bool hw_hit = false;
+    bool sw_hit = false;
+    for (const char c : probe) {
+      std::vector<std::uint64_t> in(8);
+      for (int b = 0; b < 8; ++b) {
+        in[b] = ((static_cast<unsigned char>(c) >> b) & 1) ? ~0ull : 0;
+      }
+      hw_hit |= (hw.step(in)[0] & 1) != 0;
+      sw_hit |= sw.feed(static_cast<unsigned char>(c));
+    }
+    std::printf("\nprobe '%s...': hardware %s, software %s\n",
+                probe.substr(0, 24).c_str(), hw_hit ? "MATCH" : "no match",
+                sw_hit ? "MATCH" : "no match");
+  }
+
+  // Multi-mode implementation, both flows.
+  core::FlowOptions options;
+  options.seed = 7;
+  options.anneal.inner_num = 5.0;
+  const auto experiment = core::run_experiment(modes, options);
+  const auto metrics =
+      core::reconfig_metrics(experiment, bitstream::MuxEncoding::Binary);
+  const auto wl = core::wirelength_metrics(experiment);
+
+  std::printf("\nregion %dx%d, W=%d | mode switch rewrites:\n",
+              experiment.region.nx, experiment.region.ny,
+              experiment.region.channel_width);
+  std::printf("  MDR: %llu bits   DCS: %llu bits   speed-up %.2fx\n",
+              static_cast<unsigned long long>(metrics.mdr_bits),
+              static_cast<unsigned long long>(metrics.dcs_bits),
+              metrics.dcs_speedup());
+  std::printf("  merged tunable connections: %zu of %zu\n",
+              experiment.merged_connections, experiment.total_mode_connections);
+  std::printf("  per-mode wire-length ratio vs MDR: %.2f\n", wl.mean_ratio());
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "aig/aig.h"
+
+#include <algorithm>
+
+namespace mmflow::aig {
+
+Aig::Aig() {
+  // Node 0: constant false.
+  nodes_.push_back(Node{0, 0, false});
+}
+
+std::uint32_t Aig::new_node(bool is_ci) {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  Node n;
+  n.is_ci = is_ci;
+  nodes_.push_back(n);
+  return id;
+}
+
+Lit Aig::add_pi(const std::string& name) {
+  const std::uint32_t n = new_node(true);
+  pis_.push_back(n);
+  pi_names_.push_back(name);
+  return make_lit(n, false);
+}
+
+Lit Aig::add_latch(bool init) {
+  const std::uint32_t n = new_node(true);
+  latch_of_node_.emplace(n, static_cast<std::uint32_t>(latches_.size()));
+  latches_.push_back(Latch{n, kLitFalse, init});
+  return make_lit(n, false);
+}
+
+void Aig::set_latch_next(Lit latch_output, Lit next_state) {
+  MMFLOW_REQUIRE(!lit_compl(latch_output));
+  const auto it = latch_of_node_.find(lit_node(latch_output));
+  MMFLOW_REQUIRE_MSG(it != latch_of_node_.end(), "not a latch output literal");
+  MMFLOW_REQUIRE(lit_node(next_state) < nodes_.size());
+  latches_[it->second].next_state = next_state;
+}
+
+void Aig::add_po(const std::string& name, Lit lit) {
+  MMFLOW_REQUIRE(lit_node(lit) < nodes_.size());
+  pos_.push_back(Po{name, lit});
+}
+
+Lit Aig::and2(Lit a, Lit b) {
+  MMFLOW_REQUIRE(lit_node(a) < nodes_.size() && lit_node(b) < nodes_.size());
+  // Constant folding and trivial identities.
+  if (a == kLitFalse || b == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (b == kLitTrue) return a;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kLitFalse;
+  // Canonical operand order for hashing.
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  if (const auto it = strash_.find(key); it != strash_.end()) {
+    return make_lit(it->second, false);
+  }
+  const std::uint32_t n = new_node(false);
+  nodes_[n].fanin0 = a;
+  nodes_[n].fanin1 = b;
+  strash_.emplace(key, n);
+  return make_lit(n, false);
+}
+
+Lit Aig::and_tree(std::vector<Lit> terms) {
+  if (terms.empty()) return kLitTrue;
+  // Balanced reduction keeps depth logarithmic, which matters for the
+  // depth-oriented mapper.
+  while (terms.size() > 1) {
+    std::vector<Lit> next;
+    next.reserve((terms.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(and2(terms[i], terms[i + 1]));
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms.front();
+}
+
+Lit Aig::or_tree(std::vector<Lit> terms) {
+  for (Lit& t : terms) t = lit_not(t);
+  return lit_not(and_tree(std::move(terms)));
+}
+
+std::size_t Aig::num_ands() const {
+  std::size_t count = 0;
+  for (std::uint32_t n = 1; n < nodes_.size(); ++n) {
+    if (!nodes_[n].is_ci) ++count;
+  }
+  return count;
+}
+
+std::vector<std::uint32_t> Aig::and_topo_order() const {
+  std::vector<std::uint32_t> order;
+  order.reserve(nodes_.size());
+  for (std::uint32_t n = 1; n < nodes_.size(); ++n) {
+    if (!nodes_[n].is_ci) order.push_back(n);
+  }
+  return order;
+}
+
+void Aig::validate() const {
+  for (const Latch& latch : latches_) {
+    MMFLOW_CHECK_MSG(latch.next_state != kLitFalse || true,
+                     "latch next state unset");  // kLitFalse is a legal D
+  }
+  for (std::uint32_t n = 1; n < nodes_.size(); ++n) {
+    if (nodes_[n].is_ci) continue;
+    MMFLOW_CHECK(lit_node(nodes_[n].fanin0) < n);
+    MMFLOW_CHECK(lit_node(nodes_[n].fanin1) < n);
+  }
+}
+
+Aig Aig::sweep() const {
+  // Mark reachable nodes from POs and (live) latch next-states; iterate
+  // because removing a latch can kill its entire input cone.
+  std::vector<bool> node_live(nodes_.size(), false);
+  std::vector<bool> latch_live(latches_.size(), false);
+
+  auto mark_cone = [this, &node_live](Lit root) {
+    std::vector<std::uint32_t> stack{lit_node(root)};
+    while (!stack.empty()) {
+      const std::uint32_t n = stack.back();
+      stack.pop_back();
+      if (node_live[n]) continue;
+      node_live[n] = true;
+      if (!nodes_[n].is_ci && n != 0) {
+        stack.push_back(lit_node(nodes_[n].fanin0));
+        stack.push_back(lit_node(nodes_[n].fanin1));
+      }
+    }
+  };
+
+  for (const Po& po : pos_) mark_cone(po.lit);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < latches_.size(); ++i) {
+      if (!latch_live[i] && node_live[latches_[i].ci_node]) {
+        latch_live[i] = true;
+        mark_cone(latches_[i].next_state);
+        changed = true;
+      }
+    }
+  }
+
+  // Rebuild.
+  Aig out;
+  std::vector<Lit> remap(nodes_.size(), kLitFalse);
+  remap[0] = kLitFalse;
+  for (std::size_t i = 0; i < pis_.size(); ++i) {
+    // PIs are part of the interface; keep them all so module ports are
+    // stable across synthesis (important for multi-mode merging).
+    remap[pis_[i]] = out.add_pi(pi_names_[i]);
+  }
+  std::vector<Lit> latch_out_lit(latches_.size(), kLitFalse);
+  for (std::size_t i = 0; i < latches_.size(); ++i) {
+    if (!latch_live[i]) continue;
+    latch_out_lit[i] = out.add_latch(latches_[i].init);
+    remap[latches_[i].ci_node] = latch_out_lit[i];
+  }
+  auto remap_lit = [&remap](Lit l) {
+    return remap[lit_node(l)] ^ static_cast<Lit>(lit_compl(l));
+  };
+  for (std::uint32_t n = 1; n < nodes_.size(); ++n) {
+    if (nodes_[n].is_ci || !node_live[n]) continue;
+    remap[n] = out.and2(remap_lit(nodes_[n].fanin0), remap_lit(nodes_[n].fanin1));
+  }
+  for (std::size_t i = 0; i < latches_.size(); ++i) {
+    if (!latch_live[i]) continue;
+    out.set_latch_next(latch_out_lit[i], remap_lit(latches_[i].next_state));
+  }
+  for (const Po& po : pos_) out.add_po(po.name, remap_lit(po.lit));
+  return out;
+}
+
+}  // namespace mmflow::aig

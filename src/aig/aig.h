@@ -1,0 +1,128 @@
+#pragma once
+/// \file aig.h
+/// And-Inverter Graph — the synthesis intermediate representation.
+///
+/// The paper's flows run "synthesis" before technology mapping (Fig. 1); in
+/// this reproduction synthesis is: netlist → AIG with structural hashing and
+/// constant folding (which performs the constant propagation the FIR
+/// benchmark relies on: "the non-zero coefficients were chosen randomly,
+/// after which all the constants were propagated"), followed by a dead-node
+/// sweep. The technology mapper (src/techmap) consumes the AIG directly.
+///
+/// Structure: node 0 is constant-false; combinational inputs (primary inputs
+/// and latch outputs) are explicit CI nodes; all other nodes are 2-input
+/// ANDs. Edges are literals (node << 1 | complemented). Latches pair a CI
+/// (their output) with a combinational output literal (their next state).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mmflow::aig {
+
+/// Edge literal: (node index << 1) | complement bit.
+using Lit = std::uint32_t;
+
+inline constexpr Lit kLitFalse = 0;  // node 0, plain
+inline constexpr Lit kLitTrue = 1;   // node 0, complemented
+
+[[nodiscard]] constexpr std::uint32_t lit_node(Lit l) { return l >> 1; }
+[[nodiscard]] constexpr bool lit_compl(Lit l) { return l & 1; }
+[[nodiscard]] constexpr Lit make_lit(std::uint32_t node, bool compl_) {
+  return (node << 1) | static_cast<Lit>(compl_);
+}
+[[nodiscard]] constexpr Lit lit_not(Lit l) { return l ^ 1; }
+
+/// And-Inverter Graph with sequential elements.
+class Aig {
+ public:
+  struct Node {
+    Lit fanin0 = 0;  ///< meaningful only for AND nodes
+    Lit fanin1 = 0;
+    bool is_ci = false;
+  };
+
+  struct Latch {
+    std::uint32_t ci_node = 0;   ///< node presenting the latch output
+    Lit next_state = kLitFalse;  ///< D input (set via set_latch_next)
+    bool init = false;
+  };
+
+  struct Po {
+    std::string name;
+    Lit lit = kLitFalse;
+  };
+
+  Aig();
+
+  // ---- construction -------------------------------------------------------
+
+  /// Creates a primary input; returns its literal.
+  Lit add_pi(const std::string& name);
+  /// Creates a latch (its output CI); next-state set later.
+  Lit add_latch(bool init);
+  void set_latch_next(Lit latch_output, Lit next_state);
+  void add_po(const std::string& name, Lit lit);
+
+  /// Hash-consed AND with constant folding and the trivial-identity rules
+  /// (a&a=a, a&!a=0, a&1=a, a&0=0).
+  Lit and2(Lit a, Lit b);
+  Lit or2(Lit a, Lit b) { return lit_not(and2(lit_not(a), lit_not(b))); }
+  Lit xor2(Lit a, Lit b) {
+    return or2(and2(a, lit_not(b)), and2(lit_not(a), b));
+  }
+  Lit mux(Lit sel, Lit hi, Lit lo) {
+    return or2(and2(sel, hi), and2(lit_not(sel), lo));
+  }
+  Lit and_tree(std::vector<Lit> terms);
+  Lit or_tree(std::vector<Lit> terms);
+
+  // ---- inspection ---------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] const Node& node(std::uint32_t n) const {
+    MMFLOW_REQUIRE(n < nodes_.size());
+    return nodes_[n];
+  }
+  [[nodiscard]] bool is_and(std::uint32_t n) const {
+    return n != 0 && !nodes_[n].is_ci;
+  }
+  [[nodiscard]] std::size_t num_ands() const;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& pis() const { return pis_; }
+  [[nodiscard]] const std::string& pi_name(std::size_t i) const {
+    return pi_names_[i];
+  }
+  [[nodiscard]] const std::vector<Latch>& latches() const { return latches_; }
+  [[nodiscard]] const std::vector<Po>& pos() const { return pos_; }
+
+  /// All AND nodes in topological (fanin-before-fanout) order. Construction
+  /// order already guarantees this; provided for clarity at call sites.
+  [[nodiscard]] std::vector<std::uint32_t> and_topo_order() const;
+
+  /// Checks that all latches have next-state assigned.
+  void validate() const;
+
+  // ---- transforms ---------------------------------------------------------
+
+  /// Returns a structurally swept copy: removes AND nodes not reachable from
+  /// any PO or latch next-state, and latches whose outputs drive nothing
+  /// (iterated to a fixed point). Names are preserved.
+  [[nodiscard]] Aig sweep() const;
+
+ private:
+  std::uint32_t new_node(bool is_ci);
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> pis_;
+  std::vector<std::string> pi_names_;
+  std::vector<Latch> latches_;
+  std::unordered_map<std::uint32_t, std::uint32_t> latch_of_node_;
+  std::vector<Po> pos_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+};
+
+}  // namespace mmflow::aig

@@ -1,0 +1,112 @@
+#include "aig/bridge.h"
+
+namespace mmflow::aig {
+
+using netlist::DriverKind;
+using netlist::Netlist;
+using netlist::SignalId;
+
+Aig aig_from_netlist(const Netlist& nl,
+                     const std::unordered_map<std::string, bool>& const_bindings) {
+  nl.validate();
+  Aig out;
+  std::vector<Lit> lit_of(nl.num_signals(), kLitFalse);
+
+  // Interface first: PIs (minus bound ones) and latches.
+  for (const SignalId in : nl.inputs()) {
+    const std::string& name = nl.signal(in).name;
+    if (const auto it = const_bindings.find(name); it != const_bindings.end()) {
+      lit_of[in] = it->second ? kLitTrue : kLitFalse;
+    } else {
+      lit_of[in] = out.add_pi(name);
+    }
+  }
+  // Latch outputs are combinational inputs; create them before gate logic so
+  // feedback through registers resolves.
+  std::vector<std::pair<SignalId, Lit>> latch_signals;
+  for (SignalId id = 0; id < nl.num_signals(); ++id) {
+    if (nl.signal(id).kind == DriverKind::Latch) {
+      const Lit l = out.add_latch(nl.latch_of(id).init);
+      lit_of[id] = l;
+      latch_signals.emplace_back(id, l);
+    }
+  }
+
+  // Gates in topological order: build each SOP cover as OR of cube ANDs.
+  for (const SignalId id : nl.topo_order()) {
+    const auto& sig = nl.signal(id);
+    switch (sig.kind) {
+      case DriverKind::Const0: lit_of[id] = kLitFalse; break;
+      case DriverKind::Const1: lit_of[id] = kLitTrue; break;
+      case DriverKind::Input:
+      case DriverKind::Latch:
+        break;  // already assigned
+      case DriverKind::Gate: {
+        const Netlist::Gate& gate = nl.gate_of(id);
+        std::vector<Lit> cube_lits;
+        cube_lits.reserve(gate.cover.cubes.size());
+        for (const netlist::Cube& cube : gate.cover.cubes) {
+          std::vector<Lit> factors;
+          for (std::uint32_t i = 0; i < gate.cover.num_inputs; ++i) {
+            const std::uint64_t bit = std::uint64_t{1} << i;
+            if (!(cube.care & bit)) continue;
+            Lit l = lit_of[gate.inputs[i]];
+            if (!(cube.value & bit)) l = lit_not(l);
+            factors.push_back(l);
+          }
+          cube_lits.push_back(out.and_tree(std::move(factors)));
+        }
+        Lit value = out.or_tree(std::move(cube_lits));
+        if (!gate.cover.onset) value = lit_not(value);
+        lit_of[id] = value;
+        break;
+      }
+    }
+  }
+
+  for (const auto& [latch_sig, latch_lit] : latch_signals) {
+    out.set_latch_next(latch_lit, lit_of[nl.latch_of(latch_sig).input]);
+  }
+  for (const auto& po : nl.outputs()) {
+    out.add_po(po.name, lit_of[po.signal]);
+  }
+  out.validate();
+  return out.sweep();
+}
+
+netlist::Netlist netlist_from_aig(const Aig& aig, const std::string& name) {
+  Netlist out(name);
+  std::vector<SignalId> sig_of(aig.num_nodes(), netlist::kNoSignal);
+
+  for (std::size_t i = 0; i < aig.pis().size(); ++i) {
+    sig_of[aig.pis()[i]] = out.add_input(aig.pi_name(i));
+  }
+  std::vector<SignalId> latch_sig(aig.latches().size());
+  for (std::size_t i = 0; i < aig.latches().size(); ++i) {
+    latch_sig[i] = out.add_latch(netlist::kNoSignal, aig.latches()[i].init);
+    sig_of[aig.latches()[i].ci_node] = latch_sig[i];
+  }
+
+  // Signals for complemented literals are created on demand via NOT gates.
+  auto sig_for_lit = [&](Lit l) -> SignalId {
+    const std::uint32_t n = lit_node(l);
+    if (n == 0) return out.add_constant(lit_compl(l));
+    MMFLOW_CHECK(sig_of[n] != netlist::kNoSignal);
+    return lit_compl(l) ? out.add_not(sig_of[n]) : sig_of[n];
+  };
+
+  for (const std::uint32_t n : aig.and_topo_order()) {
+    const auto& node = aig.node(n);
+    sig_of[n] = out.add_and(sig_for_lit(node.fanin0), sig_for_lit(node.fanin1));
+  }
+  for (std::size_t i = 0; i < aig.latches().size(); ++i) {
+    out.set_latch_input(latch_sig[i], sig_for_lit(aig.latches()[i].next_state));
+  }
+  for (const auto& po : aig.pos()) {
+    out.add_output(po.name, sig_for_lit(po.lit));
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace mmflow::aig

@@ -1,0 +1,31 @@
+#pragma once
+/// \file bridge.h
+/// Conversions between the gate-level Netlist IR and the AIG.
+///
+/// `aig_from_netlist` is the synthesis front-end of both the MDR and the DCS
+/// flows. Passing `const_bindings` replaces selected primary inputs by
+/// constants before synthesis; strashing + folding then performs the
+/// constant propagation that specializes the paper's generic FIR filter to a
+/// fixed-coefficient one.
+
+#include <string>
+#include <unordered_map>
+
+#include "aig/aig.h"
+#include "netlist/netlist.h"
+
+namespace mmflow::aig {
+
+/// Synthesizes a netlist into an AIG. `const_bindings` maps primary-input
+/// *names* to constant values; bound inputs are dropped from the AIG's
+/// interface. The result is swept (dead logic removed).
+[[nodiscard]] Aig aig_from_netlist(
+    const netlist::Netlist& nl,
+    const std::unordered_map<std::string, bool>& const_bindings = {});
+
+/// Lowers an AIG back to a 2-input-gate netlist (used by tests to reuse the
+/// netlist simulator as a reference model).
+[[nodiscard]] netlist::Netlist netlist_from_aig(const Aig& aig,
+                                                const std::string& name);
+
+}  // namespace mmflow::aig

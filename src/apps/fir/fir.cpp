@@ -1,0 +1,184 @@
+#include "apps/fir/fir.h"
+
+#include <cmath>
+
+namespace mmflow::apps::fir {
+
+using netlist::Netlist;
+using netlist::SignalId;
+
+int FirSpec::output_width() const {
+  // Max |sum| <= taps * (2^DW - 1) * (2^CW - 1); one sign bit on top.
+  int guard = 0;
+  while ((1 << guard) < taps) ++guard;
+  return data_width + coeff_width + guard + 1;
+}
+
+void FirSpec::validate() const {
+  MMFLOW_REQUIRE(taps >= 1 && taps <= 64);
+  MMFLOW_REQUIRE(data_width >= 1 && data_width <= 16);
+  MMFLOW_REQUIRE(coeff_width >= 1 && coeff_width <= 16);
+}
+
+FirCoeffs random_coefficients(const FirSpec& spec, FilterKind kind,
+                              std::uint64_t seed, double density) {
+  spec.validate();
+  MMFLOW_REQUIRE(density > 0.0 && density <= 1.0);
+  Rng rng(seed);
+  FirCoeffs out;
+  out.values.assign(static_cast<std::size_t>(spec.taps), 0);
+  const int max_mag = (1 << spec.coeff_width) - 1;
+  bool any = false;
+  for (int k = 0; k < spec.taps; ++k) {
+    if (!rng.next_bool(density)) continue;
+    any = true;
+    const int mag = static_cast<int>(rng.next_int(1, max_mag));
+    int value = mag;
+    if (kind == FilterKind::HighPass && (k % 2 == 1)) value = -mag;
+    out.values[static_cast<std::size_t>(k)] = value;
+  }
+  if (!any) {
+    // Degenerate all-zero draws are useless benchmarks; force one tap.
+    const int k = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(spec.taps)));
+    out.values[static_cast<std::size_t>(k)] =
+        static_cast<int>(rng.next_int(1, max_mag));
+  }
+  return out;
+}
+
+namespace {
+
+/// W-bit ripple-carry add: a + (b XOR sub) + sub, i.e. a+b or a-b.
+/// Missing high bits of b are sign-extended with `b_ext`.
+std::vector<SignalId> add_sub(Netlist& nl, const std::vector<SignalId>& a,
+                              const std::vector<SignalId>& b, SignalId b_ext,
+                              SignalId sub) {
+  std::vector<SignalId> out;
+  out.reserve(a.size());
+  SignalId carry = sub;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SignalId bi = i < b.size() ? b[i] : b_ext;
+    const SignalId bx = nl.add_xor(bi, sub);
+    auto [sum, c] = nl.add_full_adder(a[i], bx, carry);
+    out.push_back(sum);
+    carry = c;
+  }
+  return out;
+}
+
+/// Unsigned shift-add multiplier: x (DW bits) * c (CW bits) -> DW+CW bits.
+std::vector<SignalId> multiply(Netlist& nl, const std::vector<SignalId>& x,
+                               const std::vector<SignalId>& c) {
+  const std::size_t width = x.size() + c.size();
+  const SignalId zero = nl.add_constant(false);
+  std::vector<SignalId> acc(width, zero);
+  for (std::size_t j = 0; j < c.size(); ++j) {
+    // Row j: (x AND c_j) << j, added into acc[j .. j+DW].
+    SignalId carry = zero;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const SignalId pp = nl.add_and(x[i], c[j]);
+      auto [sum, cout] = nl.add_full_adder(acc[j + i], pp, carry);
+      acc[j + i] = sum;
+      carry = cout;
+    }
+    // Propagate the carry into the remaining bits.
+    for (std::size_t i = j + x.size(); i < width && carry != zero; ++i) {
+      const SignalId sum = nl.add_xor(acc[i], carry);
+      carry = nl.add_and(acc[i], carry);
+      acc[i] = sum;
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+netlist::Netlist generic_fir(const FirSpec& spec) {
+  spec.validate();
+  const int W = spec.output_width();
+  Netlist nl("fir");
+
+  std::vector<SignalId> x;
+  for (int b = 0; b < spec.data_width; ++b) {
+    x.push_back(nl.add_input("x" + std::to_string(b)));
+  }
+  std::vector<std::vector<SignalId>> coeff_mag(static_cast<std::size_t>(spec.taps));
+  std::vector<SignalId> coeff_sign(static_cast<std::size_t>(spec.taps));
+  for (int k = 0; k < spec.taps; ++k) {
+    for (int j = 0; j < spec.coeff_width; ++j) {
+      coeff_mag[static_cast<std::size_t>(k)].push_back(
+          nl.add_input("c" + std::to_string(k) + "m" + std::to_string(j)));
+    }
+    coeff_sign[static_cast<std::size_t>(k)] =
+        nl.add_input("c" + std::to_string(k) + "s");
+  }
+
+  const SignalId zero = nl.add_constant(false);
+
+  // Transposed direct form: w_k = c_k*x + delay(w_{k+1}); y = w_0.
+  // Build from the last tap downward.
+  std::vector<SignalId> delayed(static_cast<std::size_t>(W), zero);
+  std::vector<SignalId> w;
+  for (int k = spec.taps - 1; k >= 0; --k) {
+    const auto product =
+        multiply(nl, x, coeff_mag[static_cast<std::size_t>(k)]);
+    w = add_sub(nl, delayed, product, zero,
+                coeff_sign[static_cast<std::size_t>(k)]);
+    if (k > 0) {
+      // Register w for the next (earlier) tap.
+      delayed.clear();
+      for (int b = 0; b < W; ++b) {
+        const SignalId ff = nl.add_latch(
+            w[static_cast<std::size_t>(b)], false,
+            "z" + std::to_string(k) + "_" + std::to_string(b));
+        delayed.push_back(ff);
+      }
+    }
+  }
+  for (int b = 0; b < W; ++b) {
+    nl.add_output("y" + std::to_string(b), w[static_cast<std::size_t>(b)]);
+  }
+  nl.validate();
+  return nl;
+}
+
+std::unordered_map<std::string, bool> coefficient_bindings(
+    const FirSpec& spec, const FirCoeffs& coeffs) {
+  spec.validate();
+  MMFLOW_REQUIRE(coeffs.values.size() == static_cast<std::size_t>(spec.taps));
+  std::unordered_map<std::string, bool> bindings;
+  for (int k = 0; k < spec.taps; ++k) {
+    const int value = coeffs.values[static_cast<std::size_t>(k)];
+    MMFLOW_REQUIRE(std::abs(value) < (1 << spec.coeff_width));
+    const unsigned mag = static_cast<unsigned>(std::abs(value));
+    for (int j = 0; j < spec.coeff_width; ++j) {
+      bindings["c" + std::to_string(k) + "m" + std::to_string(j)] =
+          (mag >> j) & 1;
+    }
+    bindings["c" + std::to_string(k) + "s"] = value < 0;
+  }
+  return bindings;
+}
+
+std::vector<std::uint64_t> fir_reference(
+    const FirSpec& spec, const FirCoeffs& coeffs,
+    const std::vector<std::uint32_t>& samples) {
+  spec.validate();
+  const int W = spec.output_width();
+  const std::uint64_t mask =
+      W >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << W) - 1);
+  std::vector<std::uint64_t> out;
+  out.reserve(samples.size());
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    long long sum = 0;
+    for (int k = 0; k < spec.taps; ++k) {
+      if (static_cast<std::size_t>(k) > n) break;
+      sum += static_cast<long long>(coeffs.values[static_cast<std::size_t>(k)]) *
+             static_cast<long long>(samples[n - static_cast<std::size_t>(k)]);
+    }
+    out.push_back(static_cast<std::uint64_t>(sum) & mask);
+  }
+  return out;
+}
+
+}  // namespace mmflow::apps::fir

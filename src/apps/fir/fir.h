@@ -1,0 +1,76 @@
+#pragma once
+/// \file fir.h
+/// FIR-filter benchmark generator (the paper's adaptive-filtering
+/// application).
+///
+/// The paper combines 10 low-pass and 10 high-pass FIR filters into
+/// multi-mode circuits: "The non-zero coefficients were chosen randomly,
+/// after which all the constants were propagated. Such a FIR filter is 3
+/// times smaller than the generic version."
+///
+/// This module provides exactly that pipeline:
+///  * `generic_fir` builds a transposed-direct-form filter whose
+///    coefficients are *inputs* (sign + magnitude buses) — the generic
+///    version;
+///  * `coefficient_bindings` + the AIG constant propagation
+///    (aig::aig_from_netlist) specialize it to fixed coefficients;
+///  * `random_coefficients` draws sparse random coefficients with low-pass
+///    (all positive) or high-pass (alternating-sign) structure.
+///
+/// Arithmetic: unsigned data, sign/magnitude coefficients, two's-complement
+/// accumulation (wrap-around), so hardware and the software reference agree
+/// bit-exactly.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "netlist/netlist.h"
+
+namespace mmflow::apps::fir {
+
+struct FirSpec {
+  int taps = 10;
+  int data_width = 6;   ///< unsigned input samples
+  int coeff_width = 5;  ///< coefficient magnitude bits
+
+  /// Two's-complement accumulator width (covers worst-case sums).
+  [[nodiscard]] int output_width() const;
+  void validate() const;
+};
+
+enum class FilterKind : std::uint8_t { LowPass, HighPass };
+
+struct FirCoeffs {
+  /// Signed values, |v| < 2^coeff_width; exactly spec.taps entries.
+  std::vector<int> values;
+};
+
+/// Sparse random coefficients: roughly `density` of the taps are non-zero;
+/// LowPass draws all-positive values, HighPass alternates signs
+/// (the classic spectral structure of the two filter families).
+[[nodiscard]] FirCoeffs random_coefficients(const FirSpec& spec,
+                                            FilterKind kind, std::uint64_t seed,
+                                            double density = 0.5);
+
+/// Generic filter netlist. Interface:
+///   inputs  x0..x{DW-1}          data sample (LSB first)
+///           c{k}m{j}             coefficient k magnitude bit j
+///           c{k}s                coefficient k sign (1 = negative)
+///   outputs y0..y{W-1}           two's-complement result
+[[nodiscard]] netlist::Netlist generic_fir(const FirSpec& spec);
+
+/// Constant bindings that specialize `generic_fir(spec)` to `coeffs`
+/// (feed to aig::aig_from_netlist).
+[[nodiscard]] std::unordered_map<std::string, bool> coefficient_bindings(
+    const FirSpec& spec, const FirCoeffs& coeffs);
+
+/// Bit-exact software reference: y[n] = sum_k c_k * x[n-k], wrapped to the
+/// accumulator width (two's complement). x[t<0] = 0.
+[[nodiscard]] std::vector<std::uint64_t> fir_reference(
+    const FirSpec& spec, const FirCoeffs& coeffs,
+    const std::vector<std::uint32_t>& samples);
+
+}  // namespace mmflow::apps::fir

@@ -1,0 +1,138 @@
+#include "apps/mcnc/mcnc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aig/bridge.h"
+#include "common/log.h"
+#include "netlist/blif.h"
+#include "techmap/mapper.h"
+
+namespace mmflow::apps::mcnc {
+
+using netlist::Netlist;
+using netlist::SignalId;
+
+netlist::Netlist synthetic_circuit(const SyntheticSpec& spec) {
+  MMFLOW_REQUIRE(spec.num_gates >= 1);
+  MMFLOW_REQUIRE(spec.num_inputs >= 2);
+  MMFLOW_REQUIRE(spec.num_outputs >= 1);
+  MMFLOW_REQUIRE(spec.locality >= 0.0 && spec.locality <= 1.0);
+
+  Rng rng(spec.seed);
+  Netlist nl("clone");
+
+  std::vector<SignalId> pool;
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    pool.push_back(nl.add_input("i" + std::to_string(i)));
+  }
+  std::vector<SignalId> registers;
+  for (int i = 0; i < spec.num_registers; ++i) {
+    const SignalId q =
+        nl.add_latch(netlist::kNoSignal, rng.next_bool(0.5), "q" + std::to_string(i));
+    registers.push_back(q);
+    pool.push_back(q);
+  }
+
+  // Locality-structured fanin selection: mostly recent signals (Rent-style
+  // clustering), occasionally a global draw.
+  auto draw = [&]() -> SignalId {
+    if (pool.size() > static_cast<std::size_t>(spec.locality_window) &&
+        rng.next_bool(spec.locality)) {
+      const std::size_t lo = pool.size() - static_cast<std::size_t>(spec.locality_window);
+      return pool[lo + rng.next_below(static_cast<std::uint64_t>(spec.locality_window))];
+    }
+    return pool[rng.next_below(pool.size())];
+  };
+
+  for (int g = 0; g < spec.num_gates; ++g) {
+    const SignalId a = draw();
+    const SignalId b = draw();
+    SignalId s = 0;
+    switch (rng.next_below(6)) {
+      case 0: s = nl.add_and(a, b); break;
+      case 1: s = nl.add_or(a, b); break;
+      case 2: s = nl.add_xor(a, b); break;
+      case 3: s = nl.add_nand(a, b); break;
+      case 4: s = nl.add_nor(a, b); break;
+      case 5: s = nl.add_mux(a, b, draw()); break;
+    }
+    pool.push_back(s);
+  }
+
+  // Registers load from late signals (keeps the sequential core live).
+  for (std::size_t i = 0; i < registers.size(); ++i) {
+    const std::size_t tail = std::min<std::size_t>(pool.size(), 4 * registers.size());
+    const SignalId d = pool[pool.size() - 1 - rng.next_below(tail)];
+    nl.set_latch_input(registers[i], d);
+  }
+  // Outputs tap late signals so most of the cone stays live after sweep.
+  for (int o = 0; o < spec.num_outputs; ++o) {
+    const std::size_t tail =
+        std::min<std::size_t>(pool.size(), static_cast<std::size_t>(spec.num_gates) / 4 + 1);
+    nl.add_output("o" + std::to_string(o),
+                  pool[pool.size() - 1 - rng.next_below(tail)]);
+  }
+  nl.validate();
+  return nl;
+}
+
+techmap::LutCircuit sized_synthetic_circuit(int target_luts, std::uint64_t seed,
+                                            int k, double tolerance) {
+  MMFLOW_REQUIRE(target_luts >= 8);
+  techmap::MapperOptions map_options;
+  map_options.k = k;
+
+  // Mapped size grows nearly linearly in the gate count; iterate a secant
+  // correction until we land within tolerance.
+  int gates = target_luts * 2;
+  techmap::LutCircuit best(k);
+  int best_error = 1 << 30;
+  for (int iter = 0; iter < 12; ++iter) {
+    SyntheticSpec spec;
+    spec.num_gates = gates;
+    spec.seed = seed;
+    auto mapped = techmap::map_to_luts(
+        aig::aig_from_netlist(synthetic_circuit(spec)), map_options);
+    const int size = static_cast<int>(mapped.num_blocks());
+    const int error = std::abs(size - target_luts);
+    if (error < best_error) {
+      best_error = error;
+      best = std::move(mapped);
+      best.set_name("clone" + std::to_string(seed));
+    }
+    if (static_cast<double>(error) <=
+        tolerance * static_cast<double>(target_luts)) {
+      break;
+    }
+    // Secant step assuming proportionality.
+    const double scale = static_cast<double>(target_luts) /
+                         std::max(1.0, static_cast<double>(size));
+    gates = std::max(8, static_cast<int>(std::lround(gates * scale)));
+  }
+  MMFLOW_CHECK_MSG(best.num_blocks() > 0, "calibration produced empty circuit");
+  return best;
+}
+
+std::vector<techmap::LutCircuit> load_blif_modes(
+    const std::vector<std::string>& paths, int k) {
+  techmap::MapperOptions map_options;
+  map_options.k = k;
+  std::vector<techmap::LutCircuit> modes;
+  for (const auto& path : paths) {
+    auto mapped = techmap::map_to_luts(
+        aig::aig_from_netlist(netlist::read_blif_file(path)), map_options);
+    mapped.set_name(path);
+    modes.push_back(std::move(mapped));
+  }
+  return modes;
+}
+
+const std::vector<int>& paper_clone_sizes() {
+  // Five sizes spread to reproduce Table I's MCNC row: min 264, max 404,
+  // average 310.
+  static const std::vector<int> sizes = {264, 285, 305, 292, 404};
+  return sizes;
+}
+
+}  // namespace mmflow::apps::mcnc

@@ -1,0 +1,55 @@
+#pragma once
+/// \file mcnc.h
+/// MCNC benchmark support (the paper's third experiment).
+///
+/// The paper picks 5 circuits of similar size out of the MCNC LGSynth91
+/// suite (Table I: 264/310/404 min/avg/max 4-LUTs) and pairs all C(5,2)=10
+/// combinations. The original netlists cannot be redistributed here, so
+/// this module provides both:
+///  * a loader for real MCNC BLIF files when the user has them
+///    (`load_blif_modes`), and
+///  * a synthetic random-logic generator ("clones" in the tradition of
+///    GNL/CIRC): locality-structured gate networks with registers whose
+///    post-mapping size is calibrated to a target LUT count
+///    (`sized_synthetic_circuit`). Clones play the same role as MCNC in the
+///    paper — generic circuits whose inter-mode similarity is accidental.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "netlist/netlist.h"
+#include "techmap/lutcircuit.h"
+
+namespace mmflow::apps::mcnc {
+
+struct SyntheticSpec {
+  int num_gates = 600;       ///< 2-input gates before mapping
+  int num_inputs = 12;
+  int num_outputs = 10;
+  int num_registers = 24;
+  double locality = 0.8;     ///< probability of drawing a nearby fanin
+  int locality_window = 40;  ///< "nearby" = among the last N signals
+  std::uint64_t seed = 1;
+};
+
+/// Random locality-structured gate-level circuit.
+[[nodiscard]] netlist::Netlist synthetic_circuit(const SyntheticSpec& spec);
+
+/// Generates a synthetic circuit and calibrates `num_gates` (secant-style
+/// iteration) until the mapped 4-LUT count is within `tolerance` of
+/// `target_luts`. Returns the mapped LutCircuit.
+[[nodiscard]] techmap::LutCircuit sized_synthetic_circuit(
+    int target_luts, std::uint64_t seed, int k = 4, double tolerance = 0.05);
+
+/// Loads real MCNC BLIF files and maps them (drop-in replacement for the
+/// synthetic clones when the suite is available).
+[[nodiscard]] std::vector<techmap::LutCircuit> load_blif_modes(
+    const std::vector<std::string>& paths, int k = 4);
+
+/// The five clone sizes used by the benchmark harness, spread like the
+/// paper's Table I row (min 264, avg 310, max 404).
+[[nodiscard]] const std::vector<int>& paper_clone_sizes();
+
+}  // namespace mmflow::apps::mcnc

@@ -1,0 +1,170 @@
+#include "apps/regexp/engine.h"
+
+#include <map>
+
+#include "apps/regexp/regex.h"
+
+namespace mmflow::apps::regexp {
+
+namespace {
+
+using netlist::Netlist;
+using netlist::SignalId;
+
+/// Builds character-class comparators as decision trees over the input bits
+/// (MSB first), hash-consing identical sub-ranges so classes share decoder
+/// logic across positions.
+class ClassDecoder {
+ public:
+  ClassDecoder(Netlist& nl, const std::vector<SignalId>& in_bits)
+      : nl_(nl), in_(in_bits) {}
+
+  SignalId signal_for(const CharClass& cc) {
+    const auto it = class_cache_.find(cc.words());
+    if (it != class_cache_.end()) return it->second;
+    const SignalId s = build(cc, 7, 0);
+    class_cache_.emplace(cc.words(), s);
+    return s;
+  }
+
+ private:
+  using Key = std::array<std::uint64_t, 4>;
+
+  /// Matcher for bytes in [base, base + 2^(bit+1)) given the high bits
+  /// already decided; recursion on input bit `bit` (MSB = 7 downward).
+  SignalId build(const CharClass& cc, int bit, unsigned base) {
+    // Constant sub-ranges collapse.
+    const unsigned span = 1u << (bit + 1);
+    bool all = true;
+    bool none = true;
+    for (unsigned c = base; c < base + span; ++c) {
+      if (cc.contains(static_cast<unsigned char>(c))) {
+        none = false;
+      } else {
+        all = false;
+      }
+    }
+    if (all) return nl_.add_constant(true);
+    if (none) return nl_.add_constant(false);
+
+    const auto key = std::make_pair(subrange_key(cc, bit, base), base);
+    if (const auto it = node_cache_.find(key); it != node_cache_.end()) {
+      return it->second;
+    }
+    const SignalId hi = build(cc, bit - 1, base + (span >> 1));
+    const SignalId lo = build(cc, bit - 1, base);
+    const SignalId s = nl_.add_mux(in_[static_cast<std::size_t>(bit)], hi, lo);
+    node_cache_.emplace(key, s);
+    return s;
+  }
+
+  /// Sub-range membership fingerprint for hash-consing (the class bits of
+  /// [base, base+2^(bit+1)) packed into a Key).
+  Key subrange_key(const CharClass& cc, int bit, unsigned base) const {
+    Key key{};
+    const unsigned span = 1u << (bit + 1);
+    for (unsigned i = 0; i < span; ++i) {
+      if (cc.contains(static_cast<unsigned char>(base + i))) {
+        key[i >> 6] |= std::uint64_t{1} << (i & 63);
+      }
+    }
+    // Mix in the width so [0,4) and [0,8) fingerprints differ.
+    key[3] ^= static_cast<std::uint64_t>(bit) << 56;
+    return key;
+  }
+
+  Netlist& nl_;
+  const std::vector<SignalId>& in_;
+  std::map<Key, SignalId> class_cache_;
+  std::map<std::pair<Key, unsigned>, SignalId> node_cache_;
+};
+
+}  // namespace
+
+netlist::Netlist regex_engine(const std::string& pattern, EngineStats* stats) {
+  const auto ast = parse_regex(pattern);
+  const Glushkov nfa = build_glushkov(*ast);
+  MMFLOW_REQUIRE_MSG(nfa.num_positions() > 0, "degenerate pattern");
+
+  Netlist nl("regex");
+  std::vector<SignalId> in_bits;
+  for (int b = 0; b < 8; ++b) {
+    in_bits.push_back(nl.add_input("in" + std::to_string(b)));
+  }
+
+  ClassDecoder decoder(nl, in_bits);
+
+  // Class-match signals (shared across positions with equal classes).
+  std::vector<SignalId> class_match(nfa.num_positions());
+  std::size_t distinct = 0;
+  {
+    std::map<std::array<std::uint64_t, 4>, bool> seen;
+    for (std::uint32_t p = 0; p < nfa.num_positions(); ++p) {
+      if (seen.emplace(nfa.position_class[p].words(), true).second) ++distinct;
+      class_match[p] = decoder.signal_for(nfa.position_class[p]);
+    }
+  }
+
+  // Position registers.
+  std::vector<SignalId> state(nfa.num_positions());
+  for (std::uint32_t p = 0; p < nfa.num_positions(); ++p) {
+    state[p] = nl.add_latch(netlist::kNoSignal, false, "s" + std::to_string(p));
+  }
+
+  // Predecessor sets (invert follow).
+  std::vector<std::vector<std::uint32_t>> preds(nfa.num_positions());
+  for (std::uint32_t q = 0; q < nfa.num_positions(); ++q) {
+    for (const auto p : nfa.follow[q]) preds[p].push_back(q);
+  }
+  std::vector<bool> is_first(nfa.num_positions(), false);
+  for (const auto p : nfa.first) is_first[p] = true;
+
+  for (std::uint32_t p = 0; p < nfa.num_positions(); ++p) {
+    SignalId enable;
+    if (is_first[p]) {
+      // Unanchored search: first positions re-arm on every byte.
+      enable = nl.add_constant(true);
+    } else {
+      std::vector<SignalId> terms;
+      terms.reserve(preds[p].size());
+      for (const auto q : preds[p]) terms.push_back(state[q]);
+      enable = nl.add_or_tree(std::move(terms));
+    }
+    nl.set_latch_input(state[p], nl.add_and(class_match[p], enable));
+  }
+
+  std::vector<SignalId> accept;
+  accept.reserve(nfa.last.size());
+  for (const auto p : nfa.last) accept.push_back(state[p]);
+  nl.add_output("match", nl.add_or_tree(std::move(accept)));
+
+  if (stats != nullptr) {
+    stats->num_positions = nfa.num_positions();
+    stats->num_classes = distinct;
+  }
+  nl.validate();
+  return nl;
+}
+
+const std::vector<std::string>& bleeding_edge_style_rules() {
+  // Five IDS-style signatures in the spirit of the Bleeding Edge/Snort web
+  // rules: HTTP exploits, shell-code markers, protocol anomalies. Repeat
+  // counts are chosen so each engine maps to roughly the paper's 224-261
+  // 4-LUT range on this tool chain.
+  static const std::vector<std::string> rules = {
+      // 1. Directory-traversal attempt in a GET request.
+      "GET /[a-z0-9_]{12,60}(\\.\\./){3,10}[a-z]{4,24}\\.(exe|dll|sh|php)",
+      // 2. Overlong HTTP basic-auth header (credential stuffing).
+      "Authorization: Basic [A-Za-z0-9+/]{72,128}=?=?",
+      // 3. Shellcode-style NOP sled followed by a call marker.
+      "(\\x90){80,156}\\xe8(.){6}\\xff\\xd0",
+      // 4. SQL injection probe with union select.
+      "(union|UNION)([ ]|\\+|/\\*\\*/){1,6}(select|SELECT)[^\\r\\n]{24,72}from",
+      // 5. IRC-bot command-and-control handshake.
+      "NICK [a-zA-Z]{6,18}[0-9]{2,10}\\x0d\\x0aUSER [a-z]{6,20} 0 \\* "
+      ":[^\\r\\n]{12,52}",
+  };
+  return rules;
+}
+
+}  // namespace mmflow::apps::regexp

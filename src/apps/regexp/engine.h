@@ -1,0 +1,36 @@
+#pragma once
+/// \file engine.h
+/// Hardware regular-expression matching engines (Sourdis et al. style).
+///
+/// The engine consumes one input byte per clock (PIs in0..in7, LSB first)
+/// and raises the `match` output one cycle after the last byte of an
+/// occurrence (unanchored / streaming semantics). Implementation: one-hot
+/// Glushkov NFA — a flip-flop per position, whose next-state is
+/// `class_match(in) AND (OR of predecessor states)`; first positions restart
+/// unconditionally. Character-class comparators are built as shared decision
+/// trees over the input bits ("decoder sharing" in [7]).
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace mmflow::apps::regexp {
+
+struct EngineStats {
+  std::size_t num_positions = 0;
+  std::size_t num_classes = 0;  ///< distinct character classes
+};
+
+/// Compiles a pattern to a gate-level matching engine.
+/// Interface: inputs "in0".."in7"; output "match".
+[[nodiscard]] netlist::Netlist regex_engine(const std::string& pattern,
+                                            EngineStats* stats = nullptr);
+
+/// The five intrusion-detection-style rules used by the RegExp benchmark.
+/// The original Bleeding Edge rule set is no longer distributed; these are
+/// representative HTTP/exploit-signature patterns of the same flavour,
+/// sized so the engines land in the paper's Table I range (~224-261 4-LUTs).
+[[nodiscard]] const std::vector<std::string>& bleeding_edge_style_rules();
+
+}  // namespace mmflow::apps::regexp

@@ -1,0 +1,453 @@
+#include "apps/regexp/regex.h"
+
+#include <algorithm>
+
+namespace mmflow::apps::regexp {
+
+std::unique_ptr<RegexNode> RegexNode::epsilon() {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::Epsilon;
+  return n;
+}
+
+std::unique_ptr<RegexNode> RegexNode::literal(CharClass cc) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::Literal;
+  n->char_class = cc;
+  return n;
+}
+
+std::unique_ptr<RegexNode> RegexNode::concat(std::unique_ptr<RegexNode> a,
+                                             std::unique_ptr<RegexNode> b) {
+  if (a->kind == Kind::Epsilon) return b;
+  if (b->kind == Kind::Epsilon) return a;
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::Concat;
+  n->left = std::move(a);
+  n->right = std::move(b);
+  return n;
+}
+
+std::unique_ptr<RegexNode> RegexNode::alt(std::unique_ptr<RegexNode> a,
+                                          std::unique_ptr<RegexNode> b) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::Alt;
+  n->left = std::move(a);
+  n->right = std::move(b);
+  return n;
+}
+
+std::unique_ptr<RegexNode> RegexNode::star(std::unique_ptr<RegexNode> a) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::Star;
+  n->left = std::move(a);
+  return n;
+}
+
+std::unique_ptr<RegexNode> RegexNode::clone() const {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = kind;
+  n->char_class = char_class;
+  if (left) n->left = left->clone();
+  if (right) n->right = right->clone();
+  return n;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& pattern) : text_(pattern) {}
+
+  std::unique_ptr<RegexNode> parse() {
+    auto node = parse_alt();
+    if (pos_ != text_.size()) {
+      throw ParseError("unexpected '" + std::string(1, text_[pos_]) +
+                       "' at offset " + std::to_string(pos_));
+    }
+    return node;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const {
+    MMFLOW_CHECK(!at_end());
+    return text_[pos_];
+  }
+  char next() {
+    if (at_end()) throw ParseError("unexpected end of pattern");
+    return text_[pos_++];
+  }
+
+  std::unique_ptr<RegexNode> parse_alt() {
+    auto node = parse_concat();
+    while (!at_end() && peek() == '|') {
+      next();
+      node = RegexNode::alt(std::move(node), parse_concat());
+    }
+    return node;
+  }
+
+  std::unique_ptr<RegexNode> parse_concat() {
+    auto node = RegexNode::epsilon();
+    while (!at_end() && peek() != '|' && peek() != ')') {
+      node = RegexNode::concat(std::move(node), parse_repeat());
+    }
+    return node;
+  }
+
+  std::unique_ptr<RegexNode> parse_repeat() {
+    auto atom = parse_atom();
+    while (!at_end()) {
+      const char c = peek();
+      if (c == '*') {
+        next();
+        atom = RegexNode::star(std::move(atom));
+      } else if (c == '+') {
+        next();
+        // a+ = a a*
+        auto copy = atom->clone();
+        atom = RegexNode::concat(std::move(atom),
+                                 RegexNode::star(std::move(copy)));
+      } else if (c == '?') {
+        next();
+        atom = RegexNode::alt(std::move(atom), RegexNode::epsilon());
+      } else if (c == '{') {
+        next();
+        atom = parse_bounded(std::move(atom));
+      } else {
+        break;
+      }
+    }
+    return atom;
+  }
+
+  /// {m}, {m,}, {m,n} — expanded into copies.
+  std::unique_ptr<RegexNode> parse_bounded(std::unique_ptr<RegexNode> atom) {
+    const int m = parse_int();
+    int n = m;
+    bool unbounded = false;
+    if (!at_end() && peek() == ',') {
+      next();
+      if (!at_end() && peek() == '}') {
+        unbounded = true;
+      } else {
+        n = parse_int();
+      }
+    }
+    if (next() != '}') throw ParseError("expected '}' in quantifier");
+    if (!unbounded && n < m) throw ParseError("bad quantifier {m,n} with n<m");
+    if (m > 256 || (!unbounded && n > 256)) {
+      throw ParseError("quantifier repeat count too large (>256)");
+    }
+
+    auto result = RegexNode::epsilon();
+    for (int i = 0; i < m; ++i) {
+      result = RegexNode::concat(std::move(result), atom->clone());
+    }
+    if (unbounded) {
+      result =
+          RegexNode::concat(std::move(result), RegexNode::star(atom->clone()));
+    } else {
+      for (int i = m; i < n; ++i) {
+        result = RegexNode::concat(
+            std::move(result),
+            RegexNode::alt(atom->clone(), RegexNode::epsilon()));
+      }
+    }
+    return result;
+  }
+
+  int parse_int() {
+    if (at_end() || !isdigit(static_cast<unsigned char>(peek()))) {
+      throw ParseError("expected number in quantifier");
+    }
+    int value = 0;
+    while (!at_end() && isdigit(static_cast<unsigned char>(peek()))) {
+      value = value * 10 + (next() - '0');
+      if (value > 100000) throw ParseError("quantifier overflow");
+    }
+    return value;
+  }
+
+  std::unique_ptr<RegexNode> parse_atom() {
+    const char c = next();
+    switch (c) {
+      case '(': {
+        auto node = parse_alt();
+        if (at_end() || next() != ')') throw ParseError("missing ')'");
+        return node;
+      }
+      case '[':
+        return RegexNode::literal(parse_class());
+      case '.': {
+        // '.' matches everything except newline (POSIX semantics).
+        CharClass dot;
+        for (int ch = 0; ch < 256; ++ch) {
+          if (ch != '\n') dot.add(static_cast<unsigned char>(ch));
+        }
+        return RegexNode::literal(dot);
+      }
+      case '\\':
+        return RegexNode::literal(parse_escape());
+      case '*':
+      case '+':
+      case '?':
+      case '{':
+        throw ParseError("quantifier with nothing to repeat");
+      case ')':
+        throw ParseError("unmatched ')'");
+      case '^':
+      case '$':
+        throw ParseError("anchors are not supported by the streaming engine");
+      default: {
+        CharClass cc;
+        cc.add(static_cast<unsigned char>(c));
+        return RegexNode::literal(cc);
+      }
+    }
+  }
+
+  CharClass parse_escape() {
+    const char c = next();
+    CharClass cc;
+    switch (c) {
+      case 'd': cc.add_range('0', '9'); break;
+      case 'D': cc.add_range('0', '9'); cc.negate(); break;
+      case 'w':
+        cc.add_range('a', 'z');
+        cc.add_range('A', 'Z');
+        cc.add_range('0', '9');
+        cc.add('_');
+        break;
+      case 'W':
+        cc.add_range('a', 'z');
+        cc.add_range('A', 'Z');
+        cc.add_range('0', '9');
+        cc.add('_');
+        cc.negate();
+        break;
+      case 's':
+        for (const char ws : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+          cc.add(static_cast<unsigned char>(ws));
+        }
+        break;
+      case 'S':
+        for (const char ws : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+          cc.add(static_cast<unsigned char>(ws));
+        }
+        cc.negate();
+        break;
+      case 'n': cc.add('\n'); break;
+      case 'r': cc.add('\r'); break;
+      case 't': cc.add('\t'); break;
+      case '0': cc.add('\0'); break;
+      case 'x': {
+        const int hi = hex_digit(next());
+        const int lo = hex_digit(next());
+        cc.add(static_cast<unsigned char>(hi * 16 + lo));
+        break;
+      }
+      default:
+        // Escaped metacharacter or literal.
+        cc.add(static_cast<unsigned char>(c));
+        break;
+    }
+    return cc;
+  }
+
+  static int hex_digit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw ParseError("bad hex digit in \\x escape");
+  }
+
+  CharClass parse_class() {
+    CharClass cc;
+    bool negated = false;
+    if (!at_end() && peek() == '^') {
+      next();
+      negated = true;
+    }
+    bool first_item = true;
+    while (true) {
+      if (at_end()) throw ParseError("missing ']'");
+      char c = peek();
+      if (c == ']' && !first_item) {
+        next();
+        break;
+      }
+      first_item = false;
+      next();
+      CharClass item;
+      if (c == '\\') {
+        item = parse_escape();
+      } else {
+        item.add(static_cast<unsigned char>(c));
+      }
+      // Range a-b (only for single-char left side and plain right side).
+      if (!at_end() && peek() == '-' && pos_ + 1 < text_.size() &&
+          text_[pos_ + 1] != ']') {
+        next();  // '-'
+        char hi = next();
+        if (hi == '\\') {
+          throw ParseError("range endpoint cannot be an escape");
+        }
+        if (static_cast<unsigned char>(hi) < static_cast<unsigned char>(c)) {
+          throw ParseError("inverted range in character class");
+        }
+        item = CharClass();
+        item.add_range(static_cast<unsigned char>(c),
+                       static_cast<unsigned char>(hi));
+      }
+      for (int ch = 0; ch < 256; ++ch) {
+        if (item.contains(static_cast<unsigned char>(ch))) {
+          cc.add(static_cast<unsigned char>(ch));
+        }
+      }
+    }
+    if (negated) cc.negate();
+    if (cc.empty()) throw ParseError("empty character class");
+    return cc;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Glushkov bookkeeping per AST node.
+struct NodeSets {
+  bool nullable = false;
+  std::vector<std::uint32_t> first;
+  std::vector<std::uint32_t> last;
+};
+
+std::vector<std::uint32_t> merge_sets(const std::vector<std::uint32_t>& a,
+                                      const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+NodeSets glushkov_walk(const RegexNode& node, Glushkov* out) {
+  NodeSets sets;
+  switch (node.kind) {
+    case RegexNode::Kind::Epsilon:
+      sets.nullable = true;
+      break;
+    case RegexNode::Kind::Literal: {
+      const auto p = static_cast<std::uint32_t>(out->position_class.size());
+      out->position_class.push_back(node.char_class);
+      out->follow.emplace_back();
+      sets.nullable = false;
+      sets.first = {p};
+      sets.last = {p};
+      break;
+    }
+    case RegexNode::Kind::Concat: {
+      const NodeSets l = glushkov_walk(*node.left, out);
+      const NodeSets r = glushkov_walk(*node.right, out);
+      for (const auto q : l.last) {
+        out->follow[q] = merge_sets(out->follow[q], r.first);
+      }
+      sets.nullable = l.nullable && r.nullable;
+      sets.first = l.nullable ? merge_sets(l.first, r.first) : l.first;
+      sets.last = r.nullable ? merge_sets(l.last, r.last) : r.last;
+      break;
+    }
+    case RegexNode::Kind::Alt: {
+      const NodeSets l = glushkov_walk(*node.left, out);
+      const NodeSets r = glushkov_walk(*node.right, out);
+      sets.nullable = l.nullable || r.nullable;
+      sets.first = merge_sets(l.first, r.first);
+      sets.last = merge_sets(l.last, r.last);
+      break;
+    }
+    case RegexNode::Kind::Star: {
+      const NodeSets l = glushkov_walk(*node.left, out);
+      for (const auto q : l.last) {
+        out->follow[q] = merge_sets(out->follow[q], l.first);
+      }
+      sets.nullable = true;
+      sets.first = l.first;
+      sets.last = l.last;
+      break;
+    }
+  }
+  return sets;
+}
+
+}  // namespace
+
+std::unique_ptr<RegexNode> parse_regex(const std::string& pattern) {
+  if (pattern.empty()) throw ParseError("empty pattern");
+  Parser parser(pattern);
+  auto root = parser.parse();
+  // A streaming matcher cannot signal the empty match.
+  Glushkov probe;
+  const NodeSets sets = glushkov_walk(*root, &probe);
+  if (sets.nullable) {
+    throw ParseError("pattern matches the empty string");
+  }
+  return root;
+}
+
+Glushkov build_glushkov(const RegexNode& root) {
+  Glushkov out;
+  const NodeSets sets = glushkov_walk(root, &out);
+  out.first = sets.first;
+  out.last = sets.last;
+  out.nullable = sets.nullable;
+  return out;
+}
+
+StreamMatcher::StreamMatcher(const std::string& pattern)
+    : nfa_(build_glushkov(*parse_regex(pattern))) {
+  active_.assign(nfa_.num_positions(), false);
+}
+
+void StreamMatcher::reset() {
+  active_.assign(nfa_.num_positions(), false);
+}
+
+bool StreamMatcher::feed(unsigned char c) {
+  bool match = false;
+  for (const auto p : nfa_.last) {
+    if (active_[p]) {
+      match = true;
+      break;
+    }
+  }
+  // Next state: position p fires if its class matches and a predecessor was
+  // active, or it is a first position (unanchored search restarts freely).
+  std::vector<bool> next(active_.size(), false);
+  for (std::uint32_t p = 0; p < active_.size(); ++p) {
+    if (!nfa_.position_class[p].contains(c)) continue;
+    bool enabled = std::find(nfa_.first.begin(), nfa_.first.end(), p) !=
+                   nfa_.first.end();
+    if (!enabled) {
+      for (std::uint32_t q = 0; q < active_.size() && !enabled; ++q) {
+        if (!active_[q]) continue;
+        enabled = std::binary_search(nfa_.follow[q].begin(),
+                                     nfa_.follow[q].end(), p);
+      }
+    }
+    next[p] = enabled;
+  }
+  active_ = std::move(next);
+  return match;
+}
+
+bool StreamMatcher::search(const std::string& text) {
+  reset();
+  for (const char c : text) {
+    if (feed(static_cast<unsigned char>(c))) return true;
+  }
+  // Flush: one more step to observe matches ending at the final byte.
+  return feed(0);
+}
+
+}  // namespace mmflow::apps::regexp

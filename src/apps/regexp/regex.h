@@ -1,0 +1,108 @@
+#pragma once
+/// \file regex.h
+/// Regular-expression front-end for the hardware matching engines.
+///
+/// The paper's first benchmark uses the generator of Sourdis et al. [7] to
+/// compile Snort/Bleeding-Edge intrusion-detection rules into VHDL matching
+/// engines. This module reimplements that front-end: a regex parser
+/// producing an AST, and a Glushkov (position automaton) construction whose
+/// epsilon-free NFA maps 1:1 onto a one-hot hardware register per position.
+///
+/// Supported syntax: literals, '.', escapes (\d \D \w \W \s \S \xHH \n \r
+/// \t and escaped metacharacters), character classes with ranges and
+/// negation ([a-z0-9_], [^\r\n]), groups, alternation '|', and the
+/// quantifiers * + ? {m} {m,} {m,n} (expanded at parse time).
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mmflow::apps::regexp {
+
+/// A set of byte values (the alphabet is 0..255).
+class CharClass {
+ public:
+  void add(unsigned char c) { bits_[c >> 6] |= std::uint64_t{1} << (c & 63); }
+  void add_range(unsigned char lo, unsigned char hi) {
+    for (int c = lo; c <= hi; ++c) add(static_cast<unsigned char>(c));
+  }
+  void negate() {
+    for (auto& w : bits_) w = ~w;
+  }
+  [[nodiscard]] bool contains(unsigned char c) const {
+    return (bits_[c >> 6] >> (c & 63)) & 1;
+  }
+  [[nodiscard]] bool empty() const {
+    return bits_[0] == 0 && bits_[1] == 0 && bits_[2] == 0 && bits_[3] == 0;
+  }
+  [[nodiscard]] const std::array<std::uint64_t, 4>& words() const {
+    return bits_;
+  }
+  friend bool operator==(const CharClass&, const CharClass&) = default;
+
+ private:
+  std::array<std::uint64_t, 4> bits_{};
+};
+
+/// Regex AST. Quantifiers are expanded during parsing, so the tree only
+/// contains the Kleene-algebra core.
+struct RegexNode {
+  enum class Kind : std::uint8_t { Epsilon, Literal, Concat, Alt, Star };
+  Kind kind = Kind::Epsilon;
+  CharClass char_class;                      ///< Literal
+  std::unique_ptr<RegexNode> left, right;    ///< Concat/Alt (right), Star (left)
+
+  [[nodiscard]] static std::unique_ptr<RegexNode> epsilon();
+  [[nodiscard]] static std::unique_ptr<RegexNode> literal(CharClass cc);
+  [[nodiscard]] static std::unique_ptr<RegexNode> concat(
+      std::unique_ptr<RegexNode> a, std::unique_ptr<RegexNode> b);
+  [[nodiscard]] static std::unique_ptr<RegexNode> alt(
+      std::unique_ptr<RegexNode> a, std::unique_ptr<RegexNode> b);
+  [[nodiscard]] static std::unique_ptr<RegexNode> star(
+      std::unique_ptr<RegexNode> a);
+  [[nodiscard]] std::unique_ptr<RegexNode> clone() const;
+};
+
+/// Parses a pattern. Throws ParseError on malformed syntax or patterns that
+/// match the empty string (which a streaming matcher cannot report).
+[[nodiscard]] std::unique_ptr<RegexNode> parse_regex(const std::string& pattern);
+
+/// The Glushkov position automaton: one state per Literal occurrence.
+struct Glushkov {
+  std::vector<CharClass> position_class;     ///< class of each position
+  std::vector<std::uint32_t> first;          ///< start positions
+  std::vector<std::uint32_t> last;           ///< accepting positions
+  std::vector<std::vector<std::uint32_t>> follow;  ///< follow sets
+  bool nullable = false;
+
+  [[nodiscard]] std::size_t num_positions() const {
+    return position_class.size();
+  }
+};
+
+[[nodiscard]] Glushkov build_glushkov(const RegexNode& root);
+
+/// Software reference matcher with *streaming* (unanchored) semantics: the
+/// pattern may begin at any offset in the byte stream. Mirrors the hardware
+/// engine cycle for cycle.
+class StreamMatcher {
+ public:
+  explicit StreamMatcher(const std::string& pattern);
+
+  void reset();
+  /// Returns the match output *before* consuming `c` (one-hot registers),
+  /// then advances — exactly the visible behaviour of the registered engine.
+  bool feed(unsigned char c);
+  /// Convenience: does the pattern occur anywhere in `text`?
+  [[nodiscard]] bool search(const std::string& text);
+
+ private:
+  Glushkov nfa_;
+  std::vector<bool> active_;
+};
+
+}  // namespace mmflow::apps::regexp

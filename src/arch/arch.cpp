@@ -1,0 +1,78 @@
+#include "arch/arch.h"
+
+#include <cmath>
+
+namespace mmflow::arch {
+
+DeviceGrid::DeviceGrid(const ArchSpec& spec) : spec_(spec) { spec_.validate(); }
+
+Site DeviceGrid::pad_site(int index) const {
+  MMFLOW_REQUIRE(index >= 0 && index < num_pad_sites());
+  const int position = index / spec_.io_capacity;
+  const int sub = index % spec_.io_capacity;
+  const int nx = spec_.nx;
+  const int ny = spec_.ny;
+  int x = 0;
+  int y = 0;
+  if (position < nx) {  // bottom row
+    x = position + 1;
+    y = 0;
+  } else if (position < 2 * nx) {  // top row
+    x = position - nx + 1;
+    y = ny + 1;
+  } else if (position < 2 * nx + ny) {  // left column
+    x = 0;
+    y = position - 2 * nx + 1;
+  } else {  // right column
+    x = nx + 1;
+    y = position - 2 * nx - ny + 1;
+  }
+  return Site{Site::Type::Pad, static_cast<std::int16_t>(x),
+              static_cast<std::int16_t>(y), static_cast<std::int16_t>(sub)};
+}
+
+int DeviceGrid::pad_position(int x, int y) const {
+  const int nx = spec_.nx;
+  const int ny = spec_.ny;
+  if (y == 0) {
+    MMFLOW_REQUIRE(x >= 1 && x <= nx);
+    return x - 1;
+  }
+  if (y == ny + 1) {
+    MMFLOW_REQUIRE(x >= 1 && x <= nx);
+    return nx + x - 1;
+  }
+  if (x == 0) {
+    MMFLOW_REQUIRE(y >= 1 && y <= ny);
+    return 2 * nx + y - 1;
+  }
+  MMFLOW_REQUIRE(x == nx + 1 && y >= 1 && y <= ny);
+  return 2 * nx + ny + y - 1;
+}
+
+int DeviceGrid::pad_index(const Site& site) const {
+  MMFLOW_REQUIRE(site.type == Site::Type::Pad);
+  MMFLOW_REQUIRE(site.sub >= 0 && site.sub < spec_.io_capacity);
+  return pad_position(site.x, site.y) * spec_.io_capacity + site.sub;
+}
+
+ArchSpec size_device(int num_clbs, int num_ios, double area_slack,
+                     int io_capacity, int k) {
+  MMFLOW_REQUIRE(num_clbs >= 1);
+  MMFLOW_REQUIRE(area_slack >= 1.0);
+  // Smallest square with enough logic area after slack.
+  const double target_area = static_cast<double>(num_clbs) * area_slack;
+  int n = static_cast<int>(std::ceil(std::sqrt(target_area)));
+  n = std::max(n, 1);
+  // Grow until the perimeter also fits the IOs (relevant for IO-dominated
+  // circuits such as small pad-heavy benchmarks).
+  while (4 * n * io_capacity < num_ios) ++n;
+  ArchSpec spec;
+  spec.nx = n;
+  spec.ny = n;
+  spec.io_capacity = io_capacity;
+  spec.k = k;
+  return spec;
+}
+
+}  // namespace mmflow::arch

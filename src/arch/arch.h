@@ -1,0 +1,114 @@
+#pragma once
+/// \file arch.h
+/// FPGA architecture model mirroring VPR's `4lut_sanitized.arch`, the
+/// architecture the paper evaluates on: an island-style FPGA whose logic
+/// blocks contain one K-input LUT and one flip-flop, perimeter IO pads with
+/// capacity `io_capacity`, and an interconnect of unit-length wire segments
+/// (every wire spans exactly one logic block). K, the channel width and the
+/// switch-box topology are parameters, as the paper requires ("the number of
+/// inputs of the LUTs is simply an input parameter of the tool flow").
+///
+/// Coordinate system (VPR convention): logic blocks occupy (1..nx, 1..ny);
+/// IO pads sit on the perimeter at x==0, x==nx+1 (y in 1..ny) and y==0,
+/// y==ny+1 (x in 1..nx); corners are empty. Horizontal routing channels run
+/// between block rows: channel segment CHANX(x, y) with x in 1..nx,
+/// y in 0..ny; vertical channels CHANY(x, y) with x in 0..nx, y in 1..ny.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mmflow::arch {
+
+enum class SwitchBoxKind : std::uint8_t {
+  Subset,  ///< track t connects to track t in adjoining segments (planar)
+  Wilton,  ///< track-rotating switch box (better routability at low W)
+};
+
+/// Architecture + device-size description.
+struct ArchSpec {
+  int nx = 8;              ///< logic columns
+  int ny = 8;              ///< logic rows
+  int channel_width = 8;   ///< W, tracks per channel
+  int k = 4;               ///< LUT inputs per logic block
+  int io_capacity = 2;     ///< pads per perimeter tile (VPR io_rat)
+  SwitchBoxKind switch_box = SwitchBoxKind::Subset;
+
+  void validate() const {
+    MMFLOW_REQUIRE(nx >= 1 && ny >= 1);
+    MMFLOW_REQUIRE(channel_width >= 1);
+    MMFLOW_REQUIRE(k >= 2 && k <= 6);
+    MMFLOW_REQUIRE(io_capacity >= 1);
+  }
+
+  [[nodiscard]] int num_clb_sites() const { return nx * ny; }
+  [[nodiscard]] int num_pad_positions() const { return 2 * nx + 2 * ny; }
+  [[nodiscard]] int num_pad_sites() const {
+    return num_pad_positions() * io_capacity;
+  }
+};
+
+/// A placement site: either a logic block position or one pad subsite.
+struct Site {
+  enum class Type : std::uint8_t { Clb, Pad };
+  Type type = Type::Clb;
+  std::int16_t x = 0;
+  std::int16_t y = 0;
+  std::int16_t sub = 0;  ///< pad subsite (0..io_capacity-1); 0 for CLBs
+
+  friend bool operator==(const Site&, const Site&) = default;
+};
+
+/// Enumerates and indexes the placement sites of a device.
+class DeviceGrid {
+ public:
+  explicit DeviceGrid(const ArchSpec& spec);
+
+  [[nodiscard]] const ArchSpec& spec() const { return spec_; }
+
+  [[nodiscard]] int num_clb_sites() const { return spec_.num_clb_sites(); }
+  [[nodiscard]] int num_pad_sites() const { return spec_.num_pad_sites(); }
+
+  /// CLB site index for (x, y), x in 1..nx, y in 1..ny.
+  [[nodiscard]] int clb_index(int x, int y) const {
+    MMFLOW_REQUIRE(x >= 1 && x <= spec_.nx && y >= 1 && y <= spec_.ny);
+    return (y - 1) * spec_.nx + (x - 1);
+  }
+  [[nodiscard]] Site clb_site(int index) const {
+    MMFLOW_REQUIRE(index >= 0 && index < num_clb_sites());
+    return Site{Site::Type::Clb,
+                static_cast<std::int16_t>(index % spec_.nx + 1),
+                static_cast<std::int16_t>(index / spec_.nx + 1), 0};
+  }
+
+  /// Pad sites are indexed position-major: pad_index = position *
+  /// io_capacity + sub. Positions enumerate bottom row, top row, left
+  /// column, right column in that order.
+  [[nodiscard]] int num_pad_positions() const {
+    return spec_.num_pad_positions();
+  }
+  [[nodiscard]] Site pad_site(int index) const;
+  [[nodiscard]] int pad_index(const Site& site) const;
+  /// Pad position (0..num_pad_positions-1) from coordinates.
+  [[nodiscard]] int pad_position(int x, int y) const;
+
+  /// Euclidean-free distance helpers (placement cost uses bounding boxes on
+  /// these coordinates).
+  [[nodiscard]] static int manhattan(const Site& a, const Site& b) {
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+  }
+
+ private:
+  ArchSpec spec_;
+};
+
+/// Chooses the square FPGA that fits `num_clbs` logic blocks and `num_ios`
+/// pads with `area_slack` relative area head-room (the paper sizes the
+/// device 20% above the minimum, i.e. area_slack = 1.2).
+[[nodiscard]] ArchSpec size_device(int num_clbs, int num_ios,
+                                   double area_slack, int io_capacity = 2,
+                                   int k = 4);
+
+}  // namespace mmflow::arch

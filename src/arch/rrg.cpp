@@ -1,0 +1,296 @@
+#include "arch/rrg.h"
+
+#include <algorithm>
+
+namespace mmflow::arch {
+
+namespace {
+/// Pin-side convention: CLB input pin p sits on side p % 4, the output pin
+/// is reachable from the south and east channels (two-sided Fc_out, which is
+/// what keeps low-W routing feasible with unit segments).
+enum Side { South = 0, East = 1, North = 2, West = 3 };
+}  // namespace
+
+RoutingGraph::RoutingGraph(const ArchSpec& spec) : spec_(spec), grid_(spec) {
+  spec_.validate();
+  build();
+}
+
+std::uint32_t RoutingGraph::add_node(RrKind kind, int x, int y, int ptc,
+                                     int capacity) {
+  nodes_.push_back(RrNode{kind, static_cast<std::int16_t>(x),
+                          static_cast<std::int16_t>(y),
+                          static_cast<std::int16_t>(ptc),
+                          static_cast<std::int16_t>(capacity)});
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void RoutingGraph::add_edge(std::uint32_t from, std::uint32_t to,
+                            std::uint32_t switch_id) {
+  edges_.push_back(RrEdge{from, to, switch_id});
+}
+
+void RoutingGraph::add_bidir(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t sw = new_switch();
+  add_edge(a, b, sw);
+  add_edge(b, a, sw);
+}
+
+// Node layout per CLB: [source, sink, opin, ipin_0 .. ipin_{k-1}].
+std::uint32_t RoutingGraph::clb_source(int x, int y) const {
+  return clb_base_ + static_cast<std::uint32_t>(grid_.clb_index(x, y)) *
+                         (3 + spec_.k);
+}
+std::uint32_t RoutingGraph::clb_sink(int x, int y) const {
+  return clb_source(x, y) + 1;
+}
+std::uint32_t RoutingGraph::clb_opin(int x, int y) const {
+  return clb_source(x, y) + 2;
+}
+std::uint32_t RoutingGraph::clb_ipin(int x, int y, int pin) const {
+  MMFLOW_REQUIRE(pin >= 0 && pin < spec_.k);
+  return clb_source(x, y) + 3 + static_cast<std::uint32_t>(pin);
+}
+
+// Node layout per pad subsite: [source, opin, sink, ipin].
+std::uint32_t RoutingGraph::pad_source(const Site& pad) const {
+  return pad_base_ + static_cast<std::uint32_t>(grid_.pad_index(pad)) * 4;
+}
+std::uint32_t RoutingGraph::pad_sink(const Site& pad) const {
+  return pad_source(pad) + 2;
+}
+
+std::uint32_t RoutingGraph::chanx_node(int x, int y, int track) const {
+  MMFLOW_REQUIRE(x >= 1 && x <= spec_.nx && y >= 0 && y <= spec_.ny);
+  MMFLOW_REQUIRE(track >= 0 && track < spec_.channel_width);
+  const int index = ((y * spec_.nx) + (x - 1)) * spec_.channel_width + track;
+  return chanx_base_ + static_cast<std::uint32_t>(index);
+}
+
+std::uint32_t RoutingGraph::chany_node(int x, int y, int track) const {
+  MMFLOW_REQUIRE(x >= 0 && x <= spec_.nx && y >= 1 && y <= spec_.ny);
+  MMFLOW_REQUIRE(track >= 0 && track < spec_.channel_width);
+  const int index = ((x * spec_.ny) + (y - 1)) * spec_.channel_width + track;
+  return chany_base_ + static_cast<std::uint32_t>(index);
+}
+
+std::uint32_t RoutingGraph::source_of(const Site& site) const {
+  return site.type == Site::Type::Clb ? clb_source(site.x, site.y)
+                                      : pad_source(site);
+}
+std::uint32_t RoutingGraph::sink_of(const Site& site) const {
+  return site.type == Site::Type::Clb ? clb_sink(site.x, site.y) : pad_sink(site);
+}
+
+void RoutingGraph::build() {
+  const int nx = spec_.nx;
+  const int ny = spec_.ny;
+  const int W = spec_.channel_width;
+  const int k = spec_.k;
+
+  // ---- nodes ---------------------------------------------------------------
+  clb_base_ = static_cast<std::uint32_t>(nodes_.size());
+  for (int i = 0; i < grid_.num_clb_sites(); ++i) {
+    const Site s = grid_.clb_site(i);
+    add_node(RrKind::Source, s.x, s.y, 0);
+    add_node(RrKind::Sink, s.x, s.y, 0, k);  // k equivalent input pins
+    add_node(RrKind::Opin, s.x, s.y, 0);
+    for (int p = 0; p < k; ++p) add_node(RrKind::Ipin, s.x, s.y, p);
+  }
+  pad_base_ = static_cast<std::uint32_t>(nodes_.size());
+  for (int i = 0; i < grid_.num_pad_sites(); ++i) {
+    const Site s = grid_.pad_site(i);
+    add_node(RrKind::Source, s.x, s.y, s.sub);
+    add_node(RrKind::Opin, s.x, s.y, s.sub);
+    add_node(RrKind::Sink, s.x, s.y, s.sub);
+    add_node(RrKind::Ipin, s.x, s.y, s.sub);
+  }
+  chanx_base_ = static_cast<std::uint32_t>(nodes_.size());
+  for (int y = 0; y <= ny; ++y) {
+    for (int x = 1; x <= nx; ++x) {
+      for (int t = 0; t < W; ++t) add_node(RrKind::ChanX, x, y, t);
+    }
+  }
+  chany_base_ = static_cast<std::uint32_t>(nodes_.size());
+  for (int x = 0; x <= nx; ++x) {
+    for (int y = 1; y <= ny; ++y) {
+      for (int t = 0; t < W; ++t) add_node(RrKind::ChanY, x, y, t);
+    }
+  }
+
+  // ---- intra-block edges ----------------------------------------------------
+  for (int i = 0; i < grid_.num_clb_sites(); ++i) {
+    const Site s = grid_.clb_site(i);
+    // SOURCE -> OPIN and IPIN -> SINK are free (no config bit): their
+    // switches exist but are not programmable routing muxes. Model them with
+    // a shared dummy switch id so bit counting can exclude them by kind.
+    add_edge(clb_source(s.x, s.y), clb_opin(s.x, s.y), new_switch());
+    for (int p = 0; p < k; ++p) {
+      add_edge(clb_ipin(s.x, s.y, p), clb_sink(s.x, s.y), new_switch());
+    }
+  }
+  for (int i = 0; i < grid_.num_pad_sites(); ++i) {
+    const Site s = grid_.pad_site(i);
+    add_edge(pad_source(s), pad_source(s) + 1, new_switch());  // src -> opin
+    add_edge(pad_sink(s) + 1, pad_sink(s), new_switch());      // ipin -> sink
+  }
+
+  // ---- pin <-> channel edges -------------------------------------------------
+  // Channel adjacent to a CLB side.
+  auto side_channel = [&](int x, int y, int side, int t) -> std::uint32_t {
+    switch (side) {
+      case South: return chanx_node(x, y - 1, t);
+      case North: return chanx_node(x, y, t);
+      case West: return chany_node(x - 1, y, t);
+      case East: return chany_node(x, y, t);
+    }
+    MMFLOW_CHECK(false);
+    return 0;
+  };
+
+  for (int i = 0; i < grid_.num_clb_sites(); ++i) {
+    const Site s = grid_.clb_site(i);
+    // Output pin drives all tracks of the south and east channels
+    // (buffered switches, one configuration bit each).
+    for (const int side : {South, East}) {
+      for (int t = 0; t < W; ++t) {
+        add_edge(clb_opin(s.x, s.y), side_channel(s.x, s.y, side, t),
+                 new_switch());
+      }
+    }
+    // Input pin p listens to all tracks of its side's channel (Fc_in = 1.0,
+    // as in 4lut_sanitized).
+    for (int p = 0; p < k; ++p) {
+      const int side = p % 4;
+      for (int t = 0; t < W; ++t) {
+        add_edge(side_channel(s.x, s.y, side, t), clb_ipin(s.x, s.y, p),
+                 new_switch());
+      }
+    }
+  }
+
+  // Pads connect to the single channel between them and the logic fabric.
+  for (int i = 0; i < grid_.num_pad_sites(); ++i) {
+    const Site s = grid_.pad_site(i);
+    for (int t = 0; t < W; ++t) {
+      std::uint32_t wire;
+      if (s.y == 0) {
+        wire = chanx_node(s.x, 0, t);
+      } else if (s.y == ny + 1) {
+        wire = chanx_node(s.x, ny, t);
+      } else if (s.x == 0) {
+        wire = chany_node(0, s.y, t);
+      } else {
+        wire = chany_node(nx, s.y, t);
+      }
+      add_edge(pad_source(s) + 1, wire, new_switch());  // opin -> wire
+      add_edge(wire, pad_sink(s) + 1, new_switch());    // wire -> ipin
+    }
+  }
+
+  // ---- switch boxes -----------------------------------------------------------
+  // Corner (x, y), x in 0..nx, y in 0..ny joins up to four unit segments:
+  // chanx(x, y) [west], chanx(x+1, y) [east], chany(x, y) [south],
+  // chany(x, y+1) [north]. Subset: same track everywhere. Wilton: rotated
+  // track mapping on turns.
+  for (int x = 0; x <= nx; ++x) {
+    for (int y = 0; y <= ny; ++y) {
+      for (int t = 0; t < W; ++t) {
+        const bool has_w = x >= 1;
+        const bool has_e = x + 1 <= nx;
+        const bool has_s = y >= 1;
+        const bool has_n = y + 1 <= ny;
+
+        auto turn_track = [&](int from_t) {
+          if (spec_.switch_box == SwitchBoxKind::Subset) return from_t;
+          // Wilton-style rotation for turning connections.
+          return (from_t + 1) % W;
+        };
+
+        // Straight-through connections keep the track in both topologies.
+        if (has_w && has_e) {
+          add_bidir(chanx_node(x, y, t), chanx_node(x + 1, y, t));
+        }
+        if (has_s && has_n) {
+          add_bidir(chany_node(x, y, t), chany_node(x, y + 1, t));
+        }
+        // Turns.
+        if (has_w && has_s) {
+          add_bidir(chanx_node(x, y, t), chany_node(x, y, turn_track(t)));
+        }
+        if (has_w && has_n) {
+          add_bidir(chanx_node(x, y, t), chany_node(x, y + 1, turn_track(t)));
+        }
+        if (has_e && has_s) {
+          add_bidir(chanx_node(x + 1, y, t), chany_node(x, y, turn_track(t)));
+        }
+        if (has_e && has_n) {
+          add_bidir(chanx_node(x + 1, y, t), chany_node(x, y + 1, turn_track(t)));
+        }
+      }
+    }
+  }
+
+  // ---- CSR adjacency ------------------------------------------------------------
+  out_offset_.assign(nodes_.size() + 1, 0);
+  in_offset_.assign(nodes_.size() + 1, 0);
+  for (const RrEdge& e : edges_) {
+    ++out_offset_[e.from + 1];
+    ++in_offset_[e.to + 1];
+  }
+  for (std::size_t i = 1; i < out_offset_.size(); ++i) {
+    out_offset_[i] += out_offset_[i - 1];
+    in_offset_[i] += in_offset_[i - 1];
+  }
+  out_ids_.resize(edges_.size());
+  in_ids_.resize(edges_.size());
+  std::vector<std::uint32_t> out_cursor(out_offset_.begin(),
+                                        out_offset_.end() - 1);
+  std::vector<std::uint32_t> in_cursor(in_offset_.begin(), in_offset_.end() - 1);
+  for (std::uint32_t e = 0; e < edges_.size(); ++e) {
+    out_ids_[out_cursor[edges_[e].from]++] = e;
+    in_ids_[in_cursor[edges_[e].to]++] = e;
+  }
+}
+
+void RoutingGraph::validate() const {
+  // CSR consistency.
+  MMFLOW_CHECK(out_offset_.size() == nodes_.size() + 1);
+  MMFLOW_CHECK(out_offset_.back() == edges_.size());
+  MMFLOW_CHECK(in_offset_.back() == edges_.size());
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    auto [begin, end] = out_edges(n);
+    for (const auto* it = begin; it != end; ++it) {
+      MMFLOW_CHECK(edges_[*it].from == n);
+    }
+    auto [ibegin, iend] = in_edges(n);
+    for (const auto* it = ibegin; it != iend; ++it) {
+      MMFLOW_CHECK(edges_[*it].to == n);
+    }
+  }
+  // Every wire must reach at least one IPIN or another wire, and SOURCE
+  // nodes must have no incoming edges.
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    switch (nodes_[n].kind) {
+      case RrKind::Source:
+        MMFLOW_CHECK(fan_in(n) == 0);
+        break;
+      case RrKind::Sink: {
+        auto [b, e] = out_edges(n);
+        MMFLOW_CHECK(b == e);
+        break;
+      }
+      case RrKind::ChanX:
+      case RrKind::ChanY: {
+        auto [b, e] = out_edges(n);
+        MMFLOW_CHECK(b != e);
+        MMFLOW_CHECK(fan_in(n) > 0);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace mmflow::arch

@@ -1,0 +1,138 @@
+#pragma once
+/// \file rrg.h
+/// Routing resource graph (RRG) — VPR's standard representation of the
+/// FPGA's routing fabric, which the paper's TRoute relies on ("TRoute uses a
+/// standard representation of the routing infrastructure called the routing
+/// resource graph").
+///
+/// Node kinds follow VPR: SOURCE/SINK are the logical net endpoints of a
+/// block (a CLB SINK has capacity K because the K LUT input pins are
+/// logically equivalent), OPIN/IPIN are physical pins, CHANX/CHANY are wire
+/// segments. Every wire spans one logic block (unit-length segments, per
+/// 4lut_sanitized).
+///
+/// Directed edges carry a switch id. Switch-box connections are symmetric
+/// pass transistors: the two directed edges of a pair share one switch id
+/// (one physical configuration bit). Pin connections (OPIN→wire, wire→IPIN)
+/// are buffered/mux switches with one id per edge.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch.h"
+
+namespace mmflow::arch {
+
+enum class RrKind : std::uint8_t { Source, Sink, Opin, Ipin, ChanX, ChanY };
+
+struct RrNode {
+  RrKind kind = RrKind::Source;
+  std::int16_t x = 0;      ///< tile coordinate (channel coordinate for wires)
+  std::int16_t y = 0;
+  std::int16_t ptc = 0;    ///< pin index / track number / pad subsite
+  std::int16_t capacity = 1;
+};
+
+struct RrEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t switch_id = 0;
+};
+
+/// The routing resource graph for a device. Immutable once built.
+class RoutingGraph {
+ public:
+  explicit RoutingGraph(const ArchSpec& spec);
+
+  [[nodiscard]] const ArchSpec& spec() const { return spec_; }
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] std::uint32_t num_switches() const { return num_switches_; }
+  [[nodiscard]] const RrNode& node(std::uint32_t id) const {
+    MMFLOW_REQUIRE(id < nodes_.size());
+    return nodes_[id];
+  }
+  [[nodiscard]] const RrEdge& edge(std::uint32_t id) const {
+    MMFLOW_REQUIRE(id < edges_.size());
+    return edges_[id];
+  }
+
+  /// Outgoing edge ids of a node (CSR).
+  [[nodiscard]] std::pair<const std::uint32_t*, const std::uint32_t*>
+  out_edges(std::uint32_t node) const {
+    MMFLOW_REQUIRE(node < nodes_.size());
+    return {out_ids_.data() + out_offset_[node],
+            out_ids_.data() + out_offset_[node + 1]};
+  }
+  /// Incoming edge ids of a node (CSR) — the fan-in of its routing mux.
+  [[nodiscard]] std::pair<const std::uint32_t*, const std::uint32_t*>
+  in_edges(std::uint32_t node) const {
+    MMFLOW_REQUIRE(node < nodes_.size());
+    return {in_ids_.data() + in_offset_[node],
+            in_ids_.data() + in_offset_[node + 1]};
+  }
+  [[nodiscard]] std::size_t fan_in(std::uint32_t node) const {
+    return in_offset_[node + 1] - in_offset_[node];
+  }
+
+  // ---- node lookup ---------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t clb_source(int x, int y) const;
+  [[nodiscard]] std::uint32_t clb_sink(int x, int y) const;
+  [[nodiscard]] std::uint32_t clb_opin(int x, int y) const;
+  [[nodiscard]] std::uint32_t clb_ipin(int x, int y, int pin) const;
+  /// Pads: one SOURCE/OPIN and one SINK/IPIN per subsite.
+  [[nodiscard]] std::uint32_t pad_source(const Site& pad) const;
+  [[nodiscard]] std::uint32_t pad_sink(const Site& pad) const;
+  [[nodiscard]] std::uint32_t chanx_node(int x, int y, int track) const;
+  [[nodiscard]] std::uint32_t chany_node(int x, int y, int track) const;
+
+  /// Source/sink for a placement site.
+  [[nodiscard]] std::uint32_t source_of(const Site& site) const;
+  [[nodiscard]] std::uint32_t sink_of(const Site& site) const;
+
+  [[nodiscard]] bool is_wire(std::uint32_t node) const {
+    const RrKind kind = nodes_[node].kind;
+    return kind == RrKind::ChanX || kind == RrKind::ChanY;
+  }
+
+  /// Expected Manhattan distance estimate between two nodes' locations
+  /// (admissible A* heuristic: every unit of distance costs at least one
+  /// wire segment).
+  [[nodiscard]] int distance(std::uint32_t a, std::uint32_t b) const {
+    const RrNode& na = nodes_[a];
+    const RrNode& nb = nodes_[b];
+    return std::abs(na.x - nb.x) + std::abs(na.y - nb.y);
+  }
+
+  /// Structural invariants (used by tests): CSR consistency, switch-id
+  /// sharing on switch-box pairs, wires reaching at least one IPIN, ...
+  void validate() const;
+
+ private:
+  void build();
+  std::uint32_t add_node(RrKind kind, int x, int y, int ptc, int capacity = 1);
+  void add_edge(std::uint32_t from, std::uint32_t to, std::uint32_t switch_id);
+  /// Adds the symmetric pass-transistor pair sharing one new switch id.
+  void add_bidir(std::uint32_t a, std::uint32_t b);
+  std::uint32_t new_switch() { return num_switches_++; }
+
+  ArchSpec spec_;
+  DeviceGrid grid_;
+  std::vector<RrNode> nodes_;
+  std::vector<RrEdge> edges_;
+  std::uint32_t num_switches_ = 0;
+
+  // Node index bases for O(1) lookup.
+  std::uint32_t clb_base_ = 0;     // per CLB: source, sink, opin, ipin[k]
+  std::uint32_t pad_base_ = 0;     // per pad subsite: source, opin, sink, ipin
+  std::uint32_t chanx_base_ = 0;
+  std::uint32_t chany_base_ = 0;
+
+  // CSR adjacency.
+  std::vector<std::uint32_t> out_offset_, out_ids_;
+  std::vector<std::uint32_t> in_offset_, in_ids_;
+};
+
+}  // namespace mmflow::arch

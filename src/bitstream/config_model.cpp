@@ -1,0 +1,331 @@
+#include "bitstream/config_model.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
+namespace mmflow::bitstream {
+
+namespace {
+
+/// Bits needed to encode values 0..n (n+1 distinct values).
+std::uint8_t bits_for(std::size_t fanin) {
+  std::uint8_t bits = 0;
+  std::size_t values = fanin + 1;  // including "unused"
+  while ((std::size_t{1} << bits) < values) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+ConfigModel::ConfigModel(const arch::RoutingGraph& rrg, MuxEncoding encoding)
+    : rrg_(rrg), encoding_(encoding) {
+  is_mux_node_.assign(rrg_.num_nodes(), 0);
+  switch_programmable_.assign(rrg_.num_switches(), 0);
+  for (std::uint32_t n = 0; n < rrg_.num_nodes(); ++n) {
+    const auto kind = rrg_.node(n).kind;
+    const bool programmable = (kind == arch::RrKind::ChanX ||
+                               kind == arch::RrKind::ChanY ||
+                               kind == arch::RrKind::Ipin) &&
+                              rrg_.fan_in(n) > 0;
+    if (!programmable) continue;
+    is_mux_node_[n] = 1;
+    mux_nodes_.push_back(n);
+    mux_bits_.push_back(bits_for(rrg_.fan_in(n)));
+    mux_column_.push_back(rrg_.node(n).x);
+    auto [begin, end] = rrg_.in_edges(n);
+    for (const auto* it = begin; it != end; ++it) {
+      switch_programmable_[rrg_.edge(*it).switch_id] = 1;
+    }
+  }
+
+  if (encoding_ == MuxEncoding::Binary) {
+    for (const std::uint8_t b : mux_bits_) total_routing_bits_ += b;
+  } else {
+    std::uint64_t count = 0;
+    for (const std::uint8_t p : switch_programmable_) count += p;
+    total_routing_bits_ = count;
+  }
+}
+
+std::uint64_t ConfigModel::total_lut_bits() const {
+  const auto& spec = rrg_.spec();
+  const std::uint64_t per_site = (std::uint64_t{1} << spec.k) + 1;
+  return per_site * static_cast<std::uint64_t>(spec.num_clb_sites());
+}
+
+std::uint32_t ConfigModel::mux_value(const RoutingState& state,
+                                     std::uint32_t node) const {
+  const std::int32_t edge = state.driver(node);
+  if (edge < 0) return 0;
+  // Local index of the driving edge within the node's in-edge list.
+  auto [begin, end] = rrg_.in_edges(node);
+  for (const auto* it = begin; it != end; ++it) {
+    if (static_cast<std::int32_t>(*it) == edge) {
+      return static_cast<std::uint32_t>(it - begin) + 1;
+    }
+  }
+  MMFLOW_CHECK_MSG(false, "driver edge " << edge << " not incident to node "
+                                         << node);
+  return 0;
+}
+
+std::uint64_t ConfigModel::diff_routing_bits(const RoutingState& a,
+                                             const RoutingState& b) const {
+  MMFLOW_REQUIRE(a.num_nodes() == rrg_.num_nodes());
+  MMFLOW_REQUIRE(b.num_nodes() == rrg_.num_nodes());
+  std::uint64_t diff = 0;
+  if (encoding_ == MuxEncoding::Binary) {
+    for (std::size_t i = 0; i < mux_nodes_.size(); ++i) {
+      const std::uint32_t n = mux_nodes_[i];
+      if (a.driver(n) == b.driver(n)) continue;
+      diff += std::popcount(mux_value(a, n) ^ mux_value(b, n));
+    }
+  } else {
+    // One-hot: a switch bit differs iff exactly one config uses the switch.
+    // Collect used switches per config over in-edges of mux nodes.
+    std::vector<std::uint8_t> used_a(rrg_.num_switches(), 0);
+    std::vector<std::uint8_t> used_b(rrg_.num_switches(), 0);
+    for (const std::uint32_t n : mux_nodes_) {
+      if (a.driver(n) >= 0) {
+        used_a[rrg_.edge(static_cast<std::uint32_t>(a.driver(n))).switch_id] = 1;
+      }
+      if (b.driver(n) >= 0) {
+        used_b[rrg_.edge(static_cast<std::uint32_t>(b.driver(n))).switch_id] = 1;
+      }
+    }
+    for (std::uint32_t s = 0; s < rrg_.num_switches(); ++s) {
+      if (switch_programmable_[s] && used_a[s] != used_b[s]) ++diff;
+    }
+  }
+  return diff;
+}
+
+std::uint64_t ConfigModel::parameterized_routing_bits(
+    std::span<const RoutingState> modes) const {
+  MMFLOW_REQUIRE(!modes.empty());
+  std::uint64_t param = 0;
+  if (encoding_ == MuxEncoding::Binary) {
+    for (const std::uint32_t n : mux_nodes_) {
+      const std::uint32_t v0 = mux_value(modes[0], n);
+      std::uint32_t varying = 0;  // bit positions that differ from mode 0
+      for (std::size_t m = 1; m < modes.size(); ++m) {
+        varying |= v0 ^ mux_value(modes[m], n);
+      }
+      param += std::popcount(varying);
+    }
+  } else {
+    std::vector<std::uint8_t> used_first(rrg_.num_switches(), 0);
+    std::vector<std::uint8_t> varies(rrg_.num_switches(), 0);
+    auto used_switches = [&](const RoutingState& st,
+                             std::vector<std::uint8_t>& out) {
+      out.assign(rrg_.num_switches(), 0);
+      for (const std::uint32_t n : mux_nodes_) {
+        if (st.driver(n) >= 0) {
+          out[rrg_.edge(static_cast<std::uint32_t>(st.driver(n))).switch_id] = 1;
+        }
+      }
+    };
+    used_switches(modes[0], used_first);
+    std::vector<std::uint8_t> used_m;
+    for (std::size_t m = 1; m < modes.size(); ++m) {
+      used_switches(modes[m], used_m);
+      for (std::uint32_t s = 0; s < rrg_.num_switches(); ++s) {
+        if (used_first[s] != used_m[s]) varies[s] = 1;
+      }
+    }
+    for (std::uint32_t s = 0; s < rrg_.num_switches(); ++s) {
+      if (switch_programmable_[s] && varies[s]) ++param;
+    }
+  }
+  return param;
+}
+
+std::uint64_t ConfigModel::parameterized_routing_bits_dontcare(
+    std::span<const RoutingState> modes) const {
+  MMFLOW_REQUIRE(!modes.empty());
+  std::uint64_t param = 0;
+  for (std::size_t i = 0; i < mux_nodes_.size(); ++i) {
+    const std::uint32_t n = mux_nodes_[i];
+    // Drivers demanded by the modes that actually use the node.
+    std::int32_t demanded = -1;
+    bool conflict = false;
+    for (const auto& mode : modes) {
+      const std::int32_t d = mode.driver(n);
+      if (d < 0) continue;
+      if (demanded < 0) {
+        demanded = d;
+      } else if (demanded != d) {
+        conflict = true;
+        break;
+      }
+    }
+    if (!conflict) continue;  // one value satisfies all users: static
+    if (encoding_ == MuxEncoding::Binary) {
+      // Count bit positions that cannot be frozen: positions differing
+      // between any two *used* values.
+      std::uint32_t first_value = 0;
+      bool have_first = false;
+      std::uint32_t varying = 0;
+      for (const auto& mode : modes) {
+        if (mode.driver(n) < 0) continue;
+        const std::uint32_t v = mux_value(mode, n);
+        if (!have_first) {
+          first_value = v;
+          have_first = true;
+        } else {
+          varying |= first_value ^ v;
+        }
+      }
+      param += std::popcount(varying);
+    } else {
+      // One-hot: each switch demanded by some modes but deniable in others
+      // only if no user requires it off; with conflicting drivers the
+      // union of demanded switches minus the intersection varies.
+      std::uint32_t demanded_union = 0;   // local in-edge indices as bits
+      std::uint32_t demanded_common = ~0u;
+      for (const auto& mode : modes) {
+        if (mode.driver(n) < 0) continue;
+        const std::uint32_t v = mux_value(mode, n);  // index+1
+        demanded_union |= 1u << (v - 1);
+        demanded_common &= 1u << (v - 1);
+      }
+      param += std::popcount(demanded_union & ~demanded_common);
+    }
+  }
+  return param;
+}
+
+std::uint64_t ConfigModel::used_routing_bits(const RoutingState& state) const {
+  std::uint64_t used = 0;
+  if (encoding_ == MuxEncoding::Binary) {
+    for (const std::uint32_t n : mux_nodes_) {
+      used += std::popcount(mux_value(state, n));
+    }
+  } else {
+    std::vector<std::uint8_t> flags(rrg_.num_switches(), 0);
+    for (const std::uint32_t n : mux_nodes_) {
+      if (state.driver(n) >= 0) {
+        flags[rrg_.edge(static_cast<std::uint32_t>(state.driver(n))).switch_id] = 1;
+      }
+    }
+    for (std::uint32_t s = 0; s < rrg_.num_switches(); ++s) {
+      if (switch_programmable_[s] && flags[s]) ++used;
+    }
+  }
+  return used;
+}
+
+std::uint64_t ConfigModel::diff_lut_bits(const LutRegionConfig& a,
+                                         const LutRegionConfig& b) const {
+  MMFLOW_REQUIRE(a.num_sites() == b.num_sites());
+  std::uint64_t diff = 0;
+  for (std::size_t i = 0; i < a.num_sites(); ++i) {
+    diff += std::popcount(a.word(static_cast<int>(i)) ^
+                          b.word(static_cast<int>(i)));
+  }
+  return diff;
+}
+
+std::uint64_t ConfigModel::parameterized_lut_bits(
+    std::span<const LutRegionConfig> modes) const {
+  MMFLOW_REQUIRE(!modes.empty());
+  std::uint64_t param = 0;
+  for (std::size_t i = 0; i < modes[0].num_sites(); ++i) {
+    std::uint64_t varying = 0;
+    const std::uint64_t w0 = modes[0].word(static_cast<int>(i));
+    for (std::size_t m = 1; m < modes.size(); ++m) {
+      varying |= w0 ^ modes[m].word(static_cast<int>(i));
+    }
+    param += std::popcount(varying);
+  }
+  return param;
+}
+
+std::vector<ConfigModel::MuxWrite> ConfigModel::mode_switch_writes(
+    std::span<const RoutingState> modes, int from, int to,
+    bool exploit_dontcares) const {
+  MMFLOW_REQUIRE(from >= 0 && static_cast<std::size_t>(from) < modes.size());
+  MMFLOW_REQUIRE(to >= 0 && static_cast<std::size_t>(to) < modes.size());
+  std::vector<MuxWrite> writes;
+  for (const std::uint32_t n : mux_nodes_) {
+    const std::int32_t d_from = modes[static_cast<std::size_t>(from)].driver(n);
+    const std::int32_t d_to = modes[static_cast<std::size_t>(to)].driver(n);
+    if (d_from == d_to) continue;
+    if (exploit_dontcares && d_to < 0) continue;  // target doesn't care
+    writes.push_back(MuxWrite{
+        n, mux_value(modes[static_cast<std::size_t>(to)], n)});
+  }
+  return writes;
+}
+
+std::uint64_t ConfigModel::schedule_bits(
+    const std::vector<MuxWrite>& writes) const {
+  std::uint64_t bits = 0;
+  for (const MuxWrite& w : writes) {
+    if (encoding_ == MuxEncoding::Binary) {
+      std::uint8_t width = 0;
+      std::size_t values = rrg_.fan_in(w.node) + 1;
+      while ((std::size_t{1} << width) < values) ++width;
+      bits += width;
+    } else {
+      bits += rrg_.fan_in(w.node);
+    }
+  }
+  return bits;
+}
+
+std::uint64_t ConfigModel::parameterized_routing_frames(
+    std::span<const RoutingState> modes, int frame_bits,
+    std::uint64_t* total_out) const {
+  MMFLOW_REQUIRE(frame_bits >= 1);
+  MMFLOW_REQUIRE(!modes.empty());
+  // Assign every mux's bits to frames column by column, mirroring the
+  // column-oriented frame organization of commercial FPGAs.
+  // Frame id = (column, bit_offset_in_column / frame_bits).
+  const int num_columns = rrg_.spec().nx + 2;
+  std::vector<std::uint64_t> column_cursor(static_cast<std::size_t>(num_columns), 0);
+  std::unordered_set<std::uint64_t> touched;
+  std::uint64_t total_frames = 0;
+
+  // First pass: column sizes -> total frame count.
+  std::vector<std::uint64_t> column_bits(static_cast<std::size_t>(num_columns), 0);
+  for (std::size_t i = 0; i < mux_nodes_.size(); ++i) {
+    const int col = std::clamp<int>(mux_column_[i], 0, num_columns - 1);
+    column_bits[static_cast<std::size_t>(col)] +=
+        (encoding_ == MuxEncoding::Binary) ? mux_bits_[i]
+                                           : rrg_.fan_in(mux_nodes_[i]);
+  }
+  for (const std::uint64_t bits : column_bits) {
+    total_frames += (bits + static_cast<std::uint64_t>(frame_bits) - 1) /
+                    static_cast<std::uint64_t>(frame_bits);
+  }
+
+  // Second pass: mark frames containing parameterized bits.
+  for (std::size_t i = 0; i < mux_nodes_.size(); ++i) {
+    const std::uint32_t n = mux_nodes_[i];
+    const int col = std::clamp<int>(mux_column_[i], 0, num_columns - 1);
+    const std::uint64_t width = (encoding_ == MuxEncoding::Binary)
+                                    ? mux_bits_[i]
+                                    : rrg_.fan_in(n);
+    const std::uint64_t offset = column_cursor[static_cast<std::size_t>(col)];
+    column_cursor[static_cast<std::size_t>(col)] += width;
+
+    bool varies = false;
+    const std::int32_t d0 = modes[0].driver(n);
+    for (std::size_t m = 1; m < modes.size() && !varies; ++m) {
+      varies = modes[m].driver(n) != d0;
+    }
+    if (!varies) continue;
+    const std::uint64_t first_frame = offset / static_cast<std::uint64_t>(frame_bits);
+    const std::uint64_t last_frame =
+        (offset + width - 1) / static_cast<std::uint64_t>(frame_bits);
+    for (std::uint64_t f = first_frame; f <= last_frame; ++f) {
+      touched.insert((static_cast<std::uint64_t>(col) << 32) | f);
+    }
+  }
+  if (total_out != nullptr) *total_out = total_frames;
+  return touched.size();
+}
+
+}  // namespace mmflow::bitstream

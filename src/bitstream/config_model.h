@@ -1,0 +1,172 @@
+#pragma once
+/// \file config_model.h
+/// Configuration-memory model: maps a placed-and-routed implementation to
+/// the bits of the FPGA's configuration memory and counts rewritten bits —
+/// the paper's reconfiguration-time proxy ("we assume the reconfiguration
+/// time is directly proportional to the number of bits that needs to be
+/// rewritten in the configuration memory", §IV-C1).
+///
+/// Bit inventory:
+///  * per logic block: 2^K truth-table bits + 1 FF-select bit;
+///  * per programmable routing mux (the driver of every wire segment and
+///    every IPIN): its select bits. Two encodings are provided:
+///      - Binary (default): ceil(log2(fanin+1)) bits per mux, value 0 =
+///        unused, commercial-FPGA style;
+///      - OneHot: one bit per switch, VPR pass-transistor style (switch-box
+///        pairs share one physical switch). Kept as an ablation: the paper's
+///        4.6-5.1x overall speed-up implies a routing:LUT bit ratio ≈ 5:1,
+///        which the binary encoding yields at these device sizes.
+///
+/// Counters: full-region bits (MDR rewrite), differing bits between two
+/// configurations (the paper's "Diff" analysis, Fig. 6), and parameterized
+/// bits across N mode configurations (DCS rewrite, Figs. 5-6).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/rrg.h"
+
+namespace mmflow::bitstream {
+
+enum class MuxEncoding : std::uint8_t { Binary, OneHot };
+
+/// Routing configuration of one mode: for every RRG node, the incoming edge
+/// that drives it (-1 = node unused). Produced from route trees.
+class RoutingState {
+ public:
+  explicit RoutingState(std::size_t num_nodes) : driver_(num_nodes, -1) {}
+
+  void set_driver(std::uint32_t node, std::uint32_t edge) {
+    driver_[node] = static_cast<std::int32_t>(edge);
+  }
+  void clear_driver(std::uint32_t node) { driver_[node] = -1; }
+  [[nodiscard]] std::int32_t driver(std::uint32_t node) const {
+    return driver_[node];
+  }
+  [[nodiscard]] std::size_t num_nodes() const { return driver_.size(); }
+
+ private:
+  std::vector<std::int32_t> driver_;
+};
+
+/// LUT configuration of one mode: per CLB site, the truth table and
+/// FF-select bit (0 for unoccupied sites).
+class LutRegionConfig {
+ public:
+  explicit LutRegionConfig(int num_clb_sites)
+      : words_(static_cast<std::size_t>(num_clb_sites), 0) {}
+
+  /// `truth` uses the low 2^k bits; `use_ff` is the FF-select bit.
+  void set_site(int clb_index, std::uint64_t truth, bool use_ff) {
+    words_[static_cast<std::size_t>(clb_index)] =
+        (truth << 1) | static_cast<std::uint64_t>(use_ff);
+  }
+  [[nodiscard]] std::uint64_t word(int clb_index) const {
+    return words_[static_cast<std::size_t>(clb_index)];
+  }
+  [[nodiscard]] std::size_t num_sites() const { return words_.size(); }
+
+ private:
+  std::vector<std::uint64_t> words_;  // bit 0: ff-select, bits 1..2^k: truth
+};
+
+/// Bit-level view of a device's configuration memory.
+class ConfigModel {
+ public:
+  ConfigModel(const arch::RoutingGraph& rrg, MuxEncoding encoding);
+
+  [[nodiscard]] MuxEncoding encoding() const { return encoding_; }
+  [[nodiscard]] const arch::RoutingGraph& rrg() const { return rrg_; }
+
+  /// Total routing configuration bits in the region.
+  [[nodiscard]] std::uint64_t total_routing_bits() const {
+    return total_routing_bits_;
+  }
+
+  /// True if `node` is a programmable routing mux (wire/IPIN driver) whose
+  /// select bits live in the configuration memory.
+  [[nodiscard]] bool is_programmable_mux(std::uint32_t node) const {
+    return node < is_mux_node_.size() && is_mux_node_[node] != 0;
+  }
+  /// Total LUT configuration bits in the region (2^K + 1 per CLB site).
+  [[nodiscard]] std::uint64_t total_lut_bits() const;
+  /// MDR rewrites the whole region.
+  [[nodiscard]] std::uint64_t full_region_bits() const {
+    return total_routing_bits() + total_lut_bits();
+  }
+
+  /// Routing bits whose value differs between two configurations.
+  [[nodiscard]] std::uint64_t diff_routing_bits(const RoutingState& a,
+                                                const RoutingState& b) const;
+
+  /// Routing bits that are Boolean functions of the mode (not constant over
+  /// all mode configurations) — the bits DCS rewrites on a mode switch.
+  [[nodiscard]] std::uint64_t parameterized_routing_bits(
+      std::span<const RoutingState> modes) const;
+
+  /// Like parameterized_routing_bits, but exploits unused muxes as
+  /// don't-cares: a mux unused in some mode may keep another mode's value
+  /// (dangling wires disturb nothing in a mux-based fabric), so a bit is
+  /// parameterized only when two modes *actively* demand different drivers.
+  /// This is an extension beyond the paper's counting (ablation bench).
+  [[nodiscard]] std::uint64_t parameterized_routing_bits_dontcare(
+      std::span<const RoutingState> modes) const;
+
+  /// Routing bits set (non-default) in one configuration.
+  [[nodiscard]] std::uint64_t used_routing_bits(const RoutingState& state) const;
+
+  /// LUT bits whose value differs between two region configurations (the
+  /// paper's suggested improvement of counting only differing LUT bits).
+  [[nodiscard]] std::uint64_t diff_lut_bits(const LutRegionConfig& a,
+                                            const LutRegionConfig& b) const;
+  [[nodiscard]] std::uint64_t parameterized_lut_bits(
+      std::span<const LutRegionConfig> modes) const;
+
+  /// Frame-level model (paper §IV-C1 future work: reconfigure only frames
+  /// containing parameterized bits). Routing bits are grouped into frames of
+  /// `frame_bits` consecutive bits per device column; returns the number of
+  /// frames containing at least one parameterized bit and the total frame
+  /// count via `total_out`.
+  [[nodiscard]] std::uint64_t parameterized_routing_frames(
+      std::span<const RoutingState> modes, int frame_bits,
+      std::uint64_t* total_out) const;
+
+  /// One mux write the reconfiguration manager performs on a mode switch.
+  struct MuxWrite {
+    std::uint32_t node = 0;   ///< the routing mux (RRG node)
+    std::uint32_t value = 0;  ///< new select value (0 = unused)
+  };
+
+  /// The write schedule for switching `from` -> `to` (the reconfiguration
+  /// manager's job: "only has to re-evaluate these Boolean functions and
+  /// write them in the configuration memory"). With `exploit_dontcares`,
+  /// muxes the target mode does not use keep their current value.
+  [[nodiscard]] std::vector<MuxWrite> mode_switch_writes(
+      std::span<const RoutingState> modes, int from, int to,
+      bool exploit_dontcares = true) const;
+
+  /// Total select bits written by a schedule (the reconfiguration-time
+  /// proxy for a specific mode transition).
+  [[nodiscard]] std::uint64_t schedule_bits(
+      const std::vector<MuxWrite>& writes) const;
+
+ private:
+  /// Select value of node's mux in a state: 0 = unused, i+1 = local in-edge i.
+  [[nodiscard]] std::uint32_t mux_value(const RoutingState& state,
+                                        std::uint32_t node) const;
+
+  const arch::RoutingGraph& rrg_;
+  MuxEncoding encoding_;
+
+  /// Programmable mux nodes (wires + IPINs with fan-in).
+  std::vector<std::uint32_t> mux_nodes_;
+  std::vector<std::uint8_t> mux_bits_;       ///< per mux node (Binary)
+  std::vector<std::uint8_t> is_mux_node_;    ///< per node
+  std::vector<std::uint8_t> switch_programmable_;  ///< per switch (OneHot)
+  std::uint64_t total_routing_bits_ = 0;
+  /// Per mux node: device column (for the frame model).
+  std::vector<std::int16_t> mux_column_;
+};
+
+}  // namespace mmflow::bitstream

@@ -1,0 +1,88 @@
+#pragma once
+/// \file check.h
+/// Error-handling primitives for the mmflow library.
+///
+/// Following the C++ Core Guidelines (I.5/I.6, E.12-E.14) we report
+/// precondition violations and internal invariant failures by throwing
+/// exceptions derived from std::logic_error / std::runtime_error. Tests can
+/// therefore assert on failures without aborting the process.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mmflow {
+
+/// Thrown when an internal invariant is violated (a bug in mmflow itself).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when external input (a file, a benchmark description, ...) is
+/// malformed.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failure at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) os << " — " << message;
+  if (kind[0] == 'P') throw PreconditionError(os.str());
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace mmflow
+
+/// Internal invariant check; always on (cheap enough for this code base and
+/// invaluable for catching CAD bugs early).
+#define MMFLOW_CHECK(expr)                                                    \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::mmflow::detail::throw_check_failure("Invariant", #expr, __FILE__,     \
+                                            __LINE__, "");                    \
+    }                                                                         \
+  } while (false)
+
+#define MMFLOW_CHECK_MSG(expr, msg)                                           \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream mmflow_check_os_;                                    \
+      mmflow_check_os_ << msg;                                                \
+      ::mmflow::detail::throw_check_failure("Invariant", #expr, __FILE__,     \
+                                            __LINE__, mmflow_check_os_.str());\
+    }                                                                         \
+  } while (false)
+
+/// Precondition check on public API entry points.
+#define MMFLOW_REQUIRE(expr)                                                  \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::mmflow::detail::throw_check_failure("Precondition", #expr, __FILE__,  \
+                                            __LINE__, "");                    \
+    }                                                                         \
+  } while (false)
+
+#define MMFLOW_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream mmflow_check_os_;                                    \
+      mmflow_check_os_ << msg;                                                \
+      ::mmflow::detail::throw_check_failure("Precondition", #expr, __FILE__,  \
+                                            __LINE__, mmflow_check_os_.str());\
+    }                                                                         \
+  } while (false)

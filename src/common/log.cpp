@@ -1,0 +1,33 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mmflow {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warning)};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info ";
+    case LogLevel::Warning: return "warn ";
+    case LogLevel::Error: return "error";
+    case LogLevel::Silent: return "-";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[mmflow %s] %s\n", level_tag(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace mmflow

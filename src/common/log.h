@@ -1,0 +1,38 @@
+#pragma once
+/// \file log.h
+/// Minimal leveled logging for the tool flow. CAD flows are long-running and
+/// diagnostic output matters, but tests want silence; the level is a process
+/// global that defaults to Warning.
+
+#include <sstream>
+#include <string>
+
+namespace mmflow {
+
+enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Silent = 4 };
+
+/// Returns the current global log level.
+LogLevel log_level();
+
+/// Sets the global log level (tests set Silent; benches set Info).
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+}  // namespace mmflow
+
+#define MMFLOW_LOG(level, stream_expr)                                  \
+  do {                                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::mmflow::log_level())) { \
+      std::ostringstream mmflow_log_os_;                                 \
+      mmflow_log_os_ << stream_expr;                                     \
+      ::mmflow::detail::log_line(level, mmflow_log_os_.str());           \
+    }                                                                    \
+  } while (false)
+
+#define MMFLOW_DEBUG(stream_expr) MMFLOW_LOG(::mmflow::LogLevel::Debug, stream_expr)
+#define MMFLOW_INFO(stream_expr) MMFLOW_LOG(::mmflow::LogLevel::Info, stream_expr)
+#define MMFLOW_WARN(stream_expr) MMFLOW_LOG(::mmflow::LogLevel::Warning, stream_expr)
+#define MMFLOW_ERROR(stream_expr) MMFLOW_LOG(::mmflow::LogLevel::Error, stream_expr)

@@ -1,0 +1,70 @@
+#pragma once
+/// \file stats.h
+/// Small statistics accumulators used when reporting experiment results.
+/// The paper reports averages with min/max error bars (Figs. 5-7) and Table I
+/// reports min/average/max circuit sizes; Summary mirrors exactly that.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mmflow {
+
+/// Streaming min/avg/max (and stddev) accumulator.
+class Summary {
+ public:
+  void add(double value) {
+    ++count_;
+    sum_ += value;
+    sum_sq_ += value * value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  [[nodiscard]] double mean() const {
+    MMFLOW_REQUIRE(count_ > 0);
+    return sum_ / static_cast<double>(count_);
+  }
+
+  [[nodiscard]] double min() const {
+    MMFLOW_REQUIRE(count_ > 0);
+    return min_;
+  }
+
+  [[nodiscard]] double max() const {
+    MMFLOW_REQUIRE(count_ > 0);
+    return max_;
+  }
+
+  /// Population standard deviation.
+  [[nodiscard]] double stddev() const {
+    MMFLOW_REQUIRE(count_ > 0);
+    const double m = mean();
+    const double var = std::max(0.0, sum_sq_ / static_cast<double>(count_) - m * m);
+    return std::sqrt(var);
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Median of a sample (copies; samples in this project are tiny).
+[[nodiscard]] inline double median(std::vector<double> values) {
+  MMFLOW_REQUIRE(!values.empty());
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace mmflow

@@ -1,0 +1,31 @@
+#pragma once
+/// \file strings.h
+/// String helpers shared by the BLIF parser, the regex front-end and the
+/// reporting code.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmflow {
+
+/// Splits on any run of whitespace; never returns empty tokens.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view text);
+
+/// Splits on a single delimiter character; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split_char(std::string_view text,
+                                                  char delim);
+
+/// Removes leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Renders `value` with `digits` digits after the decimal point.
+[[nodiscard]] std::string format_double(double value, int digits);
+
+/// Renders e.g. 1234567 as "1,234,567" for table output.
+[[nodiscard]] std::string with_thousands(long long value);
+
+}  // namespace mmflow

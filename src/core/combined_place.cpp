@@ -1,0 +1,614 @@
+#include "core/combined_place.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/log.h"
+#include "common/stats.h"
+
+namespace mmflow::core {
+
+namespace {
+
+using arch::DeviceGrid;
+using arch::Site;
+using place::PlaceBlock;
+using place::Placement;
+using place::PlaceNetlist;
+
+/// Dense site key: CLB sites first, then pad sites.
+class SiteKeys {
+ public:
+  explicit SiteKeys(const DeviceGrid& grid) : grid_(grid) {}
+
+  [[nodiscard]] int key(const Site& s) const {
+    return s.type == Site::Type::Clb
+               ? grid_.clb_index(s.x, s.y)
+               : grid_.num_clb_sites() + grid_.pad_index(s);
+  }
+  [[nodiscard]] Site site(int key) const {
+    return key < grid_.num_clb_sites()
+               ? grid_.clb_site(key)
+               : grid_.pad_site(key - grid_.num_clb_sites());
+  }
+  [[nodiscard]] int num_keys() const {
+    return grid_.num_clb_sites() + grid_.num_pad_sites();
+  }
+
+ private:
+  const DeviceGrid& grid_;
+};
+
+/// Shared multi-mode placement state plus cost-engine bookkeeping.
+class CombinedSa {
+ public:
+  CombinedSa(const std::vector<PlaceNetlist>& netlists,
+             std::vector<Placement> placements, const DeviceGrid& grid,
+             CombinedCost cost_kind, Rng rng)
+      : netlists_(netlists),
+        placements_(std::move(placements)),
+        grid_(grid),
+        keys_(grid),
+        cost_kind_(cost_kind),
+        rng_(rng) {
+    const int num_modes = static_cast<int>(netlists_.size());
+    driven_net_.resize(netlists_.size());
+    for (int m = 0; m < num_modes; ++m) {
+      driven_net_[m].assign(netlists_[m].num_blocks(), -1);
+      for (std::uint32_t n = 0; n < netlists_[m].num_nets(); ++n) {
+        driven_net_[m][netlists_[m].nets()[n].driver] = static_cast<std::int32_t>(n);
+      }
+      netlists_[m].build_block_nets();
+    }
+    // Total block count for move sampling.
+    for (const auto& nl : netlists_) total_blocks_ += nl.num_blocks();
+
+    if (cost_kind_ == CombinedCost::WireLength) {
+      site_cost_.assign(static_cast<std::size_t>(keys_.num_keys()), 0.0);
+      cost_ = 0.0;
+      for (int s = 0; s < keys_.num_keys(); ++s) {
+        site_cost_[static_cast<std::size_t>(s)] = merged_net_cost(s);
+        cost_ += site_cost_[static_cast<std::size_t>(s)];
+      }
+    } else {
+      build_match_table();
+      cost_ = -static_cast<double>(matches_);
+    }
+  }
+
+  [[nodiscard]] double cost() const { return cost_; }
+  [[nodiscard]] std::size_t total_blocks() const { return total_blocks_; }
+  [[nodiscard]] std::vector<Placement> take_placements() {
+    return std::move(placements_);
+  }
+  Rng& rng() { return rng_; }
+
+  /// One combined-placement move (paper §III-A): choose two sites and a
+  /// mode, swap that mode's occupants. Returns acceptance.
+  bool try_move(int range_limit, double temperature, double* delta_out) {
+    // Pick an occupied site by sampling a random block of a random mode.
+    std::uint64_t pick = rng_.next_below(total_blocks_);
+    int mode_of_pick = 0;
+    while (pick >= netlists_[mode_of_pick].num_blocks()) {
+      pick -= netlists_[mode_of_pick].num_blocks();
+      ++mode_of_pick;
+    }
+    const Site s1 =
+        placements_[mode_of_pick].site_of(static_cast<std::uint32_t>(pick));
+
+    // Target site of the same type within the range limit.
+    Site s2;
+    if (s1.type == Site::Type::Clb) {
+      const auto& spec = grid_.spec();
+      const int xlo = std::max(1, s1.x - range_limit);
+      const int xhi = std::min(spec.nx, s1.x + range_limit);
+      const int ylo = std::max(1, s1.y - range_limit);
+      const int yhi = std::min(spec.ny, s1.y + range_limit);
+      s2 = Site{Site::Type::Clb,
+                static_cast<std::int16_t>(rng_.next_int(xlo, xhi)),
+                static_cast<std::int16_t>(rng_.next_int(ylo, yhi)), 0};
+    } else {
+      for (int tries = 0;; ++tries) {
+        s2 = grid_.pad_site(static_cast<int>(
+            rng_.next_below(static_cast<std::uint64_t>(grid_.num_pad_sites()))));
+        if ((std::abs(s2.x - s1.x) <= range_limit &&
+             std::abs(s2.y - s1.y) <= range_limit)) {
+          break;
+        }
+        if (tries >= 4) return false;
+      }
+    }
+    if (s2 == s1) return false;
+
+    // Mode choice among modes present at either site (paper: select a mode
+    // for which the swap will be executed).
+    ModeSetLocal present = modes_present(s1) | modes_present(s2);
+    if (present == 0) return false;
+    const int mode = pick_mode(present);
+
+    const std::int32_t b1 = occupant(mode, s1);
+    const std::int32_t b2 = occupant(mode, s2);
+    if (b1 < 0 && b2 < 0) return false;
+
+    const double before = affected_cost_before(mode, b1, b2, s1, s2);
+    apply_swap(mode, b1, b2, s1, s2);
+    const double after = affected_cost_after();
+    const double delta = after - before;
+
+    const bool accept =
+        delta <= 0.0 ||
+        (temperature > 0.0 && rng_.next_double() < std::exp(-delta / temperature));
+    if (accept) {
+      commit_affected();
+      cost_ += delta;
+    } else {
+      // EdgeMatch bookkeeping must be unwound at the *new* positions before
+      // the swap itself is undone.
+      rollback_before_undo();
+      apply_swap(mode, b2, b1, s1, s2);  // swap back (occupants now reversed)
+      rollback_after_undo();
+    }
+    if (delta_out != nullptr) *delta_out = delta;
+    return accept;
+  }
+
+ private:
+  using ModeSetLocal = std::uint32_t;
+
+  [[nodiscard]] std::int32_t occupant(int mode, const Site& s) const {
+    return s.type == Site::Type::Clb
+               ? placements_[mode].clb_occupant(grid_.clb_index(s.x, s.y))
+               : placements_[mode].pad_occupant(grid_.pad_index(s));
+  }
+
+  [[nodiscard]] ModeSetLocal modes_present(const Site& s) const {
+    ModeSetLocal mask = 0;
+    for (std::size_t m = 0; m < netlists_.size(); ++m) {
+      if (occupant(static_cast<int>(m), s) >= 0) mask |= ModeSetLocal{1} << m;
+    }
+    return mask;
+  }
+
+  [[nodiscard]] int pick_mode(ModeSetLocal mask) {
+    const int count = std::popcount(mask);
+    int index = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(count)));
+    for (int m = 0;; ++m) {
+      if ((mask >> m) & 1) {
+        if (index-- == 0) return m;
+      }
+    }
+  }
+
+  void apply_swap(int mode, std::int32_t b1, std::int32_t b2, const Site& s1,
+                  const Site& s2) {
+    Placement& p = placements_[mode];
+    if (b1 >= 0) p.unassign(static_cast<std::uint32_t>(b1));
+    if (b2 >= 0) p.unassign(static_cast<std::uint32_t>(b2));
+    if (b1 >= 0) p.assign(static_cast<std::uint32_t>(b1), s2);
+    if (b2 >= 0) p.assign(static_cast<std::uint32_t>(b2), s1);
+  }
+
+  // ---- WireLength engine -----------------------------------------------------
+
+  /// Cost of the merged tunable net sourced at site `key` (0 if no driver).
+  [[nodiscard]] double merged_net_cost(int key) const {
+    const Site s = keys_.site(key);
+    int xmin = s.x, xmax = s.x, ymin = s.y, ymax = s.y;
+    // Distinct terminal count: source site + distinct sink sites. Collect
+    // sink site keys in a small local buffer (fanouts are small).
+    bool has_driver = false;
+    thread_local std::vector<int> sink_keys;
+    sink_keys.clear();
+    for (std::size_t m = 0; m < netlists_.size(); ++m) {
+      const std::int32_t block = occupant(static_cast<int>(m), s);
+      if (block < 0) continue;
+      const std::int32_t net = driven_net_[m][static_cast<std::uint32_t>(block)];
+      if (net < 0) continue;
+      has_driver = true;
+      for (const auto sink :
+           netlists_[m].nets()[static_cast<std::uint32_t>(net)].sinks) {
+        const Site ss = placements_[m].site_of(sink);
+        xmin = std::min<int>(xmin, ss.x);
+        xmax = std::max<int>(xmax, ss.x);
+        ymin = std::min<int>(ymin, ss.y);
+        ymax = std::max<int>(ymax, ss.y);
+        sink_keys.push_back(keys_.key(ss));
+      }
+    }
+    if (!has_driver) return 0.0;
+    std::sort(sink_keys.begin(), sink_keys.end());
+    sink_keys.erase(std::unique(sink_keys.begin(), sink_keys.end()),
+                    sink_keys.end());
+    // The source site itself may appear as a sink site (another mode's block
+    // at this site reading this net); it is one physical terminal.
+    const bool self = std::binary_search(sink_keys.begin(), sink_keys.end(), key);
+    const std::size_t terminals = 1 + sink_keys.size() - (self ? 1 : 0);
+    return place::hpwl_cost(xmin, xmax, ymin, ymax, terminals);
+  }
+
+  // ---- EdgeMatch engine --------------------------------------------------------
+
+  void build_match_table() {
+    match_table_.clear();
+    matches_ = 0;
+    for (std::size_t m = 0; m < netlists_.size(); ++m) {
+      for (const auto& net : netlists_[m].nets()) {
+        const int src = keys_.key(placements_[m].site_of(net.driver));
+        for (const auto sink : net.sinks) {
+          add_pair(src, keys_.key(placements_[m].site_of(sink)),
+                   static_cast<int>(m));
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] static std::uint64_t pair_key(int src, int sink) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(sink);
+  }
+
+  void add_pair(int src, int sink, int mode) {
+    ModeSetLocal& mask = match_table_[pair_key(src, sink)];
+    MMFLOW_CHECK_MSG(!((mask >> mode) & 1), "duplicate connection pair");
+    if (mask != 0) ++matches_;
+    mask |= ModeSetLocal{1} << mode;
+  }
+
+  void remove_pair(int src, int sink, int mode) {
+    const auto it = match_table_.find(pair_key(src, sink));
+    MMFLOW_CHECK(it != match_table_.end());
+    MMFLOW_CHECK((it->second >> mode) & 1);
+    it->second &= ~(ModeSetLocal{1} << mode);
+    if (it->second != 0) {
+      --matches_;
+    } else {
+      match_table_.erase(it);
+    }
+  }
+
+  /// Adds/removes every connection pair of the given nets at the *current*
+  /// block positions. Whole-net granularity keeps updates symmetric even
+  /// when both swapped blocks touch the same net.
+  void update_pairs_for_nets(int mode, const std::vector<std::uint32_t>& nets,
+                             bool add) {
+    for (const auto n : nets) {
+      const auto& net = netlists_[mode].nets()[n];
+      const int src = keys_.key(placements_[mode].site_of(net.driver));
+      for (const auto sink : net.sinks) {
+        const int sk = keys_.key(placements_[mode].site_of(sink));
+        add ? add_pair(src, sk, mode) : remove_pair(src, sk, mode);
+      }
+    }
+  }
+
+  /// Deduplicated nets touching either block (either may be -1).
+  [[nodiscard]] std::vector<std::uint32_t> nets_of_blocks(int mode,
+                                                          std::int32_t b1,
+                                                          std::int32_t b2) const {
+    std::vector<std::uint32_t> nets;
+    for (const std::int32_t b : {b1, b2}) {
+      if (b < 0) continue;
+      const auto& list =
+          netlists_[mode].nets_of_block(static_cast<std::uint32_t>(b));
+      nets.insert(nets.end(), list.begin(), list.end());
+    }
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+    return nets;
+  }
+
+  // ---- incremental delta plumbing ------------------------------------------------
+
+  /// Cost of everything the pending swap can affect, computed *before* the
+  /// swap is applied; stashes the affected-site list for the after pass.
+  double affected_cost_before(int mode, std::int32_t b1, std::int32_t b2,
+                              const Site& s1, const Site& s2) {
+    if (cost_kind_ == CombinedCost::EdgeMatch) {
+      // Remove the affected nets' pairs now (positions still old); the
+      // matches_ counter absorbs the delta incrementally.
+      matches_backup_ = matches_;
+      pending_mode_ = mode;
+      pending_nets_ = nets_of_blocks(mode, b1, b2);
+      update_pairs_for_nets(mode, pending_nets_, /*add=*/false);
+      return -static_cast<double>(matches_backup_);
+    }
+
+    affected_sites_.clear();
+    auto add_site = [this](int key) {
+      if (std::find(affected_sites_.begin(), affected_sites_.end(), key) ==
+          affected_sites_.end()) {
+        affected_sites_.push_back(key);
+      }
+    };
+    add_site(keys_.key(s1));
+    add_site(keys_.key(s2));
+    for (const std::int32_t b : {b1, b2}) {
+      if (b < 0) continue;
+      const auto block = static_cast<std::uint32_t>(b);
+      for (const auto n : netlists_[mode].nets_of_block(block)) {
+        const auto& net = netlists_[mode].nets()[n];
+        add_site(keys_.key(placements_[mode].site_of(net.driver)));
+      }
+    }
+    double before = 0.0;
+    for (const int key : affected_sites_) {
+      before += site_cost_[static_cast<std::size_t>(key)];
+    }
+    return before;
+  }
+
+  /// Cost of the affected region *after* the swap has been applied.
+  double affected_cost_after() {
+    if (cost_kind_ == CombinedCost::EdgeMatch) {
+      update_pairs_for_nets(pending_mode_, pending_nets_, /*add=*/true);
+      return -static_cast<double>(matches_);
+    }
+    new_site_cost_.clear();
+    double after = 0.0;
+    for (const int key : affected_sites_) {
+      const double c = merged_net_cost(key);
+      new_site_cost_.push_back(c);
+      after += c;
+    }
+    return after;
+  }
+
+  void commit_affected() {
+    if (cost_kind_ == CombinedCost::EdgeMatch) return;  // already applied
+    for (std::size_t i = 0; i < affected_sites_.size(); ++i) {
+      site_cost_[static_cast<std::size_t>(affected_sites_[i])] =
+          new_site_cost_[i];
+    }
+  }
+
+  /// Rejection path, phase 1: remove pairs added at the *new* positions
+  /// (must run before the swap is undone).
+  void rollback_before_undo() {
+    if (cost_kind_ != CombinedCost::EdgeMatch) return;
+    update_pairs_for_nets(pending_mode_, pending_nets_, /*add=*/false);
+  }
+
+  /// Rejection path, phase 2: re-add pairs at the restored old positions.
+  void rollback_after_undo() {
+    if (cost_kind_ != CombinedCost::EdgeMatch) return;
+    update_pairs_for_nets(pending_mode_, pending_nets_, /*add=*/true);
+    MMFLOW_CHECK(matches_ == matches_backup_);
+  }
+
+  const std::vector<PlaceNetlist>& netlists_;
+  std::vector<Placement> placements_;
+  const DeviceGrid& grid_;
+  SiteKeys keys_;
+  CombinedCost cost_kind_;
+  Rng rng_;
+
+  std::vector<std::vector<std::int32_t>> driven_net_;  ///< [mode][block]
+  std::size_t total_blocks_ = 0;
+  double cost_ = 0.0;
+
+  // WireLength engine state.
+  std::vector<double> site_cost_;
+  std::vector<int> affected_sites_;
+  std::vector<double> new_site_cost_;
+
+  // EdgeMatch engine state.
+  std::unordered_map<std::uint64_t, ModeSetLocal> match_table_;
+  std::int64_t matches_ = 0;
+  std::int64_t matches_backup_ = 0;
+  int pending_mode_ = 0;
+  std::vector<std::uint32_t> pending_nets_;
+};
+
+}  // namespace
+
+CombinedPlacement combined_place(const std::vector<techmap::LutCircuit>& modes,
+                                 const DeviceGrid& grid,
+                                 const CombinedPlaceOptions& options,
+                                 CombinedPlaceStats* stats) {
+  MMFLOW_REQUIRE(!modes.empty() && modes.size() <= 32);
+  CombinedPlacement out;
+  Rng rng(options.seed ^ 0xa02bdbf7bb3c0a7ULL);
+
+  for (const auto& mode : modes) {
+    place::LutPlaceMapping mapping;
+    out.netlists.push_back(place::to_place_netlist(mode, &mapping));
+    out.mappings.push_back(mapping);
+  }
+  for (const auto& nl : out.netlists) {
+    out.placements.push_back(place::random_placement(nl, grid, rng));
+  }
+
+  CombinedSa sa(out.netlists, std::move(out.placements), grid,
+                options.cost, rng.fork());
+
+  const int max_range = std::max(grid.spec().nx, grid.spec().ny) + 2;
+  place::AnnealSchedule schedule(options.anneal, sa.total_blocks(), max_range);
+
+  CombinedPlaceStats local;
+  local.initial_cost = sa.cost();
+
+  // Initial temperature from probing moves, as in the conventional placer.
+  {
+    Summary probe;
+    for (std::size_t i = 0; i < sa.total_blocks(); ++i) {
+      double delta = 0.0;
+      (void)sa.try_move(max_range, 1e30, &delta);
+      probe.add(delta);
+    }
+    schedule.set_initial_temperature(options.anneal.init_t_factor *
+                                     probe.stddev());
+  }
+
+  std::size_t num_nets = 0;
+  for (const auto& nl : out.netlists) num_nets += nl.num_nets();
+
+  while (true) {
+    std::int64_t accepted = 0;
+    const std::int64_t moves = schedule.moves_per_temperature();
+    for (std::int64_t i = 0; i < moves; ++i) {
+      accepted += sa.try_move(schedule.range_limit(), schedule.temperature(),
+                              nullptr)
+                      ? 1
+                      : 0;
+    }
+    local.moves_attempted += moves;
+    local.moves_accepted += accepted;
+    const double r = static_cast<double>(accepted) / static_cast<double>(moves);
+
+    // EdgeMatch cost is negative; the exit criterion needs a magnitude.
+    const double cost_magnitude =
+        options.cost == CombinedCost::EdgeMatch
+            ? static_cast<double>(num_nets)  // fixed scale: stop on temperature
+            : sa.cost();
+    if (schedule.should_stop(std::max(cost_magnitude, 1.0), num_nets)) {
+      // Zero-temperature quench.
+      for (std::int64_t i = 0; i < moves; ++i) {
+        (void)sa.try_move(schedule.range_limit(), 0.0, nullptr);
+      }
+      break;
+    }
+    schedule.step(r);
+  }
+
+  local.final_cost = sa.cost();
+  if (stats != nullptr) *stats = local;
+  MMFLOW_INFO("combined_place(" << (options.cost == CombinedCost::WireLength
+                                        ? "wirelength"
+                                        : "edgematch")
+                                << "): cost " << local.initial_cost << " -> "
+                                << local.final_cost);
+
+  out.placements = sa.take_placements();
+  for (std::size_t m = 0; m < out.netlists.size(); ++m) {
+    out.placements[m].validate(out.netlists[m]);
+  }
+  return out;
+}
+
+ExtractedMerge extract_merge(const CombinedPlacement& placement,
+                             const DeviceGrid& grid) {
+  const SiteKeys keys(grid);
+  const int num_modes = static_cast<int>(placement.netlists.size());
+
+  ExtractedMerge out;
+  std::vector<std::int32_t> tlut_of_site(
+      static_cast<std::size_t>(keys.num_keys()), -1);
+  std::vector<std::int32_t> tio_of_site(
+      static_cast<std::size_t>(keys.num_keys()), -1);
+
+  out.assignment.lut_to_tlut.resize(num_modes);
+  out.assignment.pi_to_tio.resize(num_modes);
+  out.assignment.po_to_tio.resize(num_modes);
+
+  for (int m = 0; m < num_modes; ++m) {
+    const auto& mapping = placement.mappings[m];
+    const auto& pl = placement.placements[m];
+    const auto& nl = placement.netlists[m];
+
+    out.assignment.lut_to_tlut[m].resize(mapping.num_luts);
+    for (std::uint32_t lut = 0; lut < mapping.num_luts; ++lut) {
+      const int key = keys.key(pl.site_of(mapping.lut_block(lut)));
+      if (tlut_of_site[static_cast<std::size_t>(key)] < 0) {
+        tlut_of_site[static_cast<std::size_t>(key)] =
+            static_cast<std::int32_t>(out.tlut_site.size());
+        out.tlut_site.push_back(keys.site(key));
+      }
+      out.assignment.lut_to_tlut[m][lut] = static_cast<std::uint32_t>(
+          tlut_of_site[static_cast<std::size_t>(key)]);
+    }
+
+    const std::uint32_t num_pis = mapping.po_base - mapping.pi_base;
+    out.assignment.pi_to_tio[m].resize(num_pis);
+    for (std::uint32_t pi = 0; pi < num_pis; ++pi) {
+      const int key = keys.key(pl.site_of(mapping.pi_block(pi)));
+      if (tio_of_site[static_cast<std::size_t>(key)] < 0) {
+        tio_of_site[static_cast<std::size_t>(key)] =
+            static_cast<std::int32_t>(out.tio_site.size());
+        out.tio_site.push_back(keys.site(key));
+      }
+      out.assignment.pi_to_tio[m][pi] =
+          static_cast<std::uint32_t>(tio_of_site[static_cast<std::size_t>(key)]);
+    }
+
+    const std::uint32_t num_pos =
+        static_cast<std::uint32_t>(nl.num_blocks()) - mapping.po_base;
+    out.assignment.po_to_tio[m].resize(num_pos);
+    for (std::uint32_t po = 0; po < num_pos; ++po) {
+      const int key = keys.key(pl.site_of(mapping.po_block(po)));
+      if (tio_of_site[static_cast<std::size_t>(key)] < 0) {
+        tio_of_site[static_cast<std::size_t>(key)] =
+            static_cast<std::int32_t>(out.tio_site.size());
+        out.tio_site.push_back(keys.site(key));
+      }
+      out.assignment.po_to_tio[m][po] =
+          static_cast<std::uint32_t>(tio_of_site[static_cast<std::size_t>(key)]);
+    }
+  }
+  out.assignment.num_tluts = static_cast<std::uint32_t>(out.tlut_site.size());
+  out.assignment.num_tios = static_cast<std::uint32_t>(out.tio_site.size());
+  return out;
+}
+
+double merged_wirelength_cost(const CombinedPlacement& placement,
+                              const DeviceGrid& grid) {
+  const SiteKeys keys(grid);
+  // Recompute per-source-site merged nets from scratch.
+  struct Terminals {
+    int xmin = 1 << 20, xmax = -1, ymin = 1 << 20, ymax = -1;
+    std::vector<int> site_keys;
+  };
+  std::unordered_map<int, Terminals> merged;
+  for (std::size_t m = 0; m < placement.netlists.size(); ++m) {
+    const auto& nl = placement.netlists[m];
+    const auto& pl = placement.placements[m];
+    for (const auto& net : nl.nets()) {
+      const Site src = pl.site_of(net.driver);
+      Terminals& t = merged[keys.key(src)];
+      auto touch = [&t, &keys](const Site& s) {
+        t.xmin = std::min<int>(t.xmin, s.x);
+        t.xmax = std::max<int>(t.xmax, s.x);
+        t.ymin = std::min<int>(t.ymin, s.y);
+        t.ymax = std::max<int>(t.ymax, s.y);
+        t.site_keys.push_back(keys.key(s));
+      };
+      touch(src);
+      for (const auto sink : net.sinks) touch(pl.site_of(sink));
+    }
+  }
+  double cost = 0.0;
+  for (auto& [key, t] : merged) {
+    std::sort(t.site_keys.begin(), t.site_keys.end());
+    t.site_keys.erase(std::unique(t.site_keys.begin(), t.site_keys.end()),
+                      t.site_keys.end());
+    cost += place::hpwl_cost(t.xmin, t.xmax, t.ymin, t.ymax, t.site_keys.size());
+  }
+  return cost;
+}
+
+std::size_t matched_connections(const CombinedPlacement& placement,
+                                const DeviceGrid& grid) {
+  const SiteKeys keys(grid);
+  std::unordered_map<std::uint64_t, std::uint32_t> table;
+  for (std::size_t m = 0; m < placement.netlists.size(); ++m) {
+    const auto& nl = placement.netlists[m];
+    const auto& pl = placement.placements[m];
+    for (const auto& net : nl.nets()) {
+      const int src = keys.key(pl.site_of(net.driver));
+      for (const auto sink : net.sinks) {
+        const int sk = keys.key(pl.site_of(sink));
+        table[(static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+               << 32) |
+              static_cast<std::uint32_t>(sk)] |= 1u << m;
+      }
+    }
+  }
+  std::size_t matches = 0;
+  for (const auto& [key, mask] : table) {
+    matches += static_cast<std::size_t>(std::popcount(mask)) - 1;
+  }
+  return matches;
+}
+
+}  // namespace mmflow::core

@@ -1,0 +1,272 @@
+#include "core/flows.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace mmflow::core {
+
+using arch::ArchSpec;
+using arch::DeviceGrid;
+using arch::RoutingGraph;
+using arch::Site;
+
+route::RouteProblem SiteRouteSpec::instantiate(const RoutingGraph& rrg) const {
+  route::RouteProblem out;
+  out.num_modes = num_modes;
+  out.nets.reserve(nets.size());
+  for (const Net& net : nets) {
+    route::RouteNet rn;
+    rn.name = net.name;
+    rn.source_node = rrg.source_of(net.source);
+    rn.conns.reserve(net.conns.size());
+    for (const Conn& conn : net.conns) {
+      rn.conns.push_back(route::RouteConn{rrg.sink_of(conn.sink), conn.modes});
+    }
+    out.nets.push_back(std::move(rn));
+  }
+  return out;
+}
+
+namespace {
+
+/// Routing spec of one placed mode (single-mode problem for MDR).
+SiteRouteSpec mdr_route_spec(const place::PlaceNetlist& netlist,
+                             const place::Placement& placement) {
+  SiteRouteSpec spec;
+  spec.num_modes = 1;
+  for (std::uint32_t n = 0; n < netlist.num_nets(); ++n) {
+    const auto& net = netlist.nets()[n];
+    SiteRouteSpec::Net out;
+    out.name = "n" + std::to_string(n);
+    out.source = placement.site_of(net.driver);
+    for (const auto sink : net.sinks) {
+      out.conns.push_back(SiteRouteSpec::Conn{placement.site_of(sink), 1});
+    }
+    spec.nets.push_back(std::move(out));
+  }
+  return spec;
+}
+
+/// Routing spec of the Tunable circuit: one net per tunable source endpoint,
+/// one connection per Tunable connection with its activation mask.
+SiteRouteSpec dcs_route_spec_from(const tunable::TunableCircuit& tc,
+                                  const std::vector<Site>& tlut_site,
+                                  const std::vector<Site>& tio_site) {
+  SiteRouteSpec spec;
+  spec.num_modes = tc.num_modes();
+  auto site_of = [&](tunable::TRef r) {
+    return r.kind == tunable::TRef::Kind::Tlut ? tlut_site[r.index]
+                                               : tio_site[r.index];
+  };
+  for (const auto& net : tc.nets()) {
+    SiteRouteSpec::Net out;
+    out.name = (net.source.kind == tunable::TRef::Kind::Tlut ? "tlut" : "tio") +
+               std::to_string(net.source.index);
+    out.source = site_of(net.source);
+    for (const auto c : net.conns) {
+      const auto& conn = tc.conns()[c];
+      out.conns.push_back(
+          SiteRouteSpec::Conn{site_of(conn.sink),
+                              static_cast<route::ModeMask>(conn.activation)});
+    }
+    spec.nets.push_back(std::move(out));
+  }
+  return spec;
+}
+
+/// Places the merged Tunable circuit with TPlace from scratch (EdgeMatch
+/// pipeline: topology is fixed, geometry is re-optimized).
+void tplace_from_scratch(const tunable::TunableCircuit& tc,
+                         const DeviceGrid& grid, std::uint64_t seed,
+                         const place::AnnealOptions& anneal,
+                         std::vector<Site>* tlut_site,
+                         std::vector<Site>* tio_site) {
+  // Lower the Tunable circuit to a PlaceNetlist: TLUTs are logic blocks,
+  // TIOs are IO blocks, tunable nets are the placement nets.
+  place::PlaceNetlist pn;
+  for (std::uint32_t t = 0; t < tc.num_tluts(); ++t) {
+    pn.add_block(place::PlaceBlock::Type::Clb, "tlut" + std::to_string(t));
+  }
+  const auto tio_base = static_cast<std::uint32_t>(pn.num_blocks());
+  for (std::uint32_t t = 0; t < tc.num_tios(); ++t) {
+    pn.add_block(place::PlaceBlock::Type::Io, "tio" + std::to_string(t));
+  }
+  auto block_of = [&](tunable::TRef r) {
+    return r.kind == tunable::TRef::Kind::Tlut ? r.index : tio_base + r.index;
+  };
+  for (const auto& net : tc.nets()) {
+    place::PlaceNet out;
+    out.driver = block_of(net.source);
+    for (const auto c : net.conns) {
+      out.sinks.push_back(block_of(tc.conns()[c].sink));
+    }
+    std::sort(out.sinks.begin(), out.sinks.end());
+    out.sinks.erase(std::unique(out.sinks.begin(), out.sinks.end()),
+                    out.sinks.end());
+    if (!out.sinks.empty()) pn.add_net(std::move(out));
+  }
+
+  place::PlacerOptions options;
+  options.seed = seed;
+  options.anneal = anneal;
+  const place::Placement placed = place::place(pn, grid, options);
+
+  tlut_site->resize(tc.num_tluts());
+  tio_site->resize(tc.num_tios());
+  for (std::uint32_t t = 0; t < tc.num_tluts(); ++t) {
+    (*tlut_site)[t] = placed.site_of(t);
+  }
+  for (std::uint32_t t = 0; t < tc.num_tios(); ++t) {
+    (*tio_site)[t] = placed.site_of(tio_base + t);
+  }
+}
+
+}  // namespace
+
+MultiModeExperiment run_experiment(std::vector<techmap::LutCircuit> modes,
+                                   const FlowOptions& options) {
+  MMFLOW_REQUIRE(!modes.empty() && modes.size() <= 32);
+  const int num_modes = static_cast<int>(modes.size());
+
+  // ---- region sizing: logic array from the largest mode --------------------
+  int max_clbs = 0;
+  int max_ios = 0;
+  for (const auto& mode : modes) {
+    max_clbs = std::max<int>(max_clbs, static_cast<int>(mode.num_blocks()));
+    max_ios = std::max<int>(
+        max_ios, static_cast<int>(mode.num_pis() + mode.num_pos()));
+  }
+  ArchSpec base = arch::size_device(max_clbs, max_ios, options.area_slack, 2,
+                                    modes[0].k());
+  const DeviceGrid grid(base);
+
+  MultiModeExperiment exp;
+
+  // ---- MDR: place every mode separately ------------------------------------
+  for (int m = 0; m < num_modes; ++m) {
+    ModeImpl impl{place::PlaceNetlist{}, {}, place::Placement(grid, 0), {}};
+    impl.netlist = place::to_place_netlist(modes[static_cast<std::size_t>(m)],
+                                           &impl.mapping);
+    place::PlacerOptions popt;
+    popt.seed = options.seed * 1000003u + static_cast<std::uint64_t>(m);
+    popt.anneal = options.anneal;
+    impl.placement = place::place(impl.netlist, grid, popt);
+    impl.route_spec = mdr_route_spec(impl.netlist, impl.placement);
+    exp.mdr.push_back(std::move(impl));
+  }
+
+  // ---- DCS: combined placement, merge, TPlace ------------------------------
+  CombinedPlaceOptions cp_options;
+  cp_options.cost = options.cost_engine;
+  cp_options.seed = options.seed * 6364136223846793005ULL + 1;
+  cp_options.anneal = options.anneal;
+  const CombinedPlacement combined = combined_place(modes, grid, cp_options);
+  ExtractedMerge merge = extract_merge(combined, grid);
+
+  exp.tunable.emplace(modes, merge.assignment);
+  exp.tlut_site = std::move(merge.tlut_site);
+  exp.tio_site = std::move(merge.tio_site);
+  exp.total_mode_connections = exp.tunable->total_mode_connections();
+  exp.merged_connections = exp.tunable->num_merged_connections();
+
+  if (options.cost_engine == CombinedCost::EdgeMatch &&
+      options.tplace_from_scratch_for_edgematch) {
+    tplace_from_scratch(*exp.tunable, grid,
+                        options.seed * 2862933555777941757ULL + 3,
+                        options.anneal, &exp.tlut_site, &exp.tio_site);
+  }
+  exp.dcs_route_spec =
+      dcs_route_spec_from(*exp.tunable, exp.tlut_site, exp.tio_site);
+
+  // ---- channel width: smallest W at which every implementation routes ------
+  auto all_route = [&](int width) {
+    ArchSpec spec = base;
+    spec.channel_width = width;
+    const RoutingGraph rrg(spec);
+    for (const auto& impl : exp.mdr) {
+      if (!route::route(rrg, impl.route_spec.instantiate(rrg), options.router)
+               .success) {
+        return false;
+      }
+    }
+    return route::route(rrg, exp.dcs_route_spec.instantiate(rrg),
+                        options.router)
+        .success;
+  };
+
+  int lo = 0;
+  int hi = 4;
+  while (hi <= options.max_channel_width && !all_route(hi)) {
+    lo = hi;
+    hi *= 2;
+  }
+  MMFLOW_REQUIRE_MSG(hi <= options.max_channel_width,
+                     "multi-mode circuit unroutable at max channel width");
+  while (hi - lo > 1) {
+    const int mid = (lo + hi) / 2;
+    if (all_route(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  exp.min_width = hi;
+
+  // ---- final implementation with relaxed routing ----------------------------
+  exp.region = base;
+  exp.region.channel_width = std::max(
+      hi, static_cast<int>(std::ceil(hi * options.width_slack)));
+  const RoutingGraph rrg(exp.region);
+  for (const auto& impl : exp.mdr) {
+    exp.mdr_problems.push_back(impl.route_spec.instantiate(rrg));
+    exp.mdr_routing.push_back(
+        route::route(rrg, exp.mdr_problems.back(), options.router));
+    MMFLOW_CHECK_MSG(exp.mdr_routing.back().success,
+                     "MDR mode unroutable at relaxed width");
+  }
+  exp.dcs_problem = exp.dcs_route_spec.instantiate(rrg);
+  exp.dcs_routing = route::route(rrg, exp.dcs_problem, options.router);
+  MMFLOW_CHECK_MSG(exp.dcs_routing.success,
+                   "DCS circuit unroutable at relaxed width");
+  return exp;
+}
+
+std::vector<bitstream::LutRegionConfig> mdr_lut_configs(
+    const MultiModeExperiment& experiment,
+    const std::vector<techmap::LutCircuit>& modes) {
+  const DeviceGrid grid(experiment.region);
+  std::vector<bitstream::LutRegionConfig> configs;
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    bitstream::LutRegionConfig config(grid.num_clb_sites());
+    const auto& impl = experiment.mdr[m];
+    for (std::uint32_t lut = 0; lut < modes[m].num_blocks(); ++lut) {
+      const Site s = impl.placement.site_of(impl.mapping.lut_block(lut));
+      const auto& block = modes[m].blocks()[lut];
+      config.set_site(grid.clb_index(s.x, s.y), block.truth, block.has_ff);
+    }
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+std::vector<bitstream::LutRegionConfig> dcs_lut_configs(
+    const MultiModeExperiment& experiment) {
+  MMFLOW_REQUIRE(experiment.tunable.has_value());
+  const auto& tc = *experiment.tunable;
+  const DeviceGrid grid(experiment.region);
+  std::vector<bitstream::LutRegionConfig> configs;
+  for (int m = 0; m < tc.num_modes(); ++m) {
+    bitstream::LutRegionConfig config(grid.num_clb_sites());
+    for (std::uint32_t t = 0; t < tc.num_tluts(); ++t) {
+      const Site s = experiment.tlut_site[t];
+      config.set_site(grid.clb_index(s.x, s.y), tc.mode_truth(t, m),
+                      tc.mode_uses_ff(t, m));
+    }
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+}  // namespace mmflow::core

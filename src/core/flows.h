@@ -1,0 +1,114 @@
+#pragma once
+/// \file flows.h
+/// The two end-to-end multi-mode implementation flows the paper compares
+/// (Fig. 2):
+///  * **MDR** (Modular Dynamic Reconfiguration): every mode is placed and
+///    routed separately in the shared reconfigurable region; a mode switch
+///    rewrites the whole region.
+///  * **DCS** (the paper's flow): map every mode, place all modes together
+///    (combined placement, §III-A), merge co-located LUTs into a Tunable
+///    circuit, refine with TPlace, route with TRoute, and emit a
+///    parameterized configuration whose mode-dependent bits are the only
+///    ones rewritten on a switch.
+///
+/// Region protocol (§IV-B): one device serves both flows — the square logic
+/// array is sized 20% above the largest mode, and the channel width is 20%
+/// above the minimum at which *every* implementation (each MDR mode and the
+/// DCS Tunable circuit) routes. Using the same region for both flows keeps
+/// the bit-count comparison fair.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/rrg.h"
+#include "bitstream/config_model.h"
+#include "core/combined_place.h"
+#include "route/router.h"
+#include "tunable/tunable_circuit.h"
+
+namespace mmflow::core {
+
+/// Channel-width-independent routing problem (sink/source sites instead of
+/// RRG node ids), instantiated per candidate W during the search.
+struct SiteRouteSpec {
+  struct Conn {
+    arch::Site sink;
+    route::ModeMask modes = 1;
+  };
+  struct Net {
+    std::string name;
+    arch::Site source;
+    std::vector<Conn> conns;
+  };
+  int num_modes = 1;
+  std::vector<Net> nets;
+
+  [[nodiscard]] route::RouteProblem instantiate(
+      const arch::RoutingGraph& rrg) const;
+};
+
+struct FlowOptions {
+  CombinedCost cost_engine = CombinedCost::WireLength;
+  std::uint64_t seed = 1;
+  double area_slack = 1.2;        ///< paper: square area 20% above minimum
+  double width_slack = 1.2;       ///< paper: channel width 20% above minimum
+  bitstream::MuxEncoding encoding = bitstream::MuxEncoding::Binary;
+  place::AnnealOptions anneal;    ///< shared by all SA runs
+  route::RouterOptions router;
+  int max_channel_width = 128;
+  /// EdgeMatch freezes topology before geometry, so its Tunable circuit is
+  /// re-placed from scratch by TPlace (the paper's pipeline). WireLength
+  /// keeps the combined placement's positions and only quench-polishes.
+  bool tplace_from_scratch_for_edgematch = true;
+};
+
+/// One mode's MDR implementation.
+struct ModeImpl {
+  place::PlaceNetlist netlist;
+  place::LutPlaceMapping mapping;
+  place::Placement placement;
+  SiteRouteSpec route_spec;
+};
+
+/// Everything produced for one multi-mode circuit: both flows on one region.
+struct MultiModeExperiment {
+  arch::ArchSpec region;                     ///< final device (incl. W)
+  int min_width = 0;                         ///< W_min found by the search
+
+  // MDR.
+  std::vector<ModeImpl> mdr;
+  std::vector<route::RouteResult> mdr_routing;      ///< per mode
+  std::vector<route::RouteProblem> mdr_problems;    ///< per mode (final W)
+
+  // DCS.
+  std::optional<tunable::TunableCircuit> tunable;
+  std::vector<arch::Site> tlut_site;
+  std::vector<arch::Site> tio_site;
+  SiteRouteSpec dcs_route_spec;
+  route::RouteProblem dcs_problem;                  ///< final W
+  route::RouteResult dcs_routing;
+
+  // Merge statistics.
+  std::size_t total_mode_connections = 0;
+  std::size_t merged_connections = 0;
+};
+
+/// Runs both flows on one region. The input LutCircuits are the mapped mode
+/// circuits ("the MDR tool flow is followed up until the technology
+/// mapping"). Throws if the circuits cannot be routed within
+/// options.max_channel_width.
+[[nodiscard]] MultiModeExperiment run_experiment(
+    std::vector<techmap::LutCircuit> modes, const FlowOptions& options = {});
+
+/// Builds the per-mode LUT region configurations (truth bits + FF select per
+/// site) for the MDR implementations.
+[[nodiscard]] std::vector<bitstream::LutRegionConfig> mdr_lut_configs(
+    const MultiModeExperiment& experiment,
+    const std::vector<techmap::LutCircuit>& modes);
+
+/// Builds the per-mode LUT region configurations for the DCS implementation.
+[[nodiscard]] std::vector<bitstream::LutRegionConfig> dcs_lut_configs(
+    const MultiModeExperiment& experiment);
+
+}  // namespace mmflow::core

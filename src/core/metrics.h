@@ -1,0 +1,87 @@
+#pragma once
+/// \file metrics.h
+/// Evaluation metrics of §IV-C: reconfiguration time (bits rewritten), the
+/// Fig. 6 LUT/routing breakdown with the "Diff" analysis, per-mode wire
+/// length, and the area gains quoted in the text.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flows.h"
+
+namespace mmflow::core {
+
+/// Reconfiguration-cost numbers for one multi-mode circuit (Figs. 5-6).
+struct ReconfigMetrics {
+  // Shared region inventory.
+  std::uint64_t lut_bits = 0;            ///< all LUT bits (always rewritten)
+  std::uint64_t region_routing_bits = 0; ///< all routing bits in the region
+
+  // Bits rewritten on a mode switch.
+  std::uint64_t mdr_bits = 0;   ///< full region (LUT + routing)
+  std::uint64_t diff_bits = 0;  ///< all LUTs + routing bits differing between
+                                ///< the MDR configurations (Fig. 6 "Diff")
+  std::uint64_t dcs_bits = 0;   ///< all LUTs + parameterized routing bits
+
+  std::uint64_t diff_routing_bits = 0;
+  std::uint64_t dcs_param_routing_bits = 0;
+
+  [[nodiscard]] double dcs_speedup() const {
+    return static_cast<double>(mdr_bits) / static_cast<double>(dcs_bits);
+  }
+  [[nodiscard]] double diff_speedup() const {
+    return static_cast<double>(mdr_bits) / static_cast<double>(diff_bits);
+  }
+  /// Routing-only reduction factors (the paper's ~5x and ~20x, Fig. 6).
+  [[nodiscard]] double routing_reduction_diff() const {
+    return static_cast<double>(region_routing_bits) /
+           static_cast<double>(diff_routing_bits);
+  }
+  [[nodiscard]] double routing_reduction_dcs() const {
+    return static_cast<double>(region_routing_bits) /
+           static_cast<double>(dcs_param_routing_bits);
+  }
+};
+
+/// Computes the reconfiguration metrics of an experiment. `diff` analysis
+/// requires at least two modes; with more, Diff uses the pairwise union
+/// (parameterized bits of the MDR configurations).
+///
+/// `exploit_dontcares` (default true, the DCS semantic): a routing mux that
+/// no connection of some mode uses is a don't-care in that mode; the
+/// parameterized configuration keeps its other-mode value there, so the bit
+/// is rewritten only when two modes actively demand different drivers.
+/// Setting it false counts strictly against per-mode configurations with
+/// unused = 0 (ablation).
+[[nodiscard]] ReconfigMetrics reconfig_metrics(
+    const MultiModeExperiment& experiment, bitstream::MuxEncoding encoding,
+    bool exploit_dontcares = true);
+
+/// Per-mode wire-length comparison (Fig. 7): wires a mode uses when active.
+struct WirelengthMetrics {
+  std::vector<std::size_t> mdr;  ///< per mode, MDR implementation
+  std::vector<std::size_t> dcs;  ///< per mode, DCS implementation
+
+  /// Mean over modes of dcs/mdr (the figure's y-axis, 1.0 = parity).
+  [[nodiscard]] double mean_ratio() const;
+  [[nodiscard]] double max_ratio() const;
+};
+
+[[nodiscard]] WirelengthMetrics wirelength_metrics(
+    const MultiModeExperiment& experiment);
+
+/// Area metric (§IV-C): the multi-mode region implements all modes in the
+/// area of the largest one; a static design would need the sum.
+struct AreaMetrics {
+  int region_clbs = 0;        ///< largest mode (the region's logic demand)
+  int static_sum_clbs = 0;    ///< sum of all modes
+  [[nodiscard]] double ratio() const {
+    return static_cast<double>(region_clbs) /
+           static_cast<double>(static_sum_clbs);
+  }
+};
+
+[[nodiscard]] AreaMetrics area_metrics(
+    const std::vector<techmap::LutCircuit>& modes);
+
+}  // namespace mmflow::core

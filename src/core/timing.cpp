@@ -1,0 +1,195 @@
+#include "core/timing.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mmflow::core {
+
+namespace {
+
+using techmap::LutCircuit;
+using techmap::Ref;
+
+/// Routed wire count per (net, conn, mode) of a RouteResult.
+class ConnDelays {
+ public:
+  ConnDelays(const arch::RoutingGraph& rrg, const route::RouteResult& result,
+             const TimingModel& model)
+      : model_(model) {
+    for (const auto& rc : result.conns) {
+      std::size_t wires = 0;
+      for (const auto node : rc.nodes) wires += rrg.is_wire(node) ? 1 : 0;
+      for (int m = 0; m < 32; ++m) {
+        if (rc.modes >> m & 1) {
+          delays_[key(rc.net, rc.conn, m)] = wire_cost(wires);
+        }
+      }
+    }
+  }
+
+  /// Delay of a routed connection; falls back to a single-segment estimate
+  /// if the connection was not routed (should not happen on success).
+  [[nodiscard]] double get(std::uint32_t net, std::uint32_t conn, int mode) const {
+    const auto it = delays_.find(key(net, conn, mode));
+    return it == delays_.end() ? wire_cost(1) : it->second;
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t key(std::uint32_t net, std::uint32_t conn,
+                                         int mode) {
+    // Disjoint bit fields: mode < 2^6, conn < 2^24, net < 2^34.
+    return (static_cast<std::uint64_t>(net) << 30) |
+           (static_cast<std::uint64_t>(conn) << 6) |
+           static_cast<std::uint64_t>(mode);
+  }
+  [[nodiscard]] double wire_cost(std::size_t wires) const {
+    return 2.0 * model_.pin_delay +
+           model_.wire_delay * static_cast<double>(wires);
+  }
+
+  TimingModel model_;
+  std::map<std::uint64_t, double> delays_;
+};
+
+/// Longest register/IO-bounded combinational path through one mode circuit,
+/// with per-connection routed delays supplied by `conn_delay(src_ref, sink)`
+/// where sink is a block index or, for primary outputs, ~po_index.
+template <typename DelayFn>
+double critical_path(const LutCircuit& mode, const TimingModel& model,
+                     DelayFn&& conn_delay) {
+  const auto order = mode.comb_topo_order();
+  std::vector<double> arrival(mode.num_blocks(), 0.0);
+  double critical = 0.0;
+
+  auto source_arrival = [&](Ref r) {
+    if (r.kind == Ref::Kind::PrimaryInput) return 0.0;
+    // FF outputs launch at the clock edge.
+    return mode.blocks()[r.index].has_ff ? 0.0 : arrival[r.index];
+  };
+
+  for (const auto b : order) {
+    const auto& block = mode.blocks()[b];
+    double latest = 0.0;
+    for (const Ref r : block.inputs) {
+      // Registered self-feedback has no routed connection.
+      if (r.kind == Ref::Kind::Block && r.index == b) continue;
+      latest = std::max(latest,
+                        source_arrival(r) + conn_delay(r, static_cast<int>(b)));
+    }
+    arrival[b] = latest + model.lut_delay;
+    critical = std::max(critical, arrival[b]);
+  }
+  for (std::uint32_t po = 0; po < mode.num_pos(); ++po) {
+    const Ref driver = mode.pos()[po].driver;
+    critical = std::max(critical, source_arrival(driver) +
+                                      conn_delay(driver, ~static_cast<int>(po)));
+  }
+  return critical;
+}
+
+}  // namespace
+
+double TimingReport::mean_ratio() const {
+  MMFLOW_REQUIRE(!mdr_critical_path.empty() &&
+                 mdr_critical_path.size() == dcs_critical_path.size());
+  double sum = 0.0;
+  for (std::size_t m = 0; m < mdr_critical_path.size(); ++m) {
+    sum += dcs_critical_path[m] / mdr_critical_path[m];
+  }
+  return sum / static_cast<double>(mdr_critical_path.size());
+}
+
+double TimingReport::max_ratio() const {
+  MMFLOW_REQUIRE(!mdr_critical_path.empty());
+  double worst = 0.0;
+  for (std::size_t m = 0; m < mdr_critical_path.size(); ++m) {
+    worst = std::max(worst, dcs_critical_path[m] / mdr_critical_path[m]);
+  }
+  return worst;
+}
+
+TimingReport timing_report(const MultiModeExperiment& experiment,
+                           const std::vector<techmap::LutCircuit>& modes,
+                           const TimingModel& model) {
+  MMFLOW_REQUIRE(experiment.tunable.has_value());
+  const arch::RoutingGraph rrg(experiment.region);
+  TimingReport report;
+
+  // ---- MDR: per-mode routed delays -----------------------------------------
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    const auto& impl = experiment.mdr[m];
+    const ConnDelays delays(rrg, experiment.mdr_routing[m], model);
+
+    // Map (source block, sink block) -> (net, conn) of the mode's problem.
+    // Nets are indexed like the PlaceNetlist's; conns follow net.sinks order.
+    std::map<std::pair<std::uint32_t, std::uint32_t>,
+             std::pair<std::uint32_t, std::uint32_t>>
+        conn_of;
+    for (std::uint32_t n = 0; n < impl.netlist.num_nets(); ++n) {
+      const auto& net = impl.netlist.nets()[n];
+      for (std::uint32_t c = 0; c < net.sinks.size(); ++c) {
+        conn_of[{net.driver, net.sinks[c]}] = {n, c};
+      }
+    }
+    const auto& mapping = impl.mapping;
+    auto place_block = [&](Ref r) {
+      return r.kind == Ref::Kind::PrimaryInput ? mapping.pi_block(r.index)
+                                               : mapping.lut_block(r.index);
+    };
+    report.mdr_critical_path.push_back(critical_path(
+        modes[m], model, [&](Ref src, int sink) {
+          const std::uint32_t sink_block =
+              sink >= 0 ? mapping.lut_block(static_cast<std::uint32_t>(sink))
+                        : mapping.po_block(static_cast<std::uint32_t>(~sink));
+          const auto it = conn_of.find({place_block(src), sink_block});
+          if (it == conn_of.end()) return 2.0 * model.pin_delay;
+          return delays.get(it->second.first, it->second.second, 0);
+        }));
+  }
+
+  // ---- DCS: delays of the tunable connections active per mode ---------------
+  {
+    const auto& tc = *experiment.tunable;
+    const ConnDelays delays(rrg, experiment.dcs_routing, model);
+    // (source endpoint, sink endpoint) -> (net index, conn position).
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::pair<std::uint32_t, std::uint32_t>>
+        conn_of;
+    auto endpoint_key = [](tunable::TRef r) {
+      return (static_cast<std::uint64_t>(r.kind == tunable::TRef::Kind::Tio)
+              << 32) |
+             r.index;
+    };
+    for (std::uint32_t n = 0; n < tc.nets().size(); ++n) {
+      const auto& net = tc.nets()[n];
+      for (std::uint32_t c = 0; c < net.conns.size(); ++c) {
+        const auto& conn = tc.conns()[net.conns[c]];
+        conn_of[{endpoint_key(conn.source), endpoint_key(conn.sink)}] = {n, c};
+      }
+    }
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      const int mode = static_cast<int>(m);
+      auto src_tref = [&](Ref r) {
+        return r.kind == Ref::Kind::PrimaryInput
+                   ? tunable::TRef::tio(tc.tio_of_pi(mode, r.index))
+                   : tunable::TRef::tlut(tc.tlut_of_lut(mode, r.index));
+      };
+      report.dcs_critical_path.push_back(critical_path(
+          modes[m], model, [&](Ref src, int sink) {
+            const tunable::TRef sink_ref =
+                sink >= 0
+                    ? tunable::TRef::tlut(
+                          tc.tlut_of_lut(mode, static_cast<std::uint32_t>(sink)))
+                    : tunable::TRef::tio(
+                          tc.tio_of_po(mode, static_cast<std::uint32_t>(~sink)));
+            const auto it = conn_of.find(
+                {endpoint_key(src_tref(src)), endpoint_key(sink_ref)});
+            if (it == conn_of.end()) return 2.0 * model.pin_delay;
+            return delays.get(it->second.first, it->second.second, mode);
+          }));
+    }
+  }
+  return report;
+}
+
+}  // namespace mmflow::core

@@ -1,0 +1,43 @@
+#pragma once
+/// \file timing.h
+/// Critical-path timing estimation for routed implementations.
+///
+/// The paper's §IV-C justifies the wire-length metric through its
+/// correlation "with power usage and performance (maximum clock frequency)"
+/// and claims the flow works "without significant performance penalties".
+/// This module makes that claim measurable: a unit-delay timing model over
+/// the routed netlist (LUT delay + one delay unit per routed wire segment)
+/// yields each mode's critical path under MDR and under DCS.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flows.h"
+
+namespace mmflow::core {
+
+struct TimingModel {
+  double lut_delay = 1.0;   ///< logic block delay
+  double wire_delay = 0.5;  ///< per wire segment (unit-length)
+  double pin_delay = 0.2;   ///< OPIN/IPIN connection-block delay
+};
+
+/// Critical path (in model delay units) of one mode of a routed
+/// implementation: the longest register-to-register / IO-to-IO path where
+/// each connection contributes its actual routed length.
+struct TimingReport {
+  std::vector<double> mdr_critical_path;  ///< per mode
+  std::vector<double> dcs_critical_path;  ///< per mode
+
+  /// Mean DCS/MDR critical-path ratio (1.0 = no performance penalty).
+  [[nodiscard]] double mean_ratio() const;
+  [[nodiscard]] double max_ratio() const;
+};
+
+/// Computes per-mode critical paths for both flows of an experiment.
+[[nodiscard]] TimingReport timing_report(
+    const MultiModeExperiment& experiment,
+    const std::vector<techmap::LutCircuit>& modes,
+    const TimingModel& model = {});
+
+}  // namespace mmflow::core

@@ -1,0 +1,25 @@
+#pragma once
+/// \file blif.h
+/// Reader and writer for the Berkeley Logic Interchange Format (BLIF), the
+/// interchange format of the MCNC benchmark suite the paper evaluates on.
+/// Supported constructs: .model/.inputs/.outputs/.names/.latch/.end, line
+/// continuations with '\', and '#' comments. Unsupported constructs
+/// (.subckt, .gate, multiple models) raise ParseError.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace mmflow::netlist {
+
+/// Parses a BLIF model from a string. Throws ParseError on malformed input.
+[[nodiscard]] Netlist parse_blif(const std::string& text);
+
+/// Reads a BLIF file from disk.
+[[nodiscard]] Netlist read_blif_file(const std::string& path);
+
+/// Serializes a netlist to BLIF (inverse of parse_blif up to signal naming).
+[[nodiscard]] std::string write_blif(const Netlist& nl);
+
+}  // namespace mmflow::netlist

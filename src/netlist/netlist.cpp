@@ -1,0 +1,191 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+
+namespace mmflow::netlist {
+
+SignalId Netlist::new_signal(const std::string& name, DriverKind kind,
+                             std::uint32_t index) {
+  const auto id = static_cast<SignalId>(signals_.size());
+  signals_.push_back(Signal{name, kind, index});
+  if (!name.empty()) {
+    auto [it, inserted] = by_name_.emplace(name, id);
+    MMFLOW_REQUIRE_MSG(inserted, "duplicate signal name '" << name << "'");
+  }
+  return id;
+}
+
+SignalId Netlist::add_input(const std::string& name) {
+  const auto id =
+      new_signal(name, DriverKind::Input, static_cast<std::uint32_t>(inputs_.size()));
+  inputs_.push_back(id);
+  return id;
+}
+
+SignalId Netlist::add_constant(bool value) {
+  SignalId& cached = value ? const1_ : const0_;
+  if (cached == kNoSignal) {
+    cached = new_signal("", value ? DriverKind::Const1 : DriverKind::Const0, 0);
+  }
+  return cached;
+}
+
+SignalId Netlist::add_gate(std::vector<SignalId> inputs, SopCover cover,
+                           const std::string& name) {
+  MMFLOW_REQUIRE(cover.num_inputs == inputs.size());
+  for (SignalId in : inputs) MMFLOW_REQUIRE(in < signals_.size());
+  const auto gate_index = static_cast<std::uint32_t>(gates_.size());
+  gates_.push_back(Gate{std::move(inputs), std::move(cover)});
+  return new_signal(name, DriverKind::Gate, gate_index);
+}
+
+SignalId Netlist::add_latch(SignalId d_input, bool init,
+                            const std::string& name) {
+  if (d_input != kNoSignal) MMFLOW_REQUIRE(d_input < signals_.size());
+  const auto latch_index = static_cast<std::uint32_t>(latches_.size());
+  latches_.push_back(Latch{d_input, init});
+  return new_signal(name, DriverKind::Latch, latch_index);
+}
+
+void Netlist::set_latch_input(SignalId latch_output, SignalId d_input) {
+  const Signal& s = signal(latch_output);
+  MMFLOW_REQUIRE(s.kind == DriverKind::Latch);
+  MMFLOW_REQUIRE(d_input < signals_.size());
+  latches_[s.index].input = d_input;
+}
+
+void Netlist::add_output(const std::string& name, SignalId sig) {
+  MMFLOW_REQUIRE(sig < signals_.size());
+  MMFLOW_REQUIRE(!name.empty());
+  outputs_.push_back(Output{name, sig});
+}
+
+SignalId Netlist::add_tt_gate(std::vector<SignalId> ins, std::uint64_t truth) {
+  return add_gate(std::move(ins),
+                  cover_from_truth(static_cast<std::uint32_t>(ins.size()), truth));
+}
+
+// NOTE on truth-table bit order: input 0 is the LSB of the minterm index.
+SignalId Netlist::add_not(SignalId a) { return add_tt_gate({a}, 0b01); }
+SignalId Netlist::add_buf(SignalId a) { return add_tt_gate({a}, 0b10); }
+SignalId Netlist::add_and(SignalId a, SignalId b) { return add_tt_gate({a, b}, 0b1000); }
+SignalId Netlist::add_or(SignalId a, SignalId b) { return add_tt_gate({a, b}, 0b1110); }
+SignalId Netlist::add_xor(SignalId a, SignalId b) { return add_tt_gate({a, b}, 0b0110); }
+SignalId Netlist::add_nand(SignalId a, SignalId b) { return add_tt_gate({a, b}, 0b0111); }
+SignalId Netlist::add_nor(SignalId a, SignalId b) { return add_tt_gate({a, b}, 0b0001); }
+SignalId Netlist::add_xnor(SignalId a, SignalId b) { return add_tt_gate({a, b}, 0b1001); }
+
+SignalId Netlist::add_mux(SignalId sel, SignalId hi, SignalId lo) {
+  // Inputs ordered {sel, hi, lo}: minterm bit0=sel, bit1=hi, bit2=lo.
+  // Output = sel ? hi : lo.
+  std::uint64_t truth = 0;
+  for (std::uint32_t m = 0; m < 8; ++m) {
+    const bool s = m & 1;
+    const bool h = (m >> 1) & 1;
+    const bool l = (m >> 2) & 1;
+    if (s ? h : l) truth |= std::uint64_t{1} << m;
+  }
+  return add_tt_gate({sel, hi, lo}, truth);
+}
+
+namespace {
+template <typename Join>
+SignalId reduce_tree(std::vector<SignalId> terms, SignalId neutral, Join join) {
+  if (terms.empty()) return neutral;
+  while (terms.size() > 1) {
+    std::vector<SignalId> next;
+    next.reserve((terms.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(join(terms[i], terms[i + 1]));
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms.front();
+}
+}  // namespace
+
+SignalId Netlist::add_and_tree(std::vector<SignalId> terms) {
+  return reduce_tree(std::move(terms), add_constant(true),
+                     [this](SignalId a, SignalId b) { return add_and(a, b); });
+}
+
+SignalId Netlist::add_or_tree(std::vector<SignalId> terms) {
+  return reduce_tree(std::move(terms), add_constant(false),
+                     [this](SignalId a, SignalId b) { return add_or(a, b); });
+}
+
+SignalId Netlist::add_xor_tree(std::vector<SignalId> terms) {
+  return reduce_tree(std::move(terms), add_constant(false),
+                     [this](SignalId a, SignalId b) { return add_xor(a, b); });
+}
+
+std::pair<SignalId, SignalId> Netlist::add_full_adder(SignalId a, SignalId b,
+                                                      SignalId cin) {
+  const SignalId sum = add_xor_tree({a, b, cin});
+  const SignalId ab = add_and(a, b);
+  const SignalId ac = add_and(a, cin);
+  const SignalId bc = add_and(b, cin);
+  const SignalId carry = add_or_tree({ab, ac, bc});
+  return {sum, carry};
+}
+
+SignalId Netlist::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoSignal : it->second;
+}
+
+std::vector<SignalId> Netlist::topo_order() const {
+  enum class Mark : std::uint8_t { White, Grey, Black };
+  std::vector<Mark> mark(signals_.size(), Mark::White);
+  std::vector<SignalId> order;
+  order.reserve(signals_.size());
+
+  // Iterative DFS to survive deep combinational chains (adders etc.).
+  struct Frame {
+    SignalId id;
+    std::size_t next_input;
+  };
+  std::vector<Frame> stack;
+  for (SignalId root = 0; root < signals_.size(); ++root) {
+    if (mark[root] != Mark::White) continue;
+    stack.push_back(Frame{root, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const Signal& s = signals_[f.id];
+      if (mark[f.id] == Mark::White) mark[f.id] = Mark::Grey;
+      // Only gates have combinational dependencies; latch outputs, inputs
+      // and constants are sources in the combinational graph.
+      if (s.kind == DriverKind::Gate &&
+          f.next_input < gates_[s.index].inputs.size()) {
+        const SignalId dep = gates_[s.index].inputs[f.next_input++];
+        if (mark[dep] == Mark::White) {
+          stack.push_back(Frame{dep, 0});
+        } else {
+          MMFLOW_CHECK_MSG(mark[dep] != Mark::Grey,
+                           "combinational cycle through signal " << dep);
+        }
+        continue;
+      }
+      mark[f.id] = Mark::Black;
+      order.push_back(f.id);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+void Netlist::validate() const {
+  for (const Latch& latch : latches_) {
+    MMFLOW_CHECK_MSG(latch.input != kNoSignal, "latch with unset D input");
+  }
+  for (const Output& out : outputs_) {
+    MMFLOW_CHECK(out.signal < signals_.size());
+  }
+  for (const Gate& gate : gates_) {
+    MMFLOW_CHECK(gate.cover.num_inputs == gate.inputs.size());
+  }
+  (void)topo_order();  // throws on combinational cycles
+}
+
+}  // namespace mmflow::netlist

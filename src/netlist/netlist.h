@@ -1,0 +1,145 @@
+#pragma once
+/// \file netlist.h
+/// Gate-level netlist intermediate representation.
+///
+/// This is the entry point of the tool flow: the benchmark generators
+/// (regexp / fir / mcnc) and the BLIF reader both produce a Netlist, which is
+/// then synthesized through the AIG (src/aig) and technology-mapped to a
+/// LutCircuit (src/techmap) — exactly the "synthesis + technology mapping"
+/// front half of the paper's MDR and DCS flows (Fig. 1).
+///
+/// Model: a set of signals, each driven by exactly one driver — a primary
+/// input, a logic gate (SOP cover over other signals), a D flip-flop, or a
+/// constant. Primary outputs name driven signals. Combinational loops are
+/// illegal (checked by the simulator / topological sort).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "netlist/sop.h"
+
+namespace mmflow::netlist {
+
+/// Index of a signal within its Netlist.
+using SignalId = std::uint32_t;
+inline constexpr SignalId kNoSignal = 0xffffffffu;
+
+enum class DriverKind : std::uint8_t { Const0, Const1, Input, Gate, Latch };
+
+/// A gate-level netlist. Cheap to copy relative to the flow runtimes; treat
+/// as a value type.
+class Netlist {
+ public:
+  struct Gate {
+    std::vector<SignalId> inputs;
+    SopCover cover;  ///< cover.num_inputs == inputs.size()
+  };
+
+  struct Latch {
+    SignalId input = kNoSignal;  ///< D pin (assigned via set_latch_input).
+    bool init = false;           ///< power-up value
+  };
+
+  struct Signal {
+    std::string name;  ///< optional; unique when non-empty
+    DriverKind kind = DriverKind::Const0;
+    std::uint32_t index = 0;  ///< into gates_/latches_/inputs_ by kind
+  };
+
+  struct Output {
+    std::string name;
+    SignalId signal = kNoSignal;
+  };
+
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  // ---- construction -------------------------------------------------------
+
+  SignalId add_input(const std::string& name);
+  SignalId add_constant(bool value);
+  SignalId add_gate(std::vector<SignalId> inputs, SopCover cover,
+                    const std::string& name = "");
+  /// Adds a latch; its D input may be set later (generators often create the
+  /// state bits first), but must be set before simulation/synthesis.
+  SignalId add_latch(SignalId d_input = kNoSignal, bool init = false,
+                     const std::string& name = "");
+  void set_latch_input(SignalId latch_output, SignalId d_input);
+  void add_output(const std::string& name, SignalId signal);
+
+  // Convenience gate builders (small truth-table gates).
+  SignalId add_not(SignalId a);
+  SignalId add_buf(SignalId a);
+  SignalId add_and(SignalId a, SignalId b);
+  SignalId add_or(SignalId a, SignalId b);
+  SignalId add_xor(SignalId a, SignalId b);
+  SignalId add_nand(SignalId a, SignalId b);
+  SignalId add_nor(SignalId a, SignalId b);
+  SignalId add_xnor(SignalId a, SignalId b);
+  /// 2:1 multiplexer: sel ? hi : lo.
+  SignalId add_mux(SignalId sel, SignalId hi, SignalId lo);
+  /// Balanced n-ary trees (empty operand list yields the neutral constant).
+  SignalId add_and_tree(std::vector<SignalId> terms);
+  SignalId add_or_tree(std::vector<SignalId> terms);
+  SignalId add_xor_tree(std::vector<SignalId> terms);
+  /// Full adder; returns {sum, carry}.
+  std::pair<SignalId, SignalId> add_full_adder(SignalId a, SignalId b,
+                                               SignalId cin);
+
+  // ---- inspection ---------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  [[nodiscard]] std::size_t num_signals() const { return signals_.size(); }
+  [[nodiscard]] const Signal& signal(SignalId id) const {
+    MMFLOW_REQUIRE(id < signals_.size());
+    return signals_[id];
+  }
+  [[nodiscard]] const std::vector<SignalId>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<Output>& outputs() const { return outputs_; }
+  [[nodiscard]] std::size_t num_gates() const { return gates_.size(); }
+  [[nodiscard]] std::size_t num_latches() const { return latches_.size(); }
+
+  [[nodiscard]] const Gate& gate_of(SignalId id) const {
+    const Signal& s = signal(id);
+    MMFLOW_REQUIRE(s.kind == DriverKind::Gate);
+    return gates_[s.index];
+  }
+  [[nodiscard]] const Latch& latch_of(SignalId id) const {
+    const Signal& s = signal(id);
+    MMFLOW_REQUIRE(s.kind == DriverKind::Latch);
+    return latches_[s.index];
+  }
+
+  /// Looks a signal up by name; returns kNoSignal if absent.
+  [[nodiscard]] SignalId find(const std::string& name) const;
+
+  /// Topological order of all signals (inputs/constants/latch outputs first,
+  /// then gates in dependency order). Throws InternalError on a
+  /// combinational cycle.
+  [[nodiscard]] std::vector<SignalId> topo_order() const;
+
+  /// All latches must have a driven D input; every output signal exists.
+  void validate() const;
+
+ private:
+  SignalId new_signal(const std::string& name, DriverKind kind,
+                      std::uint32_t index);
+  SignalId add_tt_gate(std::vector<SignalId> ins, std::uint64_t truth);
+
+  std::string name_;
+  std::vector<Signal> signals_;
+  std::vector<Gate> gates_;
+  std::vector<Latch> latches_;
+  std::vector<SignalId> inputs_;
+  std::vector<Output> outputs_;
+  std::unordered_map<std::string, SignalId> by_name_;
+  SignalId const0_ = kNoSignal;
+  SignalId const1_ = kNoSignal;
+};
+
+}  // namespace mmflow::netlist

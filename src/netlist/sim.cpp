@@ -1,0 +1,79 @@
+#include "netlist/sim.h"
+
+namespace mmflow::netlist {
+
+Simulator::Simulator(const Netlist& nl) : nl_(nl), topo_(nl.topo_order()) {
+  nl_.validate();
+  value_.assign(nl_.num_signals(), 0);
+  latch_state_.assign(nl_.num_latches(), 0);
+  reset();
+}
+
+void Simulator::reset() {
+  std::size_t latch_index = 0;
+  for (SignalId id = 0; id < nl_.num_signals(); ++id) {
+    if (nl_.signal(id).kind == DriverKind::Latch) {
+      const bool init = nl_.latch_of(id).init;
+      latch_state_[nl_.signal(id).index] = init ? ~std::uint64_t{0} : 0;
+      ++latch_index;
+    }
+  }
+  (void)latch_index;
+}
+
+void Simulator::eval_comb(const std::vector<std::uint64_t>& input_words) {
+  MMFLOW_REQUIRE(input_words.size() == nl_.inputs().size());
+  for (const SignalId id : topo_) {
+    const auto& sig = nl_.signal(id);
+    switch (sig.kind) {
+      case DriverKind::Const0: value_[id] = 0; break;
+      case DriverKind::Const1: value_[id] = ~std::uint64_t{0}; break;
+      case DriverKind::Input: value_[id] = input_words[sig.index]; break;
+      case DriverKind::Latch: value_[id] = latch_state_[sig.index]; break;
+      case DriverKind::Gate: {
+        const Netlist::Gate& gate = nl_.gate_of(id);
+        // Bit-sliced SOP evaluation: compute each cube over 64 patterns.
+        std::uint64_t acc = 0;
+        for (const Cube& cube : gate.cover.cubes) {
+          std::uint64_t term = ~std::uint64_t{0};
+          for (std::uint32_t i = 0; i < gate.cover.num_inputs; ++i) {
+            const std::uint64_t bit = std::uint64_t{1} << i;
+            if (!(cube.care & bit)) continue;
+            const std::uint64_t v = value_[gate.inputs[i]];
+            term &= (cube.value & bit) ? v : ~v;
+            if (term == 0) break;
+          }
+          acc |= term;
+          if (acc == ~std::uint64_t{0}) break;
+        }
+        value_[id] = gate.cover.onset ? acc : ~acc;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<std::uint64_t> Simulator::eval_outputs(
+    const std::vector<std::uint64_t>& input_words) {
+  eval_comb(input_words);
+  std::vector<std::uint64_t> out;
+  out.reserve(nl_.outputs().size());
+  for (const auto& output : nl_.outputs()) out.push_back(value_[output.signal]);
+  return out;
+}
+
+std::vector<std::uint64_t> Simulator::step(
+    const std::vector<std::uint64_t>& input_words) {
+  auto out = eval_outputs(input_words);
+  // Clock edge: all latches load their D inputs simultaneously.
+  std::vector<std::uint64_t> next_state(latch_state_.size());
+  for (SignalId id = 0; id < nl_.num_signals(); ++id) {
+    const auto& sig = nl_.signal(id);
+    if (sig.kind != DriverKind::Latch) continue;
+    next_state[sig.index] = value_[nl_.latch_of(id).input];
+  }
+  latch_state_ = std::move(next_state);
+  return out;
+}
+
+}  // namespace mmflow::netlist

@@ -1,0 +1,111 @@
+#include "netlist/sop.h"
+
+namespace mmflow::netlist {
+
+SopCover SopCover::constant(bool value) {
+  SopCover cover;
+  cover.num_inputs = 0;
+  if (value) {
+    // On-set with a single all-don't-care cube: always 1.
+    cover.cubes.push_back(Cube{});
+  }
+  // Empty on-set: always 0.
+  cover.onset = true;
+  return cover;
+}
+
+Cube SopCover::cube_from_blif(const std::string& row) {
+  MMFLOW_REQUIRE_MSG(row.size() <= 64, "cube wider than 64 inputs");
+  Cube cube;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const std::uint64_t bit = std::uint64_t{1} << i;
+    switch (row[i]) {
+      case '0': cube.care |= bit; break;
+      case '1': cube.care |= bit; cube.value |= bit; break;
+      case '-': break;
+      default:
+        throw ParseError("bad character '" + std::string(1, row[i]) +
+                         "' in BLIF cube row '" + row + "'");
+    }
+  }
+  return cube;
+}
+
+std::vector<std::uint64_t> SopCover::truth_table() const {
+  MMFLOW_REQUIRE_MSG(num_inputs <= 16, "truth table too wide");
+  const std::uint64_t minterms = std::uint64_t{1} << num_inputs;
+  std::vector<std::uint64_t> words((minterms + 63) / 64, 0);
+  for (std::uint64_t m = 0; m < minterms; ++m) {
+    if (eval(m)) words[m / 64] |= std::uint64_t{1} << (m % 64);
+  }
+  return words;
+}
+
+std::vector<std::string> SopCover::to_blif_rows() const {
+  std::vector<std::string> rows;
+  rows.reserve(cubes.size());
+  const char out = onset ? '1' : '0';
+  for (const Cube& c : cubes) {
+    std::string row(num_inputs, '-');
+    for (std::uint32_t i = 0; i < num_inputs; ++i) {
+      const std::uint64_t bit = std::uint64_t{1} << i;
+      if (c.care & bit) row[i] = (c.value & bit) ? '1' : '0';
+    }
+    row.push_back(' ');
+    row.push_back(out);
+    rows.push_back(std::move(row));
+  }
+  if (cubes.empty()) {
+    // Constant: BLIF convention is a bare output value row (or no rows for 0).
+    if (!onset) rows.push_back("1");
+  }
+  return rows;
+}
+
+bool SopCover::is_constant(bool* value_out) const {
+  MMFLOW_REQUIRE(value_out != nullptr);
+  if (cubes.empty()) {
+    *value_out = !onset;
+    return true;
+  }
+  // A cube with no cared bits makes the cover trivially constant.
+  for (const Cube& c : cubes) {
+    if (c.care == 0) {
+      *value_out = onset;
+      return true;
+    }
+  }
+  if (num_inputs <= 12) {
+    const auto tt = truth_table();
+    const std::uint64_t minterms = std::uint64_t{1} << num_inputs;
+    bool all0 = true;
+    bool all1 = true;
+    for (std::uint64_t m = 0; m < minterms; ++m) {
+      const bool v = (tt[m / 64] >> (m % 64)) & 1;
+      all0 &= !v;
+      all1 &= v;
+    }
+    if (all0) { *value_out = false; return true; }
+    if (all1) { *value_out = true; return true; }
+  }
+  return false;
+}
+
+SopCover cover_from_truth(std::uint32_t num_inputs, std::uint64_t bits) {
+  MMFLOW_REQUIRE(num_inputs <= 6);
+  SopCover cover;
+  cover.num_inputs = num_inputs;
+  cover.onset = true;
+  const std::uint64_t minterms = std::uint64_t{1} << num_inputs;
+  for (std::uint64_t m = 0; m < minterms; ++m) {
+    if ((bits >> m) & 1) {
+      Cube cube;
+      cube.care = minterms - 1;
+      cube.value = m;
+      cover.cubes.push_back(cube);
+    }
+  }
+  return cover;
+}
+
+}  // namespace mmflow::netlist

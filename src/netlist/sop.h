@@ -1,0 +1,70 @@
+#pragma once
+/// \file sop.h
+/// Sum-of-products covers, the logic representation used by gate-level
+/// netlist nodes (mirroring BLIF `.names` semantics). A cover is a set of
+/// cubes over up to 64 inputs; it either describes the on-set (rows with
+/// output 1) or the off-set (rows with output 0) of the node function.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mmflow::netlist {
+
+/// One product term. Input i participates if bit i of `care` is set, with the
+/// required value in bit i of `value` (value bits outside `care` must be 0).
+struct Cube {
+  std::uint64_t care = 0;
+  std::uint64_t value = 0;
+
+  [[nodiscard]] bool matches(std::uint64_t input_bits) const {
+    return (input_bits & care) == value;
+  }
+
+  friend bool operator==(const Cube&, const Cube&) = default;
+};
+
+/// Sum-of-products cover over `num_inputs` ordered inputs.
+struct SopCover {
+  std::uint32_t num_inputs = 0;
+  std::vector<Cube> cubes;
+  /// True: `cubes` is the on-set (output 1 when some cube matches).
+  /// False: `cubes` is the off-set (output 0 when some cube matches).
+  bool onset = true;
+
+  /// Constant-0 cover (empty on-set), the BLIF convention for `.names n`
+  /// with no rows.
+  [[nodiscard]] static SopCover constant(bool value);
+
+  /// Single-cube cover from a BLIF row such as "1-0" (over num_inputs
+  /// inputs). Throws ParseError on malformed rows.
+  [[nodiscard]] static Cube cube_from_blif(const std::string& row);
+
+  /// Evaluates the node function; bit i of `input_bits` is input i.
+  [[nodiscard]] bool eval(std::uint64_t input_bits) const {
+    for (const Cube& c : cubes) {
+      if (c.matches(input_bits)) return onset;
+    }
+    return !onset;
+  }
+
+  /// Expands to a truth table; only valid for num_inputs <= 16.
+  /// Bit m of word m/64 is the output for input minterm m.
+  [[nodiscard]] std::vector<std::uint64_t> truth_table() const;
+
+  /// BLIF rows for this cover (one string per cube, plus output column).
+  [[nodiscard]] std::vector<std::string> to_blif_rows() const;
+
+  /// True if the function is constant; sets `*value_out` when it is.
+  /// (Exact check via truth table when small, cube inspection otherwise.)
+  [[nodiscard]] bool is_constant(bool* value_out) const;
+};
+
+/// Builds an on-set cover from a truth table over `num_inputs` <= 6 inputs
+/// packed into the low 2^num_inputs bits of `bits` (minterm-per-bit).
+[[nodiscard]] SopCover cover_from_truth(std::uint32_t num_inputs,
+                                        std::uint64_t bits);
+
+}  // namespace mmflow::netlist

@@ -1,0 +1,87 @@
+#include "place/placenet.h"
+
+#include <algorithm>
+
+namespace mmflow::place {
+
+std::size_t PlaceNetlist::num_clbs() const {
+  return static_cast<std::size_t>(
+      std::count_if(blocks_.begin(), blocks_.end(), [](const PlaceBlock& b) {
+        return b.type == PlaceBlock::Type::Clb;
+      }));
+}
+
+std::size_t PlaceNetlist::num_ios() const { return blocks_.size() - num_clbs(); }
+
+void PlaceNetlist::build_block_nets() const {
+  block_nets_.assign(blocks_.size(), {});
+  for (std::uint32_t n = 0; n < nets_.size(); ++n) {
+    block_nets_[nets_[n].driver].push_back(n);
+    for (const auto s : nets_[n].sinks) {
+      // A block may appear as several sinks only after dedup failure; the
+      // construction below dedups, but stay robust.
+      if (block_nets_[s].empty() || block_nets_[s].back() != n) {
+        block_nets_[s].push_back(n);
+      }
+    }
+  }
+}
+
+const std::vector<std::uint32_t>& PlaceNetlist::nets_of_block(
+    std::uint32_t block) const {
+  MMFLOW_REQUIRE(block < blocks_.size());
+  if (block_nets_.empty()) build_block_nets();
+  return block_nets_[block];
+}
+
+PlaceNetlist to_place_netlist(const techmap::LutCircuit& circuit,
+                              LutPlaceMapping* mapping) {
+  using techmap::Ref;
+  circuit.validate();
+  PlaceNetlist out;
+
+  for (std::uint32_t b = 0; b < circuit.num_blocks(); ++b) {
+    out.add_block(PlaceBlock::Type::Clb, circuit.blocks()[b].name);
+  }
+  const auto pi_base = static_cast<std::uint32_t>(out.num_blocks());
+  for (const auto& name : circuit.pi_names()) {
+    out.add_block(PlaceBlock::Type::Io, name);
+  }
+  const auto po_base = static_cast<std::uint32_t>(out.num_blocks());
+  for (const auto& po : circuit.pos()) {
+    out.add_block(PlaceBlock::Type::Io, po.name);
+  }
+  if (mapping != nullptr) {
+    mapping->num_luts = static_cast<std::uint32_t>(circuit.num_blocks());
+    mapping->pi_base = pi_base;
+    mapping->po_base = po_base;
+  }
+
+  // Collect fanout per source.
+  auto source_block = [&](Ref r) {
+    return r.kind == Ref::Kind::PrimaryInput ? pi_base + r.index : r.index;
+  };
+  std::vector<std::vector<std::uint32_t>> fanout(out.num_blocks());
+  for (std::uint32_t b = 0; b < circuit.num_blocks(); ++b) {
+    for (const Ref r : circuit.blocks()[b].inputs) {
+      fanout[source_block(r)].push_back(b);
+    }
+  }
+  for (std::uint32_t p = 0; p < circuit.pos().size(); ++p) {
+    fanout[source_block(circuit.pos()[p].driver)].push_back(po_base + p);
+  }
+
+  for (std::uint32_t src = 0; src < fanout.size(); ++src) {
+    auto& sinks = fanout[src];
+    if (sinks.empty()) continue;
+    std::sort(sinks.begin(), sinks.end());
+    sinks.erase(std::unique(sinks.begin(), sinks.end()), sinks.end());
+    // Self-loops (a LUT reading its own FF output) need no routing.
+    sinks.erase(std::remove(sinks.begin(), sinks.end(), src), sinks.end());
+    if (sinks.empty()) continue;
+    out.add_net(PlaceNet{src, std::move(sinks), 1.0});
+  }
+  return out;
+}
+
+}  // namespace mmflow::place

@@ -1,0 +1,352 @@
+#include "place/placer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/stats.h"
+
+namespace mmflow::place {
+
+namespace {
+
+/// Bounding box of a net under a placement.
+struct Bb {
+  int xmin = 0, xmax = 0, ymin = 0, ymax = 0;
+};
+
+Bb net_bb(const PlaceNet& net, const Placement& placement) {
+  const arch::Site& d = placement.site_of(net.driver);
+  Bb bb{d.x, d.x, d.y, d.y};
+  for (const auto s : net.sinks) {
+    const arch::Site& site = placement.site_of(s);
+    bb.xmin = std::min<int>(bb.xmin, site.x);
+    bb.xmax = std::max<int>(bb.xmax, site.x);
+    bb.ymin = std::min<int>(bb.ymin, site.y);
+    bb.ymax = std::max<int>(bb.ymax, site.y);
+  }
+  return bb;
+}
+
+double net_cost(const PlaceNet& net, const Placement& placement) {
+  const Bb bb = net_bb(net, placement);
+  return net.weight *
+         hpwl_cost(bb.xmin, bb.xmax, bb.ymin, bb.ymax, net.num_terminals());
+}
+
+}  // namespace
+
+Placement::Placement(const arch::DeviceGrid& grid, std::size_t num_blocks)
+    : grid_(&grid),
+      site_of_block_(num_blocks),
+      placed_(num_blocks, false),
+      clb_occupant_(static_cast<std::size_t>(grid.num_clb_sites()), -1),
+      pad_occupant_(static_cast<std::size_t>(grid.num_pad_sites()), -1) {}
+
+void Placement::assign(std::uint32_t block, const arch::Site& site) {
+  MMFLOW_REQUIRE(block < site_of_block_.size());
+  MMFLOW_REQUIRE(!placed_[block]);
+  auto& occupant = site.type == arch::Site::Type::Clb
+                       ? clb_occupant_[static_cast<std::size_t>(
+                             grid_->clb_index(site.x, site.y))]
+                       : pad_occupant_[static_cast<std::size_t>(
+                             grid_->pad_index(site))];
+  MMFLOW_REQUIRE_MSG(occupant < 0, "site already occupied");
+  occupant = static_cast<std::int32_t>(block);
+  site_of_block_[block] = site;
+  placed_[block] = true;
+}
+
+void Placement::unassign(std::uint32_t block) {
+  MMFLOW_REQUIRE(block < site_of_block_.size());
+  MMFLOW_REQUIRE(placed_[block]);
+  const arch::Site site = site_of_block_[block];
+  auto& occupant = site.type == arch::Site::Type::Clb
+                       ? clb_occupant_[static_cast<std::size_t>(
+                             grid_->clb_index(site.x, site.y))]
+                       : pad_occupant_[static_cast<std::size_t>(
+                             grid_->pad_index(site))];
+  MMFLOW_CHECK(occupant == static_cast<std::int32_t>(block));
+  occupant = -1;
+  placed_[block] = false;
+}
+
+void Placement::validate(const PlaceNetlist& netlist) const {
+  MMFLOW_CHECK(netlist.num_blocks() == site_of_block_.size());
+  for (std::uint32_t b = 0; b < site_of_block_.size(); ++b) {
+    MMFLOW_CHECK_MSG(placed_[b], "block " << b << " unplaced");
+    const arch::Site& site = site_of_block_[b];
+    const bool is_clb = netlist.blocks()[b].type == PlaceBlock::Type::Clb;
+    MMFLOW_CHECK(site.type ==
+                 (is_clb ? arch::Site::Type::Clb : arch::Site::Type::Pad));
+    if (is_clb) {
+      MMFLOW_CHECK(clb_occupant_[static_cast<std::size_t>(
+                       grid_->clb_index(site.x, site.y))] ==
+                   static_cast<std::int32_t>(b));
+    } else {
+      MMFLOW_CHECK(pad_occupant_[static_cast<std::size_t>(
+                       grid_->pad_index(site))] ==
+                   static_cast<std::int32_t>(b));
+    }
+  }
+}
+
+double placement_cost(const PlaceNetlist& netlist, const Placement& placement) {
+  double cost = 0.0;
+  for (const auto& net : netlist.nets()) cost += net_cost(net, placement);
+  return cost;
+}
+
+Placement random_placement(const PlaceNetlist& netlist,
+                           const arch::DeviceGrid& grid, Rng& rng) {
+  const std::size_t num_clbs = netlist.num_clbs();
+  const std::size_t num_ios = netlist.num_ios();
+  MMFLOW_REQUIRE_MSG(num_clbs <= static_cast<std::size_t>(grid.num_clb_sites()),
+                     "device too small: " << num_clbs << " CLBs > "
+                                          << grid.num_clb_sites() << " sites");
+  MMFLOW_REQUIRE_MSG(num_ios <= static_cast<std::size_t>(grid.num_pad_sites()),
+                     "device too small for IOs");
+
+  std::vector<int> clb_sites(static_cast<std::size_t>(grid.num_clb_sites()));
+  std::vector<int> pad_sites(static_cast<std::size_t>(grid.num_pad_sites()));
+  for (std::size_t i = 0; i < clb_sites.size(); ++i) clb_sites[i] = static_cast<int>(i);
+  for (std::size_t i = 0; i < pad_sites.size(); ++i) pad_sites[i] = static_cast<int>(i);
+  shuffle(clb_sites, rng);
+  shuffle(pad_sites, rng);
+
+  Placement placement(grid, netlist.num_blocks());
+  std::size_t next_clb = 0;
+  std::size_t next_pad = 0;
+  for (std::uint32_t b = 0; b < netlist.num_blocks(); ++b) {
+    if (netlist.blocks()[b].type == PlaceBlock::Type::Clb) {
+      placement.assign(b, grid.clb_site(clb_sites[next_clb++]));
+    } else {
+      placement.assign(b, grid.pad_site(pad_sites[next_pad++]));
+    }
+  }
+  return placement;
+}
+
+namespace {
+
+/// Incremental SA engine. Cost is maintained as the sum of per-net costs;
+/// a move re-evaluates only the nets touching the moved block(s). Net fanouts
+/// in mapped LUT circuits are small, so recomputing a net's bounding box
+/// from scratch is cheap and, unlike VPR's incremental bounding boxes,
+/// trivially correct.
+class Sa {
+ public:
+  Sa(const PlaceNetlist& netlist, const arch::DeviceGrid& grid,
+     Placement placement, Rng rng)
+      : netlist_(netlist),
+        grid_(grid),
+        placement_(std::move(placement)),
+        rng_(rng),
+        net_cost_(netlist.num_nets(), 0.0) {
+    netlist_.build_block_nets();
+    cost_ = 0.0;
+    for (std::uint32_t n = 0; n < netlist_.num_nets(); ++n) {
+      net_cost_[n] = net_cost(netlist_.nets()[n], placement_);
+      cost_ += net_cost_[n];
+    }
+  }
+
+  [[nodiscard]] double cost() const { return cost_; }
+  [[nodiscard]] Placement take_placement() { return std::move(placement_); }
+
+  /// Proposes one swap; returns the delta. Accepting is the caller's call.
+  /// If `accept` ends up false the move is undone.
+  bool try_move(int range_limit, double temperature, double* delta_out) {
+    // Pick a random placed block, then a target site of the same type within
+    // the range limit window centred on it.
+    const auto block =
+        static_cast<std::uint32_t>(rng_.next_below(netlist_.num_blocks()));
+    const arch::Site from = placement_.site_of(block);
+    const bool is_clb = netlist_.blocks()[block].type == PlaceBlock::Type::Clb;
+
+    arch::Site to;
+    if (is_clb) {
+      const auto& spec = grid_.spec();
+      const int xlo = std::max(1, from.x - range_limit);
+      const int xhi = std::min(spec.nx, from.x + range_limit);
+      const int ylo = std::max(1, from.y - range_limit);
+      const int yhi = std::min(spec.ny, from.y + range_limit);
+      const int x = static_cast<int>(rng_.next_int(xlo, xhi));
+      const int y = static_cast<int>(rng_.next_int(ylo, yhi));
+      to = arch::Site{arch::Site::Type::Clb, static_cast<std::int16_t>(x),
+                      static_cast<std::int16_t>(y), 0};
+      if (to == from) return false;
+    } else {
+      // Pads: choose a random pad position within range limit along the
+      // perimeter coordinates (Chebyshev window like CLBs), random subsite.
+      const int max_tries = 4;
+      bool found = false;
+      for (int t = 0; t < max_tries && !found; ++t) {
+        const int index =
+            static_cast<int>(rng_.next_below(
+                static_cast<std::uint64_t>(grid_.num_pad_sites())));
+        to = grid_.pad_site(index);
+        if (std::abs(to.x - from.x) <= range_limit &&
+            std::abs(to.y - from.y) <= range_limit && !(to == from)) {
+          found = true;
+        }
+      }
+      if (!found) return false;
+    }
+
+    const std::int32_t other =
+        to.type == arch::Site::Type::Clb
+            ? placement_.clb_occupant(grid_.clb_index(to.x, to.y))
+            : placement_.pad_occupant(grid_.pad_index(to));
+
+    // Collect affected nets (dedup via epoch stamps).
+    affected_.clear();
+    auto mark_nets = [&](std::uint32_t b) {
+      for (const auto n : netlist_.nets_of_block(b)) {
+        if (net_epoch_.size() < netlist_.num_nets()) {
+          net_epoch_.assign(netlist_.num_nets(), 0);
+        }
+        if (net_epoch_[n] != epoch_) {
+          net_epoch_[n] = epoch_;
+          affected_.push_back(n);
+        }
+      }
+    };
+    ++epoch_;
+    mark_nets(block);
+    if (other >= 0) mark_nets(static_cast<std::uint32_t>(other));
+
+    double old_cost = 0.0;
+    for (const auto n : affected_) old_cost += net_cost_[n];
+
+    // Apply.
+    placement_.unassign(block);
+    if (other >= 0) placement_.unassign(static_cast<std::uint32_t>(other));
+    placement_.assign(block, to);
+    if (other >= 0) placement_.assign(static_cast<std::uint32_t>(other), from);
+
+    double new_cost = 0.0;
+    for (const auto n : affected_) {
+      new_cost += net_cost(netlist_.nets()[n], placement_);
+    }
+    const double delta = new_cost - old_cost;
+
+    const bool accept =
+        delta <= 0.0 ||
+        (temperature > 0.0 && rng_.next_double() < std::exp(-delta / temperature));
+    if (accept) {
+      for (const auto n : affected_) {
+        net_cost_[n] = net_cost(netlist_.nets()[n], placement_);
+      }
+      cost_ += delta;
+    } else {
+      // Undo.
+      placement_.unassign(block);
+      if (other >= 0) placement_.unassign(static_cast<std::uint32_t>(other));
+      placement_.assign(block, from);
+      if (other >= 0) placement_.assign(static_cast<std::uint32_t>(other), to);
+    }
+    if (delta_out != nullptr) *delta_out = delta;
+    return accept;
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  const PlaceNetlist& netlist_;
+  const arch::DeviceGrid& grid_;
+  Placement placement_;
+  Rng rng_;
+  std::vector<double> net_cost_;
+  double cost_ = 0.0;
+  std::vector<std::uint32_t> affected_;
+  std::vector<std::uint64_t> net_epoch_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace
+
+Placement place_from(const PlaceNetlist& netlist, const arch::DeviceGrid& grid,
+                     Placement initial, const PlacerOptions& options,
+                     PlacerStats* stats) {
+  initial.validate(netlist);
+  Rng rng(options.seed);
+  Sa sa(netlist, grid, std::move(initial), rng.fork());
+
+  const int max_range = std::max(grid.spec().nx, grid.spec().ny) + 2;
+  AnnealSchedule schedule(options.anneal, netlist.num_blocks(), max_range);
+
+  PlacerStats local_stats;
+  local_stats.initial_cost = sa.cost();
+
+  if (netlist.num_nets() == 0 || netlist.num_blocks() <= 1) {
+    if (stats != nullptr) {
+      local_stats.final_cost = sa.cost();
+      *stats = local_stats;
+    }
+    return sa.take_placement();
+  }
+
+  if (options.quench_only) {
+    schedule.set_initial_temperature(0.0);
+  } else {
+    // Initial temperature: VPR uses 20x the stddev of the cost deltas over
+    // num_blocks probing moves (all accepted at T = infinity; here: huge T).
+    Summary probe;
+    const auto probes = static_cast<std::int64_t>(netlist.num_blocks());
+    for (std::int64_t i = 0; i < probes; ++i) {
+      double delta = 0.0;
+      (void)sa.try_move(max_range, 1e30, &delta);
+      probe.add(delta);
+    }
+    schedule.set_initial_temperature(options.anneal.init_t_factor *
+                                     probe.stddev());
+  }
+
+  // Main annealing loop.
+  while (true) {
+    std::int64_t accepted = 0;
+    const std::int64_t moves = schedule.moves_per_temperature();
+    for (std::int64_t i = 0; i < moves; ++i) {
+      accepted += sa.try_move(schedule.range_limit(), schedule.temperature(),
+                              nullptr)
+                      ? 1
+                      : 0;
+    }
+    local_stats.moves_attempted += moves;
+    local_stats.moves_accepted += accepted;
+    ++local_stats.temperature_steps;
+
+    const double r = static_cast<double>(accepted) / static_cast<double>(moves);
+    if (options.quench_only || schedule.should_stop(sa.cost(), netlist.num_nets())) {
+      if (schedule.temperature() > 0.0 || options.quench_only) {
+        // Final quench at T = 0 (VPR does one zero-temperature pass).
+        std::int64_t quench_accepted = 0;
+        for (std::int64_t i = 0; i < moves; ++i) {
+          quench_accepted += sa.try_move(schedule.range_limit(), 0.0, nullptr);
+        }
+        local_stats.moves_attempted += moves;
+        local_stats.moves_accepted += quench_accepted;
+      }
+      break;
+    }
+    schedule.step(r);
+  }
+
+  local_stats.final_cost = sa.cost();
+  if (stats != nullptr) *stats = local_stats;
+  MMFLOW_DEBUG("place: cost " << local_stats.initial_cost << " -> "
+                              << local_stats.final_cost);
+  Placement result = sa.take_placement();
+  result.validate(netlist);
+  return result;
+}
+
+Placement place(const PlaceNetlist& netlist, const arch::DeviceGrid& grid,
+                const PlacerOptions& options, PlacerStats* stats) {
+  Rng rng(options.seed ^ 0x517cc1b727220a95ULL);
+  Placement initial = random_placement(netlist, grid, rng);
+  return place_from(netlist, grid, std::move(initial), options, stats);
+}
+
+}  // namespace mmflow::place

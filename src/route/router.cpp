@@ -1,0 +1,500 @@
+#include "route/router.h"
+
+#include <algorithm>
+#include <bit>
+#include <queue>
+#include <unordered_set>
+
+#include "common/log.h"
+
+namespace mmflow::route {
+
+namespace {
+
+using arch::RoutingGraph;
+using arch::RrKind;
+
+double base_cost(RrKind kind) {
+  switch (kind) {
+    case RrKind::Source: return 0.0;
+    case RrKind::Opin: return 0.9;
+    case RrKind::ChanX:
+    case RrKind::ChanY: return 1.0;
+    case RrKind::Ipin: return 0.9;
+    case RrKind::Sink: return 0.0;
+  }
+  return 1.0;
+}
+
+/// Per-(node, mode) ownership record.
+struct Owner {
+  std::int32_t net = -1;
+  std::int32_t edge = -1;   ///< driving edge (-1 for the source node itself)
+  std::uint16_t refs = 0;   ///< connections of `net` using the node in this mode
+};
+
+/// Mutable router state: ownership per node per mode, congestion history.
+class RouterState {
+ public:
+  RouterState(const RoutingGraph& rrg, int num_modes)
+      : rrg_(rrg),
+        num_modes_(num_modes),
+        owners_(rrg.num_nodes() * static_cast<std::size_t>(num_modes)),
+        history_(rrg.num_nodes(), 0.0) {}
+
+  [[nodiscard]] Owner& owner(std::uint32_t node, int mode) {
+    return owners_[static_cast<std::size_t>(node) * num_modes_ + mode];
+  }
+  [[nodiscard]] const Owner& owner(std::uint32_t node, int mode) const {
+    return owners_[static_cast<std::size_t>(node) * num_modes_ + mode];
+  }
+
+  [[nodiscard]] double history(std::uint32_t node) const {
+    return history_[node];
+  }
+  void add_history(std::uint32_t node, double amount) {
+    history_[node] += amount;
+  }
+
+  /// Number of modes in `mask` where occupying `node` via `edge` for `net`
+  /// conflicts with the current owner.
+  [[nodiscard]] int conflicts(std::uint32_t node, std::int32_t edge,
+                              std::int32_t net, ModeMask mask) const {
+    int count = 0;
+    for (int m = 0; m < num_modes_; ++m) {
+      if (!(mask >> m & 1)) continue;
+      const Owner& o = owner(node, m);
+      if (o.refs == 0) continue;
+      if (o.net != net || o.edge != edge) ++count;
+    }
+    return count;
+  }
+
+  /// True if the node is already owned by `net` via `edge` in every mode of
+  /// `mask` (free re-use of the net's existing tree).
+  [[nodiscard]] bool fully_shared(std::uint32_t node, std::int32_t edge,
+                                  std::int32_t net, ModeMask mask) const {
+    for (int m = 0; m < num_modes_; ++m) {
+      if (!(mask >> m & 1)) continue;
+      const Owner& o = owner(node, m);
+      if (o.refs == 0 || o.net != net || o.edge != edge) return false;
+    }
+    return true;
+  }
+
+  /// True if entering through `edge` matches the driver that every *other*
+  /// mode already configured on this node (and at least one exists): the
+  /// node's mux select bits then stay constant across modes.
+  [[nodiscard]] bool aligned_with_other_modes(std::uint32_t node,
+                                              std::int32_t edge,
+                                              ModeMask mask) const {
+    bool any = false;
+    for (int m = 0; m < num_modes_; ++m) {
+      if (mask >> m & 1) continue;  // our own modes
+      const Owner& o = owner(node, m);
+      if (o.refs == 0) continue;
+      if (o.edge != edge) return false;
+      any = true;
+    }
+    return any;
+  }
+
+  void occupy(std::uint32_t node, std::int32_t edge, std::int32_t net,
+              ModeMask mask) {
+    for (int m = 0; m < num_modes_; ++m) {
+      if (!(mask >> m & 1)) continue;
+      Owner& o = owner(node, m);
+      if (o.refs == 0) {
+        o.net = net;
+        o.edge = edge;
+        o.refs = 1;
+      } else {
+        // Conflicting occupancy is allowed transiently during negotiation;
+        // ownership tracks the most recent claim, refs the claim count.
+        if (o.net != net || o.edge != edge) {
+          o.net = net;
+          o.edge = edge;
+        }
+        ++o.refs;
+      }
+    }
+  }
+
+  void release(std::uint32_t node, ModeMask mask) {
+    for (int m = 0; m < num_modes_; ++m) {
+      if (!(mask >> m & 1)) continue;
+      Owner& o = owner(node, m);
+      MMFLOW_CHECK(o.refs > 0);
+      if (--o.refs == 0) {
+        o.net = -1;
+        o.edge = -1;
+      }
+    }
+  }
+
+  [[nodiscard]] int num_modes() const { return num_modes_; }
+
+ private:
+  const RoutingGraph& rrg_;
+  int num_modes_;
+  std::vector<Owner> owners_;
+  std::vector<double> history_;
+};
+
+/// Ownership bookkeeping cannot by itself detect all conflicts after
+/// rip-up/re-route churn (the Owner record keeps only the latest claimant),
+/// so legality is verified from scratch against the full connection list.
+/// Returns conflicting node count and bumps history on offenders.
+int audit_conflicts(const RoutingGraph& rrg,
+                    const std::vector<RoutedConn>& conns, int num_modes,
+                    RouterState* state, double hist_fac,
+                    std::vector<std::uint8_t>* conn_in_conflict) {
+  struct Claim {
+    std::int32_t net = -1;
+    std::int32_t edge = -1;
+  };
+  std::vector<Claim> claims(rrg.num_nodes() * static_cast<std::size_t>(num_modes));
+  std::vector<std::uint8_t> bad_node(rrg.num_nodes(), 0);
+
+  for (const RoutedConn& rc : conns) {
+    if (rc.nodes.empty()) continue;
+    const ModeMask mask = rc.modes;
+    for (std::size_t i = 0; i < rc.nodes.size(); ++i) {
+      const std::uint32_t node = rc.nodes[i];
+      // SINK nodes are logical endpoints with capacity K (the K logically
+      // equivalent LUT input pins); exclusivity is enforced on the IPINs.
+      if (rrg.node(node).kind == RrKind::Sink) continue;
+      const std::int32_t edge =
+          i == 0 ? -1 : static_cast<std::int32_t>(rc.edges[i - 1]);
+      for (int m = 0; m < num_modes; ++m) {
+        if (!(mask >> m & 1)) continue;
+        Claim& c = claims[static_cast<std::size_t>(node) * num_modes + m];
+        if (c.net == -1) {
+          c.net = static_cast<std::int32_t>(rc.net);
+          c.edge = edge;
+        } else if (c.net != static_cast<std::int32_t>(rc.net) || c.edge != edge) {
+          bad_node[node] = 1;
+        }
+      }
+    }
+  }
+
+  int bad = 0;
+  for (std::uint32_t n = 0; n < rrg.num_nodes(); ++n) {
+    if (!bad_node[n]) continue;
+    ++bad;
+    if (state != nullptr) state->add_history(n, hist_fac);
+  }
+  if (conn_in_conflict != nullptr) {
+    conn_in_conflict->assign(conns.size(), 0);
+    for (std::size_t ci = 0; ci < conns.size(); ++ci) {
+      for (const std::uint32_t node : conns[ci].nodes) {
+        if (bad_node[node]) {
+          (*conn_in_conflict)[ci] = 1;
+          break;
+        }
+      }
+    }
+  }
+  return bad;
+}
+
+/// A* search for one connection.
+class Search {
+ public:
+  explicit Search(const RoutingGraph& rrg)
+      : rrg_(rrg),
+        best_cost_(rrg.num_nodes(), kInf),
+        prev_edge_(rrg.num_nodes(), -1),
+        touched_() {}
+
+  static constexpr double kInf = 1e30;
+
+  /// Returns the path (nodes + entering edges) or empty on failure.
+  bool run(const RouterState& state, std::uint32_t source, std::uint32_t sink,
+           std::int32_t net, ModeMask mask, double pres_fac,
+           double share_discount, double align_discount, double astar_fac,
+           RoutedConn* out) {
+    // Reset touched entries from the previous search.
+    for (const std::uint32_t n : touched_) {
+      best_cost_[n] = kInf;
+      prev_edge_[n] = -1;
+    }
+    touched_.clear();
+
+    struct QEntry {
+      double f = 0.0;
+      double g = 0.0;
+      std::uint32_t node = 0;
+      bool operator<(const QEntry& other) const { return f > other.f; }
+    };
+    std::priority_queue<QEntry> open;
+
+    best_cost_[source] = 0.0;
+    touched_.push_back(source);
+    open.push(QEntry{astar_fac * rrg_.distance(source, sink), 0.0, source});
+
+    while (!open.empty()) {
+      const QEntry top = open.top();
+      open.pop();
+      if (top.node == sink) break;
+      if (top.g > best_cost_[top.node]) continue;  // stale entry
+
+      auto [begin, end] = rrg_.out_edges(top.node);
+      for (const auto* it = begin; it != end; ++it) {
+        const auto& edge = rrg_.edge(*it);
+        const std::uint32_t to = edge.to;
+        // Sinks other than the target are dead ends.
+        if (rrg_.node(to).kind == RrKind::Sink && to != sink) continue;
+
+        double node_cost;
+        const auto edge_id = static_cast<std::int32_t>(*it);
+        if (to == sink) {
+          node_cost = 0.0;
+        } else if (state.fully_shared(to, edge_id, net, mask)) {
+          node_cost = base_cost(rrg_.node(to).kind) * share_discount;
+        } else {
+          const int conflicts = state.conflicts(to, edge_id, net, mask);
+          node_cost = (base_cost(rrg_.node(to).kind) + state.history(to)) *
+                      (1.0 + pres_fac * conflicts);
+          if (conflicts == 0 &&
+              state.aligned_with_other_modes(to, edge_id, mask)) {
+            node_cost *= align_discount;
+          }
+        }
+
+        const double g = top.g + node_cost;
+        if (g + 1e-12 < best_cost_[to]) {
+          if (best_cost_[to] == kInf) touched_.push_back(to);
+          best_cost_[to] = g;
+          prev_edge_[to] = static_cast<std::int32_t>(*it);
+          open.push(QEntry{g + astar_fac * rrg_.distance(to, sink), g, to});
+        }
+      }
+    }
+
+    if (best_cost_[sink] >= kInf) return false;
+
+    // Reconstruct.
+    out->nodes.clear();
+    out->edges.clear();
+    std::uint32_t node = sink;
+    while (node != source) {
+      const std::int32_t e = prev_edge_[node];
+      MMFLOW_CHECK(e >= 0);
+      out->nodes.push_back(node);
+      out->edges.push_back(static_cast<std::uint32_t>(e));
+      node = rrg_.edge(static_cast<std::uint32_t>(e)).from;
+    }
+    out->nodes.push_back(source);
+    std::reverse(out->nodes.begin(), out->nodes.end());
+    std::reverse(out->edges.begin(), out->edges.end());
+    return true;
+  }
+
+ private:
+  const RoutingGraph& rrg_;
+  std::vector<double> best_cost_;
+  std::vector<std::int32_t> prev_edge_;
+  std::vector<std::uint32_t> touched_;
+};
+
+}  // namespace
+
+RouteResult route(const RoutingGraph& rrg, const RouteProblem& problem,
+                  const RouterOptions& options) {
+  MMFLOW_REQUIRE(problem.num_modes >= 1 && problem.num_modes <= 32);
+
+  RouterState state(rrg, problem.num_modes);
+  Search search(rrg);
+
+  RouteResult result;
+  for (std::uint32_t n = 0; n < problem.nets.size(); ++n) {
+    for (std::uint32_t c = 0; c < problem.nets[n].conns.size(); ++c) {
+      RoutedConn rc;
+      rc.net = n;
+      rc.conn = c;
+      rc.modes = problem.nets[n].conns[c].modes;
+      result.conns.push_back(std::move(rc));
+    }
+  }
+
+  // Route fanout-heavy nets first (stable order, recomputed after splits).
+  std::vector<std::size_t> order;
+  auto rebuild_order = [&] {
+    order.resize(result.conns.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return problem.nets[result.conns[a].net].conns.size() >
+                              problem.nets[result.conns[b].net].conns.size();
+                     });
+  };
+  rebuild_order();
+
+  double pres_fac = options.first_iter_pres_fac;
+  std::vector<std::uint8_t> conn_in_conflict(result.conns.size(), 1);
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // Feasibility escape hatch: a merged connection constrains all its modes
+    // to one physical path; with >= 3 modes that joint constraint can be
+    // unsatisfiable. Split still-conflicted merged connections into
+    // per-mode connections (same net, so trunk sharing remains possible).
+    if (iter > options.split_conflicted_after) {
+      bool split_any = false;
+      const std::size_t original = result.conns.size();
+      for (std::size_t ci = 0; ci < original; ++ci) {
+        RoutedConn& rc = result.conns[ci];
+        if (!conn_in_conflict[ci] || std::popcount(rc.modes) <= 1) continue;
+        // Rip up and split.
+        if (!rc.nodes.empty()) {
+          for (const std::uint32_t node : rc.nodes) {
+            state.release(node, rc.modes);
+          }
+          rc.nodes.clear();
+          rc.edges.clear();
+        }
+        ModeMask remaining = rc.modes & (rc.modes - 1);  // all but lowest bit
+        rc.modes &= ~remaining;                          // keep lowest bit
+        while (remaining != 0) {
+          const ModeMask low = remaining & (0u - remaining);
+          remaining &= ~low;
+          RoutedConn extra;
+          extra.net = rc.net;
+          extra.conn = rc.conn;
+          extra.modes = low;
+          result.conns.push_back(std::move(extra));
+          conn_in_conflict.push_back(1);
+        }
+        split_any = true;
+      }
+      if (split_any) {
+        MMFLOW_DEBUG("route iter " << iter << ": split merged connections ("
+                                   << result.conns.size() << " total)");
+        rebuild_order();
+      }
+    }
+
+    for (const std::size_t ci : order) {
+      RoutedConn& rc = result.conns[ci];
+      // After the first iteration, only reroute connections that pass
+      // through conflicted nodes (connection-router behaviour: untouched
+      // connections keep their path and their static bits).
+      if (iter > 1 && !conn_in_conflict[ci]) continue;
+
+      const auto& net = problem.nets[rc.net];
+      const auto& conn = net.conns[rc.conn];
+      const ModeMask mask = rc.modes;
+
+      // Rip up.
+      if (!rc.nodes.empty()) {
+        for (const std::uint32_t node : rc.nodes) state.release(node, mask);
+        rc.nodes.clear();
+        rc.edges.clear();
+      }
+
+      const bool found = search.run(
+          state, net.source_node, conn.sink_node,
+          static_cast<std::int32_t>(rc.net), mask, pres_fac,
+          options.share_discount, options.align_discount, options.astar_fac,
+          &rc);
+      MMFLOW_CHECK_MSG(found, "disconnected routing graph: no path for net "
+                                  << net.name);
+      for (std::size_t i = 0; i < rc.nodes.size(); ++i) {
+        const std::int32_t edge =
+            i == 0 ? -1 : static_cast<std::int32_t>(rc.edges[i - 1]);
+        state.occupy(rc.nodes[i], edge, static_cast<std::int32_t>(rc.net), mask);
+      }
+    }
+
+    const int bad = audit_conflicts(rrg, result.conns, problem.num_modes,
+                                    &state, options.hist_fac,
+                                    &conn_in_conflict);
+    result.iterations = iter;
+    if (bad == 0) {
+      result.success = true;
+      return result;
+    }
+    MMFLOW_DEBUG("route iter " << iter << ": " << bad << " conflicted nodes");
+    pres_fac = std::min(pres_fac * options.pres_fac_mult, options.max_pres_fac);
+  }
+  result.success = false;
+  return result;
+}
+
+std::vector<bitstream::RoutingState> RouteResult::per_mode_states(
+    const RoutingGraph& rrg, const RouteProblem& problem) const {
+  std::vector<bitstream::RoutingState> states(
+      static_cast<std::size_t>(problem.num_modes),
+      bitstream::RoutingState(rrg.num_nodes()));
+  for (const RoutedConn& rc : conns) {
+    for (std::size_t i = 0; i + 1 < rc.nodes.size(); ++i) {
+      const std::uint32_t to = rc.nodes[i + 1];
+      const std::uint32_t edge = rc.edges[i];
+      for (int m = 0; m < problem.num_modes; ++m) {
+        if (rc.modes >> m & 1) {
+          states[static_cast<std::size_t>(m)].set_driver(to, edge);
+        }
+      }
+    }
+  }
+  return states;
+}
+
+std::size_t RouteResult::wirelength_of_mode(const RoutingGraph& rrg,
+                                            const RouteProblem& problem,
+                                            int mode) const {
+  (void)problem;  // masks live on the RoutedConns (splits may refine them)
+  std::unordered_set<std::uint32_t> wires;
+  for (const RoutedConn& rc : conns) {
+    if (!(rc.modes >> mode & 1)) continue;
+    for (const std::uint32_t node : rc.nodes) {
+      if (rrg.is_wire(node)) wires.insert(node);
+    }
+  }
+  return wires.size();
+}
+
+std::size_t RouteResult::total_wirelength(const RoutingGraph& rrg) const {
+  std::unordered_set<std::uint32_t> wires;
+  for (const RoutedConn& rc : conns) {
+    for (const std::uint32_t node : rc.nodes) {
+      if (rrg.is_wire(node)) wires.insert(node);
+    }
+  }
+  return wires.size();
+}
+
+int min_channel_width(
+    arch::ArchSpec spec,
+    const std::function<RouteProblem(const arch::RoutingGraph&)>& make_problem,
+    const RouterOptions& options, int max_width) {
+  auto routable = [&](int width) {
+    spec.channel_width = width;
+    const arch::RoutingGraph rrg(spec);
+    const RouteProblem problem = make_problem(rrg);
+    return route(rrg, problem, options).success;
+  };
+
+  // Exponential scan upward from a small width.
+  int lo = 0;       // unroutable lower bound (exclusive; 0 tracks never routes)
+  int hi = 4;       // candidate
+  while (hi <= max_width && !routable(hi)) {
+    lo = hi;
+    hi *= 2;
+  }
+  MMFLOW_REQUIRE_MSG(hi <= max_width, "unroutable even at channel width "
+                                          << max_width);
+  // Binary search in (lo, hi].
+  while (hi - lo > 1) {
+    const int mid = (lo + hi) / 2;
+    if (routable(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace mmflow::route

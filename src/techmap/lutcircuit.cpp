@@ -1,0 +1,140 @@
+#include "techmap/lutcircuit.h"
+
+#include <algorithm>
+
+namespace mmflow::techmap {
+
+std::size_t LutCircuit::num_ffs() const {
+  return static_cast<std::size_t>(
+      std::count_if(blocks_.begin(), blocks_.end(),
+                    [](const Block& b) { return b.has_ff; }));
+}
+
+std::size_t LutCircuit::num_connections() const {
+  std::size_t count = 0;
+  for (const Block& b : blocks_) count += b.inputs.size();
+  return count;
+}
+
+std::vector<std::uint32_t> LutCircuit::comb_topo_order() const {
+  enum class Mark : std::uint8_t { White, Grey, Black };
+  std::vector<Mark> mark(blocks_.size(), Mark::White);
+  std::vector<std::uint32_t> order;
+  order.reserve(blocks_.size());
+
+  struct Frame {
+    std::uint32_t block;
+    std::size_t next_input;
+  };
+  std::vector<Frame> stack;
+  for (std::uint32_t root = 0; root < blocks_.size(); ++root) {
+    if (mark[root] != Mark::White) continue;
+    stack.push_back(Frame{root, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const Block& b = blocks_[f.block];
+      if (mark[f.block] == Mark::White) mark[f.block] = Mark::Grey;
+      bool descended = false;
+      while (f.next_input < b.inputs.size()) {
+        const Ref r = b.inputs[f.next_input++];
+        if (r.kind != Ref::Kind::Block) continue;
+        // FF outputs are sequential sources: no combinational dependency.
+        if (blocks_[r.index].has_ff) continue;
+        if (mark[r.index] == Mark::White) {
+          stack.push_back(Frame{r.index, 0});
+          descended = true;
+          break;
+        }
+        MMFLOW_CHECK_MSG(mark[r.index] != Mark::Grey,
+                         "combinational cycle through block " << r.index);
+      }
+      if (descended) continue;
+      mark[f.block] = Mark::Black;
+      order.push_back(f.block);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+void LutCircuit::validate() const {
+  for (const Block& b : blocks_) {
+    MMFLOW_CHECK(static_cast<int>(b.inputs.size()) <= k_);
+    for (const Ref r : b.inputs) {
+      if (r.kind == Ref::Kind::PrimaryInput) {
+        MMFLOW_CHECK(r.index < pi_names_.size());
+      } else {
+        MMFLOW_CHECK(r.index < blocks_.size());
+      }
+    }
+  }
+  for (const Po& po : pos_) {
+    if (po.driver.kind == Ref::Kind::PrimaryInput) {
+      MMFLOW_CHECK(po.driver.index < pi_names_.size());
+    } else {
+      MMFLOW_CHECK(po.driver.index < blocks_.size());
+    }
+  }
+  (void)comb_topo_order();
+}
+
+LutSimulator::LutSimulator(const LutCircuit& circuit)
+    : circuit_(circuit), topo_(circuit.comb_topo_order()) {
+  circuit_.validate();
+  lut_value_.assign(circuit_.num_blocks(), 0);
+  ff_state_.assign(circuit_.num_blocks(), 0);
+  reset();
+}
+
+void LutSimulator::reset() {
+  for (std::uint32_t b = 0; b < circuit_.num_blocks(); ++b) {
+    const auto& block = circuit_.blocks()[b];
+    ff_state_[b] = block.ff_init ? ~std::uint64_t{0} : 0;
+  }
+}
+
+std::vector<std::uint64_t> LutSimulator::step(
+    const std::vector<std::uint64_t>& input_words) {
+  MMFLOW_REQUIRE(input_words.size() == circuit_.num_pis());
+
+  // The consumer-visible output of a block: FF state if registered, else the
+  // freshly computed LUT value.
+  auto visible = [this](Ref r, const std::vector<std::uint64_t>& ins) {
+    if (r.kind == Ref::Kind::PrimaryInput) return ins[r.index];
+    return circuit_.blocks()[r.index].has_ff ? ff_state_[r.index]
+                                             : lut_value_[r.index];
+  };
+
+  for (const std::uint32_t bi : topo_) {
+    const auto& block = circuit_.blocks()[bi];
+    // Bit-sliced truth-table evaluation via Shannon minterm expansion.
+    std::uint64_t acc = 0;
+    const std::size_t n = block.inputs.size();
+    const std::uint32_t minterms = 1u << n;
+    for (std::uint32_t m = 0; m < minterms; ++m) {
+      if (!((block.truth >> m) & 1)) continue;
+      std::uint64_t term = ~std::uint64_t{0};
+      for (std::size_t i = 0; i < n && term; ++i) {
+        const std::uint64_t v = visible(block.inputs[i], input_words);
+        term &= ((m >> i) & 1) ? v : ~v;
+      }
+      acc |= term;
+      if (acc == ~std::uint64_t{0}) break;
+    }
+    lut_value_[bi] = acc;
+  }
+
+  std::vector<std::uint64_t> out;
+  out.reserve(circuit_.num_pos());
+  for (const auto& po : circuit_.pos()) {
+    out.push_back(visible(po.driver, input_words));
+  }
+
+  // Clock edge.
+  for (std::uint32_t b = 0; b < circuit_.num_blocks(); ++b) {
+    if (circuit_.blocks()[b].has_ff) ff_state_[b] = lut_value_[b];
+  }
+  return out;
+}
+
+}  // namespace mmflow::techmap

@@ -1,0 +1,126 @@
+#pragma once
+/// \file lutcircuit.h
+/// LUT circuits — the technology-mapped representation the multi-mode flow
+/// operates on. This is the paper's "LUT circuit": a network of logic blocks,
+/// each a K-input look-up table optionally followed by a flip-flop (matching
+/// the 4lut_sanitized logic block: one 4-LUT + one FF). Mode circuits enter
+/// the merging step (src/tunable) in this form.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mmflow::techmap {
+
+/// Reference to a value source inside a LutCircuit.
+struct Ref {
+  enum class Kind : std::uint8_t { PrimaryInput, Block };
+  Kind kind = Kind::PrimaryInput;
+  std::uint32_t index = 0;
+
+  [[nodiscard]] static Ref pi(std::uint32_t i) {
+    return Ref{Kind::PrimaryInput, i};
+  }
+  [[nodiscard]] static Ref block(std::uint32_t i) { return Ref{Kind::Block, i}; }
+
+  friend bool operator==(const Ref&, const Ref&) = default;
+};
+
+/// A technology-mapped circuit of K-input LUT+FF logic blocks.
+class LutCircuit {
+ public:
+  struct Block {
+    std::string name;            ///< diagnostic only
+    std::vector<Ref> inputs;     ///< size <= K
+    std::uint64_t truth = 0;     ///< 2^K-entry table, minterm m in bit m
+    bool has_ff = false;         ///< block output is the registered LUT value
+    bool ff_init = false;
+  };
+
+  struct Po {
+    std::string name;
+    Ref driver;
+  };
+
+  explicit LutCircuit(int k = 4, std::string name = "mode") : k_(k), name_(std::move(name)) {
+    MMFLOW_REQUIRE(k >= 1 && k <= 6);
+  }
+
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  std::uint32_t add_pi(const std::string& name) {
+    pi_names_.push_back(name);
+    return static_cast<std::uint32_t>(pi_names_.size() - 1);
+  }
+
+  std::uint32_t add_block(Block block) {
+    MMFLOW_REQUIRE(static_cast<int>(block.inputs.size()) <= k_);
+    blocks_.push_back(std::move(block));
+    return static_cast<std::uint32_t>(blocks_.size() - 1);
+  }
+
+  void add_po(const std::string& name, Ref driver) {
+    pos_.push_back(Po{name, driver});
+  }
+
+  /// Wholesale PO replacement (used by construction passes that patch
+  /// placeholder references).
+  void replace_pos(std::vector<Po> pos) { pos_ = std::move(pos); }
+
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  [[nodiscard]] std::vector<Block>& blocks() { return blocks_; }
+  [[nodiscard]] const std::vector<std::string>& pi_names() const {
+    return pi_names_;
+  }
+  [[nodiscard]] const std::vector<Po>& pos() const { return pos_; }
+
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t num_pis() const { return pi_names_.size(); }
+  [[nodiscard]] std::size_t num_pos() const { return pos_.size(); }
+  [[nodiscard]] std::size_t num_ffs() const;
+
+  /// Number of distinct source→sink connections (block-input edges). This is
+  /// the connection count the edge-matching cost operates on.
+  [[nodiscard]] std::size_t num_connections() const;
+
+  /// Blocks in an order where every combinational input precedes its
+  /// consumer (FF outputs act as sources). Throws on combinational cycles.
+  [[nodiscard]] std::vector<std::uint32_t> comb_topo_order() const;
+
+  /// Structural sanity: refs in range, input counts within K.
+  void validate() const;
+
+ private:
+  int k_;
+  std::string name_;
+  std::vector<std::string> pi_names_;
+  std::vector<Block> blocks_;
+  std::vector<Po> pos_;
+};
+
+/// Cycle-accurate bit-sliced simulator for LutCircuits, mirroring
+/// netlist::Simulator (64 stimulus patterns in parallel). Used to prove that
+/// mapping and multi-mode merging preserve behaviour.
+class LutSimulator {
+ public:
+  explicit LutSimulator(const LutCircuit& circuit);
+
+  void reset();
+
+  /// One clock cycle: combinational evaluation + FF update.
+  /// `input_words` holds one 64-pattern word per PI, in PI order; the result
+  /// holds one word per PO, in PO order.
+  std::vector<std::uint64_t> step(const std::vector<std::uint64_t>& input_words);
+
+ private:
+  const LutCircuit& circuit_;
+  std::vector<std::uint32_t> topo_;
+  std::vector<std::uint64_t> lut_value_;   // per block: this cycle's LUT output
+  std::vector<std::uint64_t> ff_state_;    // per block (only FF blocks used)
+};
+
+}  // namespace mmflow::techmap

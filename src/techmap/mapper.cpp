@@ -1,0 +1,411 @@
+#include "techmap/mapper.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "common/log.h"
+
+namespace mmflow::techmap {
+
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+using aig::lit_compl;
+using aig::lit_node;
+
+/// A cut: up to K leaves, sorted ascending. Fixed capacity avoids
+/// allocation churn in the inner merge loop.
+struct Cut {
+  std::array<std::uint32_t, 6> leaves{};
+  std::uint8_t size = 0;
+  int depth = 0;         ///< LUT levels when this cut implements the node
+  double area_flow = 0;  ///< heuristic area cost
+
+  [[nodiscard]] bool same_leaves(const Cut& other) const {
+    if (size != other.size) return false;
+    for (std::uint8_t i = 0; i < size; ++i) {
+      if (leaves[i] != other.leaves[i]) return false;
+    }
+    return true;
+  }
+};
+
+/// Merges two sorted leaf sets; returns false if the union exceeds k.
+bool merge_cuts(const Cut& a, const Cut& b, int k, Cut& out) {
+  std::uint8_t ia = 0;
+  std::uint8_t ib = 0;
+  std::uint8_t n = 0;
+  while (ia < a.size || ib < b.size) {
+    std::uint32_t next;
+    if (ib >= b.size || (ia < a.size && a.leaves[ia] <= b.leaves[ib])) {
+      next = a.leaves[ia];
+      if (ib < b.size && b.leaves[ib] == next) ++ib;
+      ++ia;
+    } else {
+      next = b.leaves[ib];
+      ++ib;
+    }
+    if (n == k) return false;
+    out.leaves[n++] = next;
+  }
+  out.size = n;
+  return true;
+}
+
+/// Node-level mapping state.
+struct NodeInfo {
+  std::vector<Cut> cuts;  ///< priority list, best first (excl. trivial cut)
+  int best_depth = 0;     ///< arrival time in LUT levels
+  double best_af = 0;     ///< area flow of the best cut
+  int est_refs = 1;       ///< fanout estimate for area flow
+};
+
+bool better(const Cut& a, const Cut& b) {
+  if (a.depth != b.depth) return a.depth < b.depth;
+  if (a.area_flow != b.area_flow) return a.area_flow < b.area_flow;
+  return a.size < b.size;
+}
+
+/// Computes the truth table of `root` expressed over `cut` leaves by
+/// bit-parallel evaluation of the cone (64-bit tables cover K <= 6).
+std::uint64_t cut_truth(const Aig& aig, std::uint32_t root, const Cut& cut) {
+  static constexpr std::uint64_t kVar[6] = {
+      0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL, 0xf0f0f0f0f0f0f0f0ULL,
+      0xff00ff00ff00ff00ULL, 0xffff0000ffff0000ULL, 0xffffffff00000000ULL};
+
+  std::unordered_map<std::uint32_t, std::uint64_t> value;
+  value.reserve(64);
+  value.emplace(0, 0);  // constant-false node
+  for (std::uint8_t i = 0; i < cut.size; ++i) {
+    value.emplace(cut.leaves[i], kVar[i]);
+  }
+
+  // Iterative post-order over the cone.
+  std::vector<std::uint32_t> stack{root};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    if (value.count(n)) {
+      stack.pop_back();
+      continue;
+    }
+    const auto& node = aig.node(n);
+    MMFLOW_CHECK_MSG(!node.is_ci, "cut cone escapes through CI " << n);
+    const std::uint32_t n0 = lit_node(node.fanin0);
+    const std::uint32_t n1 = lit_node(node.fanin1);
+    const auto it0 = value.find(n0);
+    const auto it1 = value.find(n1);
+    if (it0 == value.end()) { stack.push_back(n0); continue; }
+    if (it1 == value.end()) { stack.push_back(n1); continue; }
+    const std::uint64_t v0 = lit_compl(node.fanin0) ? ~it0->second : it0->second;
+    const std::uint64_t v1 = lit_compl(node.fanin1) ? ~it1->second : it1->second;
+    value.emplace(n, v0 & v1);
+    stack.pop_back();
+  }
+  // Canonicalize to the cut's width: only minterms < 2^size are meaningful
+  // (downstream bit counting shifts whole truth words into config memory).
+  const std::uint64_t mask = cut.size >= 6
+                                 ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << (1u << cut.size)) - 1);
+  return value.at(root) & mask;
+}
+
+/// Sentinel block index space for latch outputs during construction; patched
+/// to the real FF block index afterwards.
+constexpr std::uint32_t kLatchRefBase = 0xf0000000u;
+
+}  // namespace
+
+LutCircuit map_to_luts(const Aig& aig, const MapperOptions& options,
+                       MapperStats* stats) {
+  MMFLOW_REQUIRE(options.k >= 2 && options.k <= 6);
+  aig.validate();
+  const int k = options.k;
+  const std::size_t cut_limit = static_cast<std::size_t>(options.cuts_per_node);
+
+  std::vector<NodeInfo> info(aig.num_nodes());
+
+  // Fanout estimate for area flow.
+  for (std::uint32_t n = 1; n < aig.num_nodes(); ++n) {
+    if (!aig.is_and(n)) continue;
+    const auto& node = aig.node(n);
+    ++info[lit_node(node.fanin0)].est_refs;
+    ++info[lit_node(node.fanin1)].est_refs;
+  }
+  for (const auto& po : aig.pos()) ++info[lit_node(po.lit)].est_refs;
+  for (const auto& latch : aig.latches()) {
+    ++info[lit_node(latch.next_state)].est_refs;
+  }
+
+  // ---- cut enumeration in topological order -------------------------------
+  for (const std::uint32_t n : aig.and_topo_order()) {
+    const auto& node = aig.node(n);
+    const std::uint32_t n0 = lit_node(node.fanin0);
+    const std::uint32_t n1 = lit_node(node.fanin1);
+
+    auto fanin_cuts = [&](std::uint32_t f) {
+      std::vector<Cut> cuts = info[f].cuts;  // copy: we append the trivial cut
+      Cut trivial;
+      trivial.leaves[0] = f;
+      trivial.size = 1;
+      trivial.depth = info[f].best_depth;
+      trivial.area_flow = info[f].best_af;
+      cuts.push_back(trivial);
+      return cuts;
+    };
+
+    const auto cuts0 = fanin_cuts(n0);
+    const auto cuts1 = fanin_cuts(n1);
+
+    std::vector<Cut>& out = info[n].cuts;
+    out.clear();
+    for (const Cut& c0 : cuts0) {
+      for (const Cut& c1 : cuts1) {
+        Cut merged;
+        if (!merge_cuts(c0, c1, k, merged)) continue;
+        int depth = 0;
+        double af = 1.0;
+        for (std::uint8_t i = 0; i < merged.size; ++i) {
+          const auto& leaf = info[merged.leaves[i]];
+          depth = std::max(depth, leaf.best_depth);
+          af += leaf.best_af;
+        }
+        merged.depth = depth + 1;
+        merged.area_flow = af / std::max(1, info[n].est_refs);
+        bool duplicate = false;
+        for (const Cut& existing : out) {
+          if (existing.same_leaves(merged)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        out.push_back(merged);
+      }
+    }
+    std::sort(out.begin(), out.end(), better);
+    if (out.size() > cut_limit) out.resize(cut_limit);
+    MMFLOW_CHECK_MSG(!out.empty(), "no cut for node " << n);
+    info[n].best_depth = out.front().depth;
+    info[n].best_af = out.front().area_flow;
+  }
+
+  // ---- cover extraction ----------------------------------------------------
+  std::vector<bool> required(aig.num_nodes(), false);
+  std::vector<std::uint32_t> worklist;
+  auto require_node = [&](std::uint32_t n) {
+    if (n == 0 || !aig.is_and(n) || required[n]) return;
+    required[n] = true;
+    worklist.push_back(n);
+  };
+  for (const auto& po : aig.pos()) require_node(lit_node(po.lit));
+  for (const auto& latch : aig.latches()) require_node(lit_node(latch.next_state));
+
+  std::vector<const Cut*> chosen(aig.num_nodes(), nullptr);
+  while (!worklist.empty()) {
+    const std::uint32_t n = worklist.back();
+    worklist.pop_back();
+    const Cut& cut = info[n].cuts.front();
+    chosen[n] = &cut;
+    for (std::uint8_t i = 0; i < cut.size; ++i) require_node(cut.leaves[i]);
+  }
+
+  // ---- output-usage counting (for FF absorption) ---------------------------
+  // uses[n]: consumers of node n's *mapped block output*: leaf references of
+  // chosen cuts, PO drivers, and latch D pins. A latch absorbs its driver
+  // block when that block output has no other consumer (VPR-style packing of
+  // LUT+FF into one logic block).
+  std::vector<int> uses(aig.num_nodes(), 0);
+  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    if (!chosen[n]) continue;
+    for (std::uint8_t i = 0; i < chosen[n]->size; ++i) ++uses[chosen[n]->leaves[i]];
+  }
+  for (const auto& po : aig.pos()) ++uses[lit_node(po.lit)];
+  for (const auto& latch : aig.latches()) ++uses[lit_node(latch.next_state)];
+
+  // absorbing_latch[n] = latch index registered inside node n's block.
+  std::unordered_map<std::uint32_t, std::uint32_t> absorbing_latch;
+  for (std::size_t li = 0; li < aig.latches().size(); ++li) {
+    const Lit d = aig.latches()[li].next_state;
+    const std::uint32_t dn = lit_node(d);
+    if (aig.is_and(dn) && required[dn] && uses[dn] == 1 &&
+        !absorbing_latch.count(dn)) {
+      absorbing_latch.emplace(dn, static_cast<std::uint32_t>(li));
+    }
+  }
+
+  // Output-phase selection: inverting a LUT's truth table is free, so a node
+  // consumed *only* by complemented primary outputs emits the complemented
+  // value directly instead of paying an inverter LUT. (Cut-leaf and latch
+  // consumers always want the plain value; mixed-polarity PO consumers keep
+  // the plain phase and the complemented ones go through an inverter.)
+  std::vector<bool> flipped(aig.num_nodes(), false);
+  {
+    std::vector<int> po_plain(aig.num_nodes(), 0);
+    std::vector<int> po_compl(aig.num_nodes(), 0);
+    std::vector<int> non_po(aig.num_nodes(), 0);
+    for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+      if (!chosen[n]) continue;
+      for (std::uint8_t i = 0; i < chosen[n]->size; ++i) {
+        ++non_po[chosen[n]->leaves[i]];
+      }
+    }
+    for (const auto& latch : aig.latches()) ++non_po[lit_node(latch.next_state)];
+    for (const auto& po : aig.pos()) {
+      (lit_compl(po.lit) ? po_compl : po_plain)[lit_node(po.lit)]++;
+    }
+    for (std::uint32_t n = 1; n < aig.num_nodes(); ++n) {
+      if (!aig.is_and(n) || !required[n]) continue;
+      if (absorbing_latch.count(n)) continue;
+      if (non_po[n] == 0 && po_plain[n] == 0 && po_compl[n] > 0) {
+        flipped[n] = true;
+      }
+    }
+  }
+
+  // ---- build the LutCircuit -------------------------------------------------
+  LutCircuit circuit(k, "mapped");
+  for (std::size_t i = 0; i < aig.pis().size(); ++i) {
+    circuit.add_pi(aig.pi_name(i));
+  }
+
+  std::vector<std::uint32_t> block_of(aig.num_nodes(), 0xffffffffu);
+  std::vector<std::uint32_t> latch_block(aig.latches().size(), 0xffffffffu);
+  std::unordered_map<std::uint32_t, std::uint32_t> latch_index_of_node;
+  for (std::size_t i = 0; i < aig.latches().size(); ++i) {
+    latch_index_of_node.emplace(aig.latches()[i].ci_node,
+                                static_cast<std::uint32_t>(i));
+  }
+  std::unordered_map<std::uint32_t, std::uint32_t> pi_index_of_node;
+  for (std::size_t i = 0; i < aig.pis().size(); ++i) {
+    pi_index_of_node.emplace(aig.pis()[i], static_cast<std::uint32_t>(i));
+  }
+
+  // Ref producing the (plain) value of CI or mapped AND node `n`; latch
+  // outputs use sentinel indices resolved in the patch pass below.
+  auto node_ref = [&](std::uint32_t n) -> Ref {
+    if (const auto pit = pi_index_of_node.find(n); pit != pi_index_of_node.end()) {
+      return Ref::pi(pit->second);
+    }
+    if (const auto lit = latch_index_of_node.find(n);
+        lit != latch_index_of_node.end()) {
+      return Ref::block(kLatchRefBase + lit->second);
+    }
+    MMFLOW_CHECK_MSG(block_of[n] != 0xffffffffu, "node " << n << " unmapped");
+    return Ref::block(block_of[n]);
+  };
+
+  for (const std::uint32_t n : aig.and_topo_order()) {
+    if (!required[n]) continue;
+    const Cut& cut = *chosen[n];
+    LutCircuit::Block block;
+    block.name = "n" + std::to_string(n);
+    block.truth = cut_truth(aig, n, cut);
+    if (flipped[n]) {
+      const std::uint64_t mask =
+          (cut.size >= 6) ? ~std::uint64_t{0}
+                          : ((std::uint64_t{1} << (1u << cut.size)) - 1);
+      block.truth = ~block.truth & mask;
+    }
+    for (std::uint8_t i = 0; i < cut.size; ++i) {
+      block.inputs.push_back(node_ref(cut.leaves[i]));
+    }
+    if (const auto ait = absorbing_latch.find(n); ait != absorbing_latch.end()) {
+      const auto& latch = aig.latches()[ait->second];
+      block.has_ff = true;
+      block.ff_init = latch.init;
+      if (lit_compl(latch.next_state)) {
+        // Exclusive consumer wants the complement: fold the inverter into
+        // the LUT truth (the registered value is then the latch value).
+        const std::uint64_t mask =
+            (cut.size >= 6) ? ~std::uint64_t{0}
+                            : ((std::uint64_t{1} << (1u << cut.size)) - 1);
+        block.truth = ~block.truth & mask;
+      }
+      latch_block[ait->second] = static_cast<std::uint32_t>(circuit.num_blocks());
+    }
+    block_of[n] = circuit.add_block(std::move(block));
+  }
+
+  // Feed-through FF blocks for latches that could not absorb their driver.
+  for (std::size_t li = 0; li < aig.latches().size(); ++li) {
+    if (latch_block[li] != 0xffffffffu) continue;
+    const auto& latch = aig.latches()[li];
+    const Lit d = latch.next_state;
+    LutCircuit::Block block;
+    block.name = "ff" + std::to_string(li);
+    block.has_ff = true;
+    block.ff_init = latch.init;
+    if (lit_node(d) == 0) {
+      block.truth = lit_compl(d) ? 1 : 0;  // 0-input constant LUT
+    } else {
+      block.inputs.push_back(node_ref(lit_node(d)));
+      block.truth = lit_compl(d) ? 0b01 : 0b10;
+    }
+    latch_block[li] = circuit.add_block(std::move(block));
+  }
+
+  // Primary outputs (inverters / constant LUTs created on demand, memoized).
+  std::unordered_map<Lit, Ref> po_ref_cache;
+  auto ref_for_lit = [&](Lit l) -> Ref {
+    const std::uint32_t n = lit_node(l);
+    // A flipped block already produces the complemented value.
+    const bool want_compl = lit_compl(l);
+    if (n != 0 && aig.is_and(n) && flipped[n] == want_compl) {
+      return node_ref(n);
+    }
+    if (n != 0 && !aig.is_and(n) && !want_compl) return node_ref(n);
+    if (const auto it = po_ref_cache.find(l); it != po_ref_cache.end()) {
+      return it->second;
+    }
+    LutCircuit::Block block;
+    if (n == 0) {
+      block.name = want_compl ? "const1" : "const0";
+      block.truth = want_compl ? 1 : 0;
+    } else {
+      block.name = "inv" + std::to_string(n);
+      block.inputs.push_back(node_ref(n));
+      // node_ref yields the flipped value for flipped nodes; invert relative
+      // to what the consumer wants.
+      const bool ref_is_compl = aig.is_and(n) && flipped[n];
+      block.truth = (want_compl != ref_is_compl) ? 0b01 : 0b10;
+    }
+    const Ref r = Ref::block(circuit.add_block(std::move(block)));
+    po_ref_cache.emplace(l, r);
+    return r;
+  };
+  for (const auto& po : aig.pos()) {
+    circuit.add_po(po.name, ref_for_lit(po.lit));
+  }
+
+  // ---- patch latch sentinel references --------------------------------------
+  auto patch = [&](Ref& r) {
+    if (r.kind == Ref::Kind::Block && r.index >= kLatchRefBase) {
+      r = Ref::block(latch_block[r.index - kLatchRefBase]);
+    }
+  };
+  for (auto& block : circuit.blocks()) {
+    for (auto& input : block.inputs) patch(input);
+  }
+  {
+    std::vector<LutCircuit::Po> patched = circuit.pos();
+    for (auto& po : patched) patch(po.driver);
+    circuit.replace_pos(std::move(patched));
+  }
+
+  circuit.validate();
+
+  if (stats != nullptr) {
+    stats->num_luts = circuit.num_blocks();
+    stats->num_ffs = circuit.num_ffs();
+    int depth = 0;
+    for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+      if (chosen[n]) depth = std::max(depth, info[n].best_depth);
+    }
+    stats->depth = depth;
+  }
+  return circuit;
+}
+
+}  // namespace mmflow::techmap

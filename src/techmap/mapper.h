@@ -1,0 +1,39 @@
+#pragma once
+/// \file mapper.h
+/// TMAP-equivalent technology mapping: AIG → K-input LUT circuit.
+///
+/// The paper's multi-mode flow runs the conventional mapper on every mode
+/// ("The MDR tool flow is followed up until the technology mapping, thus
+/// generating a circuit of LUTs for every mode"); the TLUT-specific step
+/// (merging) happens afterwards on the LUT circuits. This module implements
+/// the conventional mapper as a priority-cut mapper (Mishchenko et al.):
+/// depth-optimal cut selection with area-flow tie-breaking, exact cut truth
+/// tables, and VPR-style LUT+FF packing of latches into logic blocks.
+
+#include <cstdint>
+
+#include "aig/aig.h"
+#include "techmap/lutcircuit.h"
+
+namespace mmflow::techmap {
+
+struct MapperOptions {
+  int k = 4;               ///< LUT input count (architecture parameter)
+  int cuts_per_node = 8;   ///< priority-cut list length
+  int area_passes = 1;     ///< extra area-recovery passes over the cover
+};
+
+struct MapperStats {
+  std::size_t num_luts = 0;
+  std::size_t num_ffs = 0;
+  int depth = 0;  ///< mapped logic depth in LUT levels
+};
+
+/// Maps an AIG to a LutCircuit. The AIG must be validated; latches become
+/// registered logic blocks (absorbed into their driver LUT when it has no
+/// other fanout, else a feed-through LUT is inserted).
+[[nodiscard]] LutCircuit map_to_luts(const aig::Aig& aig,
+                                     const MapperOptions& options = {},
+                                     MapperStats* stats = nullptr);
+
+}  // namespace mmflow::techmap

@@ -1,0 +1,168 @@
+#include "tunable/modefunc.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace mmflow::tunable {
+
+namespace {
+
+/// Minterms covered by a cube within `num_vars` variables.
+std::uint32_t cube_minterms(int num_vars, const ModeCube& cube) {
+  std::uint32_t mask = 0;
+  const int total = 1 << num_vars;
+  for (int m = 0; m < total; ++m) {
+    if (cube.covers(static_cast<std::uint32_t>(m))) {
+      mask |= std::uint32_t{1} << m;
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::vector<ModeCube> qm_minimize(int num_vars, std::uint32_t onset,
+                                  std::uint32_t dontcare) {
+  MMFLOW_REQUIRE(num_vars >= 1 && num_vars <= 5);
+  const int total = 1 << num_vars;
+  const std::uint32_t universe =
+      total >= 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << total) - 1);
+  onset &= universe;
+  dontcare &= universe & ~onset;
+
+  if (onset == 0) return {};
+
+  // Generate all implicants of (onset | dontcare) by iterative combination,
+  // keeping primes (implicants that cannot be merged).
+  const std::uint32_t care_set = onset | dontcare;
+  const std::uint32_t var_mask = static_cast<std::uint32_t>(total - 1);
+
+  std::vector<ModeCube> current;
+  for (int m = 0; m < total; ++m) {
+    if ((care_set >> m) & 1) {
+      current.push_back(ModeCube{var_mask, static_cast<std::uint32_t>(m)});
+    }
+  }
+
+  std::vector<ModeCube> primes;
+  while (!current.empty()) {
+    std::vector<bool> merged(current.size(), false);
+    std::vector<ModeCube> next;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      for (std::size_t j = i + 1; j < current.size(); ++j) {
+        const ModeCube& a = current[i];
+        const ModeCube& b = current[j];
+        if (a.care != b.care) continue;
+        const std::uint32_t delta = a.value ^ b.value;
+        if (std::popcount(delta) != 1) continue;
+        merged[i] = merged[j] = true;
+        const ModeCube combined{a.care & ~delta, a.value & ~delta};
+        if (std::find(next.begin(), next.end(), combined) == next.end()) {
+          next.push_back(combined);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (!merged[i] &&
+          std::find(primes.begin(), primes.end(), current[i]) == primes.end()) {
+        primes.push_back(current[i]);
+      }
+    }
+    current = std::move(next);
+  }
+
+  // Cover the onset with primes: essential primes first, then greedy.
+  std::vector<std::uint32_t> covers(primes.size());
+  for (std::size_t p = 0; p < primes.size(); ++p) {
+    covers[p] = cube_minterms(num_vars, primes[p]) & onset;
+  }
+
+  std::vector<ModeCube> result;
+  std::uint32_t uncovered = onset;
+
+  // Essential primes: minterms covered by exactly one prime.
+  for (int m = 0; m < total; ++m) {
+    if (!((uncovered >> m) & 1)) continue;
+    int count = 0;
+    std::size_t only = 0;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if ((covers[p] >> m) & 1) {
+        ++count;
+        only = p;
+      }
+    }
+    MMFLOW_CHECK(count >= 1);
+    if (count == 1) {
+      result.push_back(primes[only]);
+      uncovered &= ~covers[only];
+      covers[only] = 0;  // consumed
+    }
+  }
+  // Greedy set cover for the remainder (ties: fewer literals).
+  while (uncovered != 0) {
+    std::size_t best = primes.size();
+    int best_gain = -1;
+    int best_literals = 1 << 30;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      const int gain = std::popcount(covers[p] & uncovered);
+      const int literals = std::popcount(primes[p].care);
+      if (gain > best_gain ||
+          (gain == best_gain && literals < best_literals)) {
+        best = p;
+        best_gain = gain;
+        best_literals = literals;
+      }
+    }
+    MMFLOW_CHECK(best < primes.size() && best_gain > 0);
+    result.push_back(primes[best]);
+    uncovered &= ~covers[best];
+    covers[best] = 0;
+  }
+  return result;
+}
+
+std::string ModeFunction::to_sop() const {
+  const int bits = num_mode_bits(num_modes_);
+  const int total = 1 << bits;
+  // Valid modes are minterms; codes >= num_modes are don't-cares.
+  std::uint32_t onset = true_modes_;
+  std::uint32_t dontcare = 0;
+  for (int code = num_modes_; code < total; ++code) {
+    dontcare |= std::uint32_t{1} << code;
+  }
+  if (onset == 0) return "0";
+  const auto cubes = qm_minimize(bits, onset, dontcare);
+  if (cubes.size() == 1 && cubes[0].care == 0) return "1";
+
+  std::string out;
+  for (std::size_t c = 0; c < cubes.size(); ++c) {
+    if (c > 0) out += " + ";
+    bool first = true;
+    for (int b = bits - 1; b >= 0; --b) {
+      const std::uint32_t bit = std::uint32_t{1} << b;
+      if (!(cubes[c].care & bit)) continue;
+      if (!first) out += '.';
+      first = false;
+      if (!(cubes[c].value & bit)) out += '!';
+      out += 'm';
+      out += std::to_string(b);
+    }
+    MMFLOW_CHECK(!first);  // all-don't-care cube handled above
+  }
+  return out;
+}
+
+std::string ModeFunction::mode_product(int num_modes, int mode) {
+  MMFLOW_REQUIRE(mode >= 0 && mode < num_modes);
+  const int bits = num_mode_bits(num_modes);
+  std::string out;
+  for (int b = bits - 1; b >= 0; --b) {
+    if (!out.empty()) out += '.';
+    if (!((mode >> b) & 1)) out += '!';
+    out += 'm';
+    out += std::to_string(b);
+  }
+  return out;
+}
+
+}  // namespace mmflow::tunable

@@ -1,0 +1,109 @@
+#pragma once
+/// \file modefunc.h
+/// Boolean functions of the mode bits.
+///
+/// With M modes numbered 0..M-1 and B = ceil(log2 M) mode bits m_{B-1}..m_0,
+/// a Boolean function of the mode bits is fully described by its value for
+/// every mode — i.e. by a subset of modes (ModeSet). This module provides
+/// that representation plus exact two-level minimization (Quine-McCluskey,
+/// with mode codes >= M as don't-cares) so parameterized configuration bits
+/// and activation functions can be rendered exactly like the paper's
+/// examples: "m0", "m1.m0", "1", "0", "!m1.m0 + m1.!m0", ...
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mmflow::tunable {
+
+/// Set of modes, bit m = mode m. At most 32 modes.
+using ModeSet = std::uint32_t;
+
+[[nodiscard]] constexpr ModeSet all_modes(int num_modes) {
+  return num_modes >= 32 ? ~ModeSet{0} : ((ModeSet{1} << num_modes) - 1);
+}
+
+/// Number of mode bits needed to encode `num_modes` modes.
+[[nodiscard]] constexpr int num_mode_bits(int num_modes) {
+  int bits = 0;
+  while ((1 << bits) < num_modes) ++bits;
+  return bits == 0 ? 1 : bits;  // one bit minimum, like the paper's m0
+}
+
+/// A product term over mode bits: `care` marks the bits that appear,
+/// `value` their polarity.
+struct ModeCube {
+  std::uint32_t care = 0;
+  std::uint32_t value = 0;
+
+  [[nodiscard]] bool covers(std::uint32_t minterm) const {
+    return (minterm & care) == value;
+  }
+  friend bool operator==(const ModeCube&, const ModeCube&) = default;
+};
+
+/// Exact Quine-McCluskey minimization over `num_vars` variables.
+/// `onset` / `dontcare` are minterm bitmasks (bit i = minterm i), with
+/// num_vars <= 5. Returns a minimal sum of products (essential primes plus a
+/// minimum greedy cover of the rest; exact for the sizes used here).
+[[nodiscard]] std::vector<ModeCube> qm_minimize(int num_vars,
+                                                std::uint32_t onset,
+                                                std::uint32_t dontcare);
+
+/// A Boolean function of the mode, represented extensionally.
+class ModeFunction {
+ public:
+  ModeFunction(int num_modes, ModeSet true_modes)
+      : num_modes_(num_modes), true_modes_(true_modes & all_modes(num_modes)) {
+    MMFLOW_REQUIRE(num_modes >= 1 && num_modes <= 32);
+  }
+
+  [[nodiscard]] static ModeFunction constant(int num_modes, bool value) {
+    return ModeFunction(num_modes, value ? all_modes(num_modes) : 0);
+  }
+
+  [[nodiscard]] int num_modes() const { return num_modes_; }
+  [[nodiscard]] ModeSet true_modes() const { return true_modes_; }
+
+  [[nodiscard]] bool eval(int mode) const {
+    MMFLOW_REQUIRE(mode >= 0 && mode < num_modes_);
+    return (true_modes_ >> mode) & 1;
+  }
+
+  /// Constant over the *valid* modes (invalid codes are don't-cares).
+  [[nodiscard]] bool is_constant() const {
+    return true_modes_ == 0 || true_modes_ == all_modes(num_modes_);
+  }
+  [[nodiscard]] bool constant_value() const {
+    MMFLOW_REQUIRE(is_constant());
+    return true_modes_ != 0;
+  }
+
+  /// Disjunction / conjunction (activation-function merging).
+  [[nodiscard]] ModeFunction operator|(const ModeFunction& other) const {
+    MMFLOW_REQUIRE(num_modes_ == other.num_modes_);
+    return ModeFunction(num_modes_, true_modes_ | other.true_modes_);
+  }
+  [[nodiscard]] ModeFunction operator&(const ModeFunction& other) const {
+    MMFLOW_REQUIRE(num_modes_ == other.num_modes_);
+    return ModeFunction(num_modes_, true_modes_ & other.true_modes_);
+  }
+
+  friend bool operator==(const ModeFunction&, const ModeFunction&) = default;
+
+  /// Minimal SOP over the mode bits, e.g. "m1.!m0 + !m1.m0"; "0"/"1" when
+  /// constant. Mode codes >= num_modes are exploited as don't-cares, so with
+  /// 3 modes the function true in modes {1,3(invalid)} prints "m0".
+  [[nodiscard]] std::string to_sop() const;
+
+  /// The paper's per-mode product term, e.g. mode 2 of 4 -> "m1.!m0".
+  [[nodiscard]] static std::string mode_product(int num_modes, int mode);
+
+ private:
+  int num_modes_;
+  ModeSet true_modes_;
+};
+
+}  // namespace mmflow::tunable

@@ -1,0 +1,73 @@
+#include "tunable/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mmflow::tunable {
+
+namespace {
+
+std::string tref_name(TRef r) {
+  return (r.kind == TRef::Kind::Tlut ? "tlut" : "tio") + std::to_string(r.index);
+}
+
+}  // namespace
+
+std::string describe(const TunableCircuit& tc, const ReportOptions& options) {
+  std::ostringstream os;
+  os << summary_line(tc) << "\n\n";
+
+  os << "Tunable LUTs (truth bits as Boolean functions of the mode):\n";
+  std::size_t listed = 0;
+  for (std::uint32_t t = 0; t < tc.num_tluts(); ++t) {
+    const auto bits = tc.parameterized_bits(t);
+    const bool any_param = std::any_of(
+        bits.begin(), bits.end(),
+        [](const ModeFunction& f) { return !f.is_constant(); });
+    if (options.parameterized_only && !any_param) continue;
+    if (options.limit != 0 && listed >= options.limit) {
+      os << "  ... (" << tc.num_tluts() - t << " more)\n";
+      break;
+    }
+    ++listed;
+    os << "  tlut" << t << ":";
+    for (int m = 0; m < tc.num_modes(); ++m) {
+      const auto& slot = tc.tlut(t)[static_cast<std::size_t>(m)];
+      if (slot.lut >= 0) os << " m" << m << "=lut" << slot.lut;
+    }
+    os << "\n    bits: ";
+    for (std::size_t b = 0; b + 1 < bits.size(); ++b) {
+      if (b > 0) os << ", ";
+      os << bits[b].to_sop();
+    }
+    os << "\n    ff:   " << bits.back().to_sop() << "\n";
+  }
+
+  os << "\nTunable connections (activation functions):\n";
+  listed = 0;
+  for (const auto& conn : tc.conns()) {
+    const ModeFunction act(tc.num_modes(), conn.activation);
+    if (options.parameterized_only && act.is_constant()) continue;
+    if (options.limit != 0 && listed >= options.limit) {
+      os << "  ...\n";
+      break;
+    }
+    ++listed;
+    os << "  " << tref_name(conn.source) << " -> " << tref_name(conn.sink)
+       << " : " << act.to_sop() << "\n";
+  }
+  return os.str();
+}
+
+std::string summary_line(const TunableCircuit& tc) {
+  std::ostringstream os;
+  os << "TunableCircuit: " << tc.num_modes() << " modes, " << tc.num_tluts()
+     << " TLUTs, " << tc.num_tios() << " TIOs, " << tc.conns().size()
+     << " tunable connections (" << tc.num_merged_connections()
+     << " merged of " << tc.total_mode_connections()
+     << " per-mode), " << tc.parameterized_lut_bit_count()
+     << " parameterized LUT bits";
+  return os.str();
+}
+
+}  // namespace mmflow::tunable

@@ -1,0 +1,30 @@
+#pragma once
+/// \file report.h
+/// Human-readable dump of a parameterized configuration — the artifact the
+/// DCS tool flow hands to the run-time reconfiguration manager: every
+/// Tunable LUT's truth bits as Boolean functions of the mode bits (Fig. 4)
+/// and every Tunable connection's activation function (Fig. 3).
+
+#include <iosfwd>
+#include <string>
+
+#include "tunable/tunable_circuit.h"
+
+namespace mmflow::tunable {
+
+struct ReportOptions {
+  /// Suppress TLUTs/connections whose bits are all static.
+  bool parameterized_only = false;
+  /// Cap on listed TLUTs / connections (0 = no limit).
+  std::size_t limit = 0;
+};
+
+/// Renders the Tunable circuit's parameterized configuration.
+[[nodiscard]] std::string describe(const TunableCircuit& tc,
+                                   const ReportOptions& options = {});
+
+/// One-line summary (sizes, merged-connection statistics, parameterized
+/// LUT-bit count).
+[[nodiscard]] std::string summary_line(const TunableCircuit& tc);
+
+}  // namespace mmflow::tunable

@@ -1,0 +1,438 @@
+#include "tunable/tunable_circuit.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+namespace mmflow::tunable {
+
+using techmap::LutCircuit;
+using techmap::Ref;
+
+MergeAssignment MergeAssignment::by_index(const std::vector<LutCircuit>& modes) {
+  MergeAssignment out;
+  std::uint32_t max_luts = 0;
+  std::uint32_t max_pis = 0;
+  std::uint32_t max_pos = 0;
+  for (const auto& mode : modes) {
+    max_luts = std::max<std::uint32_t>(max_luts, mode.num_blocks());
+    max_pis = std::max<std::uint32_t>(max_pis, mode.num_pis());
+    max_pos = std::max<std::uint32_t>(max_pos, mode.num_pos());
+  }
+  out.num_tluts = max_luts;
+  out.num_tios = max_pis + max_pos;
+  for (const auto& mode : modes) {
+    std::vector<std::uint32_t> luts(mode.num_blocks());
+    for (std::uint32_t i = 0; i < luts.size(); ++i) luts[i] = i;
+    out.lut_to_tlut.push_back(std::move(luts));
+    std::vector<std::uint32_t> pis(mode.num_pis());
+    for (std::uint32_t i = 0; i < pis.size(); ++i) pis[i] = i;
+    out.pi_to_tio.push_back(std::move(pis));
+    std::vector<std::uint32_t> pos(mode.num_pos());
+    for (std::uint32_t i = 0; i < pos.size(); ++i) pos[i] = max_pis + i;
+    out.po_to_tio.push_back(std::move(pos));
+  }
+  return out;
+}
+
+TunableCircuit::TunableCircuit(std::vector<LutCircuit> modes,
+                               const MergeAssignment& assignment)
+    : modes_(std::move(modes)) {
+  MMFLOW_REQUIRE(!modes_.empty());
+  MMFLOW_REQUIRE(modes_.size() <= 32);
+  k_ = modes_[0].k();
+  for (const auto& mode : modes_) {
+    MMFLOW_REQUIRE_MSG(mode.k() == k_, "modes must share the LUT size K");
+    mode.validate();
+  }
+  MMFLOW_REQUIRE(assignment.lut_to_tlut.size() == modes_.size());
+  MMFLOW_REQUIRE(assignment.pi_to_tio.size() == modes_.size());
+  MMFLOW_REQUIRE(assignment.po_to_tio.size() == modes_.size());
+
+  const int num_modes = static_cast<int>(modes_.size());
+  tluts_.assign(assignment.num_tluts,
+                std::vector<TLutSlot>(static_cast<std::size_t>(num_modes)));
+  tios_.assign(assignment.num_tios,
+               std::vector<TIoSlot>(static_cast<std::size_t>(num_modes)));
+
+  lut_to_tlut_ = assignment.lut_to_tlut;
+  pi_to_tio_ = assignment.pi_to_tio;
+  po_to_tio_ = assignment.po_to_tio;
+
+  for (int m = 0; m < num_modes; ++m) {
+    const auto& mode = modes_[static_cast<std::size_t>(m)];
+    MMFLOW_REQUIRE(assignment.lut_to_tlut[m].size() == mode.num_blocks());
+    MMFLOW_REQUIRE(assignment.pi_to_tio[m].size() == mode.num_pis());
+    MMFLOW_REQUIRE(assignment.po_to_tio[m].size() == mode.num_pos());
+    for (std::uint32_t lut = 0; lut < mode.num_blocks(); ++lut) {
+      const std::uint32_t t = assignment.lut_to_tlut[m][lut];
+      MMFLOW_REQUIRE(t < tluts_.size());
+      MMFLOW_REQUIRE_MSG(tluts_[t][m].lut < 0,
+                         "two LUTs of mode " << m << " on TLUT " << t);
+      tluts_[t][m].lut = static_cast<std::int32_t>(lut);
+    }
+    for (std::uint32_t pi = 0; pi < mode.num_pis(); ++pi) {
+      const std::uint32_t t = assignment.pi_to_tio[m][pi];
+      MMFLOW_REQUIRE(t < tios_.size());
+      MMFLOW_REQUIRE_MSG(tios_[t][m].kind == TIoSlot::Kind::None,
+                         "two IOs of mode " << m << " on TIO " << t);
+      tios_[t][m] = TIoSlot{TIoSlot::Kind::Pi, pi};
+    }
+    for (std::uint32_t po = 0; po < mode.num_pos(); ++po) {
+      const std::uint32_t t = assignment.po_to_tio[m][po];
+      MMFLOW_REQUIRE(t < tios_.size());
+      MMFLOW_REQUIRE_MSG(tios_[t][m].kind == TIoSlot::Kind::None,
+                         "two IOs of mode " << m << " on TIO " << t);
+      tios_[t][m] = TIoSlot{TIoSlot::Kind::Po, po};
+    }
+  }
+
+  build_connections(assignment);
+  assign_pins();
+}
+
+void TunableCircuit::build_connections(const MergeAssignment& assignment) {
+  const int num_modes = static_cast<int>(modes_.size());
+
+  // Group per-mode connections by (source endpoint, sink endpoint); merged
+  // activation = union of the contributing modes (paper: "connections [that]
+  // have the same source and sink can be merged into one Tunable connection
+  // of which the activation function is an addition of the Boolean products").
+  struct Key {
+    std::uint64_t packed;
+    bool operator<(const Key& o) const { return packed < o.packed; }
+  };
+  auto pack = [](TRef a, TRef b) {
+    const std::uint64_t sa =
+        (static_cast<std::uint64_t>(a.kind == TRef::Kind::Tio) << 32) | a.index;
+    const std::uint64_t sb =
+        (static_cast<std::uint64_t>(b.kind == TRef::Kind::Tio) << 32) | b.index;
+    return Key{(sa << 33) | sb};
+  };
+  std::map<Key, std::pair<std::pair<TRef, TRef>, ModeSet>> groups;
+
+  auto source_tref = [&](int m, Ref r) {
+    return r.kind == Ref::Kind::PrimaryInput
+               ? TRef::tio(assignment.pi_to_tio[m][r.index])
+               : TRef::tlut(assignment.lut_to_tlut[m][r.index]);
+  };
+
+  total_mode_connections_ = 0;
+  for (int m = 0; m < num_modes; ++m) {
+    const auto& mode = modes_[static_cast<std::size_t>(m)];
+    // Per mode, dedup (source, sink) pairs: several pins of one LUT fed by
+    // the same net form one physical connection.
+    std::map<Key, std::pair<TRef, TRef>> mode_conns;
+    for (std::uint32_t lut = 0; lut < mode.num_blocks(); ++lut) {
+      const TRef sink = TRef::tlut(assignment.lut_to_tlut[m][lut]);
+      for (const Ref r : mode.blocks()[lut].inputs) {
+        const TRef source = source_tref(m, r);
+        // A registered block feeding itself needs no routed connection.
+        if (source == sink) continue;
+        mode_conns.emplace(pack(source, sink), std::make_pair(source, sink));
+      }
+    }
+    for (std::uint32_t po = 0; po < mode.num_pos(); ++po) {
+      const TRef sink = TRef::tio(assignment.po_to_tio[m][po]);
+      const TRef source = source_tref(m, mode.pos()[po].driver);
+      if (source == sink) continue;
+      mode_conns.emplace(pack(source, sink), std::make_pair(source, sink));
+    }
+    total_mode_connections_ += mode_conns.size();
+    for (const auto& [key, endpoints] : mode_conns) {
+      auto [it, inserted] =
+          groups.emplace(key, std::make_pair(endpoints, ModeSet{0}));
+      it->second.second |= ModeSet{1} << m;
+    }
+  }
+
+  conns_.clear();
+  for (const auto& [key, value] : groups) {
+    conns_.push_back(TConn{value.first.first, value.first.second, value.second});
+  }
+
+  // Nets: group connections by source endpoint.
+  std::map<std::uint64_t, std::uint32_t> net_of_source;
+  nets_.clear();
+  for (std::uint32_t c = 0; c < conns_.size(); ++c) {
+    const TRef src = conns_[c].source;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(src.kind == TRef::Kind::Tio) << 32) |
+        src.index;
+    auto [it, inserted] =
+        net_of_source.emplace(key, static_cast<std::uint32_t>(nets_.size()));
+    if (inserted) nets_.push_back(TNet{src, {}});
+    nets_[it->second].conns.push_back(c);
+  }
+}
+
+void TunableCircuit::assign_pins() {
+  const int num_modes = static_cast<int>(modes_.size());
+  pin_assignments_.assign(tluts_.size(), {});
+
+  for (std::uint32_t t = 0; t < tluts_.size(); ++t) {
+    PinAssignment& pa = pin_assignments_[t];
+    pa.pin_source.assign(static_cast<std::size_t>(k_),
+                         std::vector<TRef>(static_cast<std::size_t>(num_modes)));
+    pa.pin_used.assign(static_cast<std::size_t>(k_), 0);
+    pa.input_pin.assign(static_cast<std::size_t>(num_modes), {});
+
+    for (int m = 0; m < num_modes; ++m) {
+      const std::int32_t lut = tluts_[t][m].lut;
+      if (lut < 0) continue;
+      const auto& block = modes_[static_cast<std::size_t>(m)]
+                              .blocks()[static_cast<std::uint32_t>(lut)];
+      auto& input_pin = pa.input_pin[static_cast<std::size_t>(m)];
+      input_pin.assign(block.inputs.size(), -1);
+
+      for (std::size_t i = 0; i < block.inputs.size(); ++i) {
+        const Ref r = block.inputs[i];
+        const TRef src =
+            r.kind == Ref::Kind::PrimaryInput
+                ? TRef::tio(pi_to_tio_[static_cast<std::size_t>(m)][r.index])
+                : TRef::tlut(lut_to_tlut_[static_cast<std::size_t>(m)][r.index]);
+        // Prefer a pin already carrying this source in another mode (the
+        // IPIN mux bit then stays static); else the first pin free in this
+        // mode. A pin already used by this mode for the same source reuses it.
+        int chosen = -1;
+        for (int p = 0; p < k_; ++p) {
+          const ModeSet used = pa.pin_used[static_cast<std::size_t>(p)];
+          if ((used >> m) & 1) {
+            // Same mode: only reusable for an identical source (duplicate
+            // input pins of the same net).
+            if (pa.pin_source[static_cast<std::size_t>(p)]
+                             [static_cast<std::size_t>(m)] == src) {
+              chosen = p;
+              break;
+            }
+            continue;
+          }
+          if (used != 0) {
+            // Carried by other modes: shareable when the source matches.
+            bool matches = true;
+            for (int om = 0; om < num_modes && matches; ++om) {
+              if ((used >> om) & 1) {
+                matches = pa.pin_source[static_cast<std::size_t>(p)]
+                                       [static_cast<std::size_t>(om)] == src;
+              }
+            }
+            if (matches) {
+              chosen = p;
+              break;
+            }
+          }
+        }
+        if (chosen < 0) {
+          for (int p = 0; p < k_; ++p) {
+            if (!((pa.pin_used[static_cast<std::size_t>(p)] >> m) & 1) &&
+                pa.pin_used[static_cast<std::size_t>(p)] == 0) {
+              chosen = p;
+              break;
+            }
+          }
+        }
+        if (chosen < 0) {
+          // All fresh pins taken: use any pin free in this mode.
+          for (int p = 0; p < k_; ++p) {
+            if (!((pa.pin_used[static_cast<std::size_t>(p)] >> m) & 1)) {
+              chosen = p;
+              break;
+            }
+          }
+        }
+        MMFLOW_CHECK_MSG(chosen >= 0, "TLUT pin overflow");
+        pa.pin_used[static_cast<std::size_t>(chosen)] |= ModeSet{1} << m;
+        pa.pin_source[static_cast<std::size_t>(chosen)]
+                     [static_cast<std::size_t>(m)] = src;
+        input_pin[i] = chosen;
+      }
+    }
+  }
+}
+
+std::uint64_t TunableCircuit::mode_truth(std::uint32_t tlut, int mode) const {
+  MMFLOW_REQUIRE(tlut < tluts_.size());
+  MMFLOW_REQUIRE(mode >= 0 && mode < num_modes());
+  const std::int32_t lut = tluts_[tlut][static_cast<std::size_t>(mode)].lut;
+  if (lut < 0) return 0;
+  const auto& block =
+      modes_[static_cast<std::size_t>(mode)].blocks()[static_cast<std::uint32_t>(lut)];
+  const auto& input_pin =
+      pin_assignments_[tlut].input_pin[static_cast<std::size_t>(mode)];
+
+  // Permute the logical truth table onto the physical pins; pins the mode
+  // does not use are don't-cares filled by replication (the output ignores
+  // them).
+  const std::uint32_t minterms = 1u << k_;
+  std::uint64_t truth = 0;
+  for (std::uint32_t pm = 0; pm < minterms; ++pm) {
+    std::uint32_t logical = 0;
+    for (std::size_t i = 0; i < block.inputs.size(); ++i) {
+      if ((pm >> input_pin[i]) & 1) logical |= 1u << i;
+    }
+    if ((block.truth >> logical) & 1) truth |= std::uint64_t{1} << pm;
+  }
+  return truth;
+}
+
+bool TunableCircuit::mode_uses_ff(std::uint32_t tlut, int mode) const {
+  const std::int32_t lut = tluts_[tlut][static_cast<std::size_t>(mode)].lut;
+  if (lut < 0) return false;
+  return modes_[static_cast<std::size_t>(mode)]
+      .blocks()[static_cast<std::uint32_t>(lut)]
+      .has_ff;
+}
+
+std::vector<ModeFunction> TunableCircuit::parameterized_bits(
+    std::uint32_t tlut) const {
+  const int num_modes_i = num_modes();
+  std::vector<std::uint64_t> truths(static_cast<std::size_t>(num_modes_i));
+  ModeSet ff_modes = 0;
+  for (int m = 0; m < num_modes_i; ++m) {
+    truths[static_cast<std::size_t>(m)] = mode_truth(tlut, m);
+    if (mode_uses_ff(tlut, m)) ff_modes |= ModeSet{1} << m;
+  }
+  std::vector<ModeFunction> bits;
+  const std::uint32_t minterms = 1u << k_;
+  bits.reserve(minterms + 1);
+  for (std::uint32_t b = 0; b < minterms; ++b) {
+    ModeSet set = 0;
+    for (int m = 0; m < num_modes_i; ++m) {
+      if ((truths[static_cast<std::size_t>(m)] >> b) & 1) set |= ModeSet{1} << m;
+    }
+    bits.emplace_back(num_modes_i, set);
+  }
+  bits.emplace_back(num_modes_i, ff_modes);  // FF-select bit
+  return bits;
+}
+
+std::uint64_t TunableCircuit::parameterized_lut_bit_count() const {
+  std::uint64_t count = 0;
+  for (std::uint32_t t = 0; t < tluts_.size(); ++t) {
+    for (const ModeFunction& f : parameterized_bits(t)) {
+      if (!f.is_constant()) ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t TunableCircuit::num_merged_connections() const {
+  return static_cast<std::size_t>(
+      std::count_if(conns_.begin(), conns_.end(), [](const TConn& c) {
+        return std::popcount(c.activation) > 1;
+      }));
+}
+
+techmap::LutCircuit TunableCircuit::specialize(int mode) const {
+  MMFLOW_REQUIRE(mode >= 0 && mode < num_modes());
+  const auto& src = modes_[static_cast<std::size_t>(mode)];
+  techmap::LutCircuit out(k_, src.name() + "_specialized");
+
+  // The specialized circuit keeps the mode's own PI/PO interface; TLUTs map
+  // to blocks 1:1 (unused TLUTs become empty blocks that we skip).
+  for (const auto& name : src.pi_names()) out.add_pi(name);
+
+  std::vector<std::int32_t> block_of_tlut(tluts_.size(), -1);
+  // First create blocks (possibly forward-referencing through FFs), then
+  // wire inputs: LutCircuit refs require targets to exist, so create in two
+  // passes using index-stable placeholders.
+  for (std::uint32_t t = 0; t < tluts_.size(); ++t) {
+    if (tluts_[t][static_cast<std::size_t>(mode)].lut < 0) continue;
+    techmap::LutCircuit::Block block;
+    block.name = "tlut" + std::to_string(t);
+    block.truth = mode_truth(t, mode);
+    block.has_ff = mode_uses_ff(t, mode);
+    const std::int32_t lut = tluts_[t][static_cast<std::size_t>(mode)].lut;
+    block.ff_init = src.blocks()[static_cast<std::uint32_t>(lut)].ff_init;
+    block_of_tlut[t] = static_cast<std::int32_t>(out.add_block(std::move(block)));
+  }
+
+  auto ref_of_tref = [&](TRef r) -> techmap::Ref {
+    if (r.kind == TRef::Kind::Tio) {
+      const TIoSlot& slot = tios_[r.index][static_cast<std::size_t>(mode)];
+      MMFLOW_CHECK(slot.kind == TIoSlot::Kind::Pi);
+      return techmap::Ref::pi(slot.index);
+    }
+    MMFLOW_CHECK(block_of_tlut[r.index] >= 0);
+    return techmap::Ref::block(static_cast<std::uint32_t>(block_of_tlut[r.index]));
+  };
+
+  for (std::uint32_t t = 0; t < tluts_.size(); ++t) {
+    const std::int32_t lut = tluts_[t][static_cast<std::size_t>(mode)].lut;
+    if (lut < 0) continue;
+    const auto& pa = pin_assignments_[t];
+    const auto& input_pin = pa.input_pin[static_cast<std::size_t>(mode)];
+    // Inputs in *pin order* (the truth table is pin-permuted): pin p gets
+    // the source feeding it in this mode; unused pins are skipped by
+    // remapping the truth accordingly — simpler: emit k inputs where used.
+    auto& block = out.blocks()[static_cast<std::uint32_t>(block_of_tlut[t])];
+    block.inputs.assign(static_cast<std::size_t>(k_), techmap::Ref::pi(0));
+    std::vector<bool> pin_live(static_cast<std::size_t>(k_), false);
+    const auto& mode_blocks = src.blocks()[static_cast<std::uint32_t>(lut)];
+    for (std::size_t i = 0; i < mode_blocks.inputs.size(); ++i) {
+      const int p = input_pin[i];
+      const TRef tsrc =
+          pa.pin_source[static_cast<std::size_t>(p)][static_cast<std::size_t>(mode)];
+      block.inputs[static_cast<std::size_t>(p)] = ref_of_tref(tsrc);
+      pin_live[static_cast<std::size_t>(p)] = true;
+    }
+    // Compact away dead pins so validate() sees a well-formed block: remap
+    // the pin-permuted truth down to the live pins.
+    std::vector<techmap::Ref> live_inputs;
+    std::vector<int> live_index(static_cast<std::size_t>(k_), -1);
+    for (int p = 0; p < k_; ++p) {
+      if (pin_live[static_cast<std::size_t>(p)]) {
+        live_index[static_cast<std::size_t>(p)] =
+            static_cast<int>(live_inputs.size());
+        live_inputs.push_back(block.inputs[static_cast<std::size_t>(p)]);
+      }
+    }
+    const std::uint32_t live_minterms = 1u << live_inputs.size();
+    std::uint64_t live_truth = 0;
+    for (std::uint32_t lm = 0; lm < live_minterms; ++lm) {
+      std::uint32_t pin_minterm = 0;
+      for (int p = 0; p < k_; ++p) {
+        const int li = live_index[static_cast<std::size_t>(p)];
+        if (li >= 0 && ((lm >> li) & 1)) pin_minterm |= 1u << p;
+      }
+      if ((block.truth >> pin_minterm) & 1) live_truth |= std::uint64_t{1} << lm;
+    }
+    block.inputs = std::move(live_inputs);
+    block.truth = live_truth;
+  }
+
+  for (std::uint32_t po = 0; po < src.num_pos(); ++po) {
+    // Find the PO's TIO and its driving connection source.
+    const std::uint32_t t = po_to_tio_[static_cast<std::size_t>(mode)][po];
+    const techmap::Ref driver = [&]() -> techmap::Ref {
+      const techmap::Ref orig = src.pos()[po].driver;
+      if (orig.kind == techmap::Ref::Kind::PrimaryInput) return orig;
+      const std::uint32_t tl =
+          lut_to_tlut_[static_cast<std::size_t>(mode)][orig.index];
+      MMFLOW_CHECK(block_of_tlut[tl] >= 0);
+      return techmap::Ref::block(static_cast<std::uint32_t>(block_of_tlut[tl]));
+    }();
+    (void)t;
+    out.add_po(src.pos()[po].name, driver);
+  }
+
+  out.validate();
+  return out;
+}
+
+void TunableCircuit::validate() const {
+  for (const TConn& c : conns_) {
+    MMFLOW_CHECK(c.activation != 0);
+    MMFLOW_CHECK(!(c.source == c.sink));
+  }
+  // Activation of connections into a TLUT pin in one mode is exclusive by
+  // construction (per-mode dedup); nets reference valid connections.
+  for (const TNet& net : nets_) {
+    for (const std::uint32_t c : net.conns) {
+      MMFLOW_CHECK(c < conns_.size());
+      MMFLOW_CHECK(conns_[c].source == net.source);
+    }
+  }
+}
+
+}  // namespace mmflow::tunable

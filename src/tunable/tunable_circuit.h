@@ -1,0 +1,189 @@
+#pragma once
+/// \file tunable_circuit.h
+/// Tunable circuits — the paper's central data structure (§III, Fig. 3).
+///
+/// A Tunable circuit merges the LUT circuits of N mutually exclusive modes:
+///  * a Tunable LUT (TLUT) implements up to one LUT *per mode*; its truth
+///    bits are Boolean functions of the mode (Fig. 4);
+///  * Tunable connections link TLUT/TIO endpoints and carry an *activation
+///    function* — the set of modes in which the connection must be realised;
+///    connections of different modes with the same source and sink merge
+///    into one Tunable connection whose activation is the union (and whose
+///    routing bits are therefore static across those modes);
+///  * Tunable IOs (TIOs) merge primary inputs/outputs onto shared pads.
+///
+/// The only degree of freedom when merging is *which LUTs share a TLUT*
+/// (the paper: "we essentially have one degree of freedom... only LUTs
+/// belonging to different modes can be combined"). That choice is the
+/// MergeAssignment; the combined placement (src/core) produces it from
+/// co-location.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitstream/config_model.h"
+#include "techmap/lutcircuit.h"
+#include "tunable/modefunc.h"
+
+namespace mmflow::tunable {
+
+/// Endpoint of a tunable connection.
+struct TRef {
+  enum class Kind : std::uint8_t { Tlut, Tio };
+  Kind kind = Kind::Tlut;
+  std::uint32_t index = 0;
+
+  [[nodiscard]] static TRef tlut(std::uint32_t i) { return {Kind::Tlut, i}; }
+  [[nodiscard]] static TRef tio(std::uint32_t i) { return {Kind::Tio, i}; }
+  friend bool operator==(const TRef&, const TRef&) = default;
+};
+
+/// Which LUTs / IOs of each mode share each physical resource. Produced
+/// either trivially (merge-by-index, paper Fig. 3) or from a combined
+/// placement (same site ⇒ same TLUT/TIO).
+struct MergeAssignment {
+  /// lut_to_tlut[mode][lut] = TLUT index.
+  std::vector<std::vector<std::uint32_t>> lut_to_tlut;
+  /// pi_to_tio[mode][pi] / po_to_tio[mode][po] = TIO index.
+  std::vector<std::vector<std::uint32_t>> pi_to_tio;
+  std::vector<std::vector<std::uint32_t>> po_to_tio;
+  std::uint32_t num_tluts = 0;
+  std::uint32_t num_tios = 0;
+
+  /// Identity assignment: LUT i of every mode -> TLUT i, PI i -> TIO i,
+  /// PO i -> TIO (num_pis_max + i). This is the index-based merge of Fig. 3.
+  [[nodiscard]] static MergeAssignment by_index(
+      const std::vector<techmap::LutCircuit>& modes);
+};
+
+/// One mode's use of a TLUT.
+struct TLutSlot {
+  std::int32_t lut = -1;  ///< LUT index in that mode's circuit, -1 if unused
+};
+
+struct TIoSlot {
+  enum class Kind : std::uint8_t { None, Pi, Po };
+  Kind kind = Kind::None;
+  std::uint32_t index = 0;  ///< PI / PO index in that mode's circuit
+};
+
+/// A merged tunable connection.
+struct TConn {
+  TRef source;
+  TRef sink;
+  ModeSet activation = 0;  ///< modes in which the connection is realised
+};
+
+/// A tunable net: a source endpoint with all its tunable connections
+/// (placement and routing operate on these).
+struct TNet {
+  TRef source;
+  std::vector<std::uint32_t> conns;  ///< indices into TunableCircuit::conns()
+};
+
+class TunableCircuit {
+ public:
+  /// Merges mode circuits under an assignment. All circuits must share K.
+  /// Validates the assignment (one LUT/IO per mode per resource).
+  TunableCircuit(std::vector<techmap::LutCircuit> modes,
+                 const MergeAssignment& assignment);
+
+  [[nodiscard]] int num_modes() const {
+    return static_cast<int>(modes_.size());
+  }
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] const std::vector<techmap::LutCircuit>& modes() const {
+    return modes_;
+  }
+
+  [[nodiscard]] std::size_t num_tluts() const { return tluts_.size(); }
+  [[nodiscard]] std::size_t num_tios() const { return tios_.size(); }
+  [[nodiscard]] const std::vector<TLutSlot>& tlut(std::uint32_t i) const {
+    return tluts_[i];
+  }
+  [[nodiscard]] const std::vector<TIoSlot>& tio(std::uint32_t i) const {
+    return tios_[i];
+  }
+
+  [[nodiscard]] const std::vector<TConn>& conns() const { return conns_; }
+  [[nodiscard]] const std::vector<TNet>& nets() const { return nets_; }
+
+  /// Reverse lookups from a mode's resources to the merged ones.
+  [[nodiscard]] std::uint32_t tlut_of_lut(int mode, std::uint32_t lut) const {
+    return lut_to_tlut_[static_cast<std::size_t>(mode)][lut];
+  }
+  [[nodiscard]] std::uint32_t tio_of_pi(int mode, std::uint32_t pi) const {
+    return pi_to_tio_[static_cast<std::size_t>(mode)][pi];
+  }
+  [[nodiscard]] std::uint32_t tio_of_po(int mode, std::uint32_t po) const {
+    return po_to_tio_[static_cast<std::size_t>(mode)][po];
+  }
+
+  /// Total per-mode connections before merging (the paper's denominator for
+  /// edge-matching effectiveness).
+  [[nodiscard]] std::size_t total_mode_connections() const {
+    return total_mode_connections_;
+  }
+  /// Connections whose activation spans more than one mode.
+  [[nodiscard]] std::size_t num_merged_connections() const;
+
+  // ---- Tunable LUT content (paper Fig. 4) -----------------------------------
+
+  /// Physical input pins of a TLUT: pin_sources()[pin] is the source
+  /// endpoint feeding that pin in each mode (or nullopt). Pins are assigned
+  /// greedily so that sources shared between modes share a pin.
+  struct PinAssignment {
+    /// pin -> mode -> source endpoint index into conns' sources; encoded as
+    /// sink-side view: for each pin, for each mode, the TRef feeding it
+    /// (valid iff mask bit set).
+    std::vector<std::vector<TRef>> pin_source;  ///< [pin][mode]
+    std::vector<ModeSet> pin_used;              ///< [pin] modes using the pin
+    /// For each mode with a LUT here: LUT input position -> pin.
+    std::vector<std::vector<int>> input_pin;    ///< [mode][lut_input]
+  };
+  [[nodiscard]] const PinAssignment& pins(std::uint32_t tlut) const {
+    return pin_assignments_[tlut];
+  }
+
+  /// The 2^K parameterized truth bits of a TLUT, bit index -> ModeFunction
+  /// (Fig. 4), plus the FF-select bit as the last element.
+  [[nodiscard]] std::vector<ModeFunction> parameterized_bits(
+      std::uint32_t tlut) const;
+
+  /// Truth table of a TLUT as seen in one mode (inputs permuted onto the
+  /// physical pins; 0 if the TLUT is unused in that mode).
+  [[nodiscard]] std::uint64_t mode_truth(std::uint32_t tlut, int mode) const;
+  [[nodiscard]] bool mode_uses_ff(std::uint32_t tlut, int mode) const;
+
+  /// Number of parameterized LUT bits over all TLUTs (the paper's suggested
+  /// refinement of the reconfiguration cost).
+  [[nodiscard]] std::uint64_t parameterized_lut_bit_count() const;
+
+  // ---- extraction ------------------------------------------------------------
+
+  /// Specializes the Tunable circuit back to one mode's LutCircuit
+  /// (inverse of merging; used to prove the merge is behaviour-preserving).
+  [[nodiscard]] techmap::LutCircuit specialize(int mode) const;
+
+  void validate() const;
+
+ private:
+  void build_connections(const MergeAssignment& assignment);
+  void assign_pins();
+
+  int k_ = 4;
+  std::vector<techmap::LutCircuit> modes_;
+  std::vector<std::vector<TLutSlot>> tluts_;  ///< [tlut][mode]
+  std::vector<std::vector<TIoSlot>> tios_;    ///< [tio][mode]
+  std::vector<TConn> conns_;
+  std::vector<TNet> nets_;
+  std::vector<PinAssignment> pin_assignments_;
+  std::size_t total_mode_connections_ = 0;
+  /// Reverse maps: per mode, lut -> tlut and pi/po -> tio.
+  std::vector<std::vector<std::uint32_t>> lut_to_tlut_;
+  std::vector<std::vector<std::uint32_t>> pi_to_tio_;
+  std::vector<std::vector<std::uint32_t>> po_to_tio_;
+};
+
+}  // namespace mmflow::tunable

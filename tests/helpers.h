@@ -1,0 +1,133 @@
+#pragma once
+/// Shared helpers for the mmflow test suite: random stimulus generation and
+/// cross-simulator equivalence checks. Equivalence-by-simulation is the
+/// backbone of the suite: every transformation in the flow (synthesis,
+/// mapping, merging, specialization) must preserve sequential behaviour.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "netlist/netlist.h"
+#include "netlist/sim.h"
+#include "techmap/lutcircuit.h"
+
+namespace mmflow::testing {
+
+/// Random 64-pattern words, one per input.
+inline std::vector<std::uint64_t> random_words(std::size_t n, Rng& rng) {
+  std::vector<std::uint64_t> words(n);
+  for (auto& w : words) w = rng();
+  return words;
+}
+
+/// Reorders `words` (indexed by `from_names`) into `to_names` order.
+/// Missing names are an error: interfaces must match exactly.
+inline std::vector<std::uint64_t> reorder_words(
+    const std::vector<std::uint64_t>& words,
+    const std::vector<std::string>& from_names,
+    const std::vector<std::string>& to_names) {
+  std::map<std::string, std::uint64_t> by_name;
+  for (std::size_t i = 0; i < from_names.size(); ++i) {
+    by_name[from_names[i]] = words[i];
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(to_names.size());
+  for (const auto& name : to_names) {
+    const auto it = by_name.find(name);
+    EXPECT_NE(it, by_name.end()) << "missing input " << name;
+    out.push_back(it == by_name.end() ? 0 : it->second);
+  }
+  return out;
+}
+
+inline std::vector<std::string> netlist_input_names(const netlist::Netlist& nl) {
+  std::vector<std::string> names;
+  for (const auto in : nl.inputs()) names.push_back(nl.signal(in).name);
+  return names;
+}
+
+inline std::vector<std::string> netlist_output_names(const netlist::Netlist& nl) {
+  std::vector<std::string> names;
+  for (const auto& out : nl.outputs()) names.push_back(out.name);
+  return names;
+}
+
+inline std::vector<std::string> lut_output_names(
+    const techmap::LutCircuit& c) {
+  std::vector<std::string> names;
+  for (const auto& po : c.pos()) names.push_back(po.name);
+  return names;
+}
+
+/// Runs both simulators for `cycles` cycles on identical random stimulus and
+/// compares every output every cycle (by output name).
+inline void expect_equivalent(const netlist::Netlist& golden,
+                              const techmap::LutCircuit& mapped,
+                              int cycles, std::uint64_t seed) {
+  ASSERT_EQ(golden.inputs().size(), mapped.num_pis());
+  ASSERT_EQ(golden.outputs().size(), mapped.num_pos());
+
+  const auto golden_inputs = netlist_input_names(golden);
+  std::vector<std::string> mapped_inputs = mapped.pi_names();
+
+  netlist::Simulator sim_golden(golden);
+  techmap::LutSimulator sim_mapped(mapped);
+
+  // Output index mapping by name.
+  const auto golden_outputs = netlist_output_names(golden);
+  const auto mapped_outputs = lut_output_names(mapped);
+
+  Rng rng(seed);
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const auto words = random_words(golden_inputs.size(), rng);
+    const auto mapped_words = reorder_words(words, golden_inputs, mapped_inputs);
+    const auto out_g = sim_golden.step(words);
+    const auto out_m = sim_mapped.step(mapped_words);
+    for (std::size_t i = 0; i < golden_outputs.size(); ++i) {
+      // Find the mapped output with the same name.
+      const auto it = std::find(mapped_outputs.begin(), mapped_outputs.end(),
+                                golden_outputs[i]);
+      ASSERT_NE(it, mapped_outputs.end())
+          << "missing output " << golden_outputs[i];
+      const std::size_t j =
+          static_cast<std::size_t>(it - mapped_outputs.begin());
+      ASSERT_EQ(out_g[i], out_m[j])
+          << "mismatch on output '" << golden_outputs[i] << "' in cycle "
+          << cycle;
+    }
+  }
+}
+
+/// Netlist-vs-netlist sequential equivalence on random stimulus.
+inline void expect_equivalent(const netlist::Netlist& a,
+                              const netlist::Netlist& b, int cycles,
+                              std::uint64_t seed) {
+  ASSERT_EQ(a.inputs().size(), b.inputs().size());
+  const auto a_in = netlist_input_names(a);
+  const auto b_in = netlist_input_names(b);
+  const auto a_out = netlist_output_names(a);
+  const auto b_out = netlist_output_names(b);
+
+  netlist::Simulator sim_a(a);
+  netlist::Simulator sim_b(b);
+  Rng rng(seed);
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const auto words = random_words(a_in.size(), rng);
+    const auto words_b = reorder_words(words, a_in, b_in);
+    const auto out_a = sim_a.step(words);
+    const auto out_b = sim_b.step(words_b);
+    for (std::size_t i = 0; i < a_out.size(); ++i) {
+      const auto it = std::find(b_out.begin(), b_out.end(), a_out[i]);
+      ASSERT_NE(it, b_out.end()) << "missing output " << a_out[i];
+      ASSERT_EQ(out_a[i], out_b[static_cast<std::size_t>(it - b_out.begin())])
+          << "mismatch on '" << a_out[i] << "' in cycle " << cycle;
+    }
+  }
+}
+
+}  // namespace mmflow::testing

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "aig/aig.h"
+#include "aig/bridge.h"
+#include "helpers.h"
+#include "netlist/blif.h"
+
+namespace mmflow::aig {
+namespace {
+
+TEST(Aig, ConstantFoldingRules) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  EXPECT_EQ(g.and2(a, kLitFalse), kLitFalse);
+  EXPECT_EQ(g.and2(kLitTrue, a), a);
+  EXPECT_EQ(g.and2(a, a), a);
+  EXPECT_EQ(g.and2(a, lit_not(a)), kLitFalse);
+  EXPECT_EQ(g.num_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashing) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  const Lit b = g.add_pi("b");
+  const Lit x = g.and2(a, b);
+  const Lit y = g.and2(b, a);  // commuted
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(g.num_ands(), 1u);
+}
+
+TEST(Aig, OrXorMuxViaDeMorgan) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  const Lit b = g.add_pi("b");
+  g.add_po("or", g.or2(a, b));
+  g.add_po("xor", g.xor2(a, b));
+  g.add_po("mux_aab", g.mux(a, a, b));  // a ? a : b == a | b
+
+  const auto nl = netlist_from_aig(g, "t");
+  netlist::Simulator sim(nl);
+  const auto out = sim.eval_outputs({0b0101, 0b0011});
+  EXPECT_EQ(out[0] & 0xf, 0b0111u);
+  EXPECT_EQ(out[1] & 0xf, 0b0110u);
+  EXPECT_EQ(out[2] & 0xf, 0b0111u);
+}
+
+TEST(Aig, SweepRemovesDeadLogic) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  const Lit b = g.add_pi("b");
+  (void)g.and2(a, b);                      // dead
+  const Lit live = g.and2(a, lit_not(b));  // live
+  g.add_po("y", live);
+  EXPECT_EQ(g.num_ands(), 2u);
+  const Aig swept = g.sweep();
+  EXPECT_EQ(swept.num_ands(), 1u);
+  EXPECT_EQ(swept.pis().size(), 2u);  // interface preserved
+}
+
+TEST(Aig, SweepRemovesDeadLatchCone) {
+  Aig g;
+  const Lit a = g.add_pi("a");
+  // Dead latch: output unused.
+  const Lit dead = g.add_latch(false);
+  g.set_latch_next(dead, g.and2(a, dead));
+  // Live latch.
+  const Lit live = g.add_latch(true);
+  g.set_latch_next(live, lit_not(live));
+  g.add_po("q", live);
+
+  const Aig swept = g.sweep();
+  EXPECT_EQ(swept.latches().size(), 1u);
+  EXPECT_EQ(swept.num_ands(), 0u);
+}
+
+TEST(Aig, SweepKeepsSelfFeedingLiveLatch) {
+  Aig g;
+  const Lit q = g.add_latch(false);
+  const Lit a = g.add_pi("a");
+  g.set_latch_next(q, g.xor2(q, a));
+  g.add_po("q", q);
+  const Aig swept = g.sweep();
+  EXPECT_EQ(swept.latches().size(), 1u);
+  // xor = 3 ANDs under strashing (a&!q, !a&q, !(..)&!(..)).
+  EXPECT_EQ(swept.num_ands(), 3u);
+}
+
+TEST(Bridge, NetlistRoundTripCombinational) {
+  netlist::Netlist nl("comb");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto c = nl.add_input("c");
+  nl.add_output("f", nl.add_mux(a, nl.add_xor(b, c), nl.add_nor(b, c)));
+  nl.add_output("g", nl.add_or(nl.add_and(a, b), c));
+
+  const Aig g = aig_from_netlist(nl);
+  const auto back = netlist_from_aig(g, "back");
+  mmflow::testing::expect_equivalent(nl, back, 16, 1234);
+}
+
+TEST(Bridge, NetlistRoundTripSequential) {
+  netlist::Netlist nl("seq");
+  const auto en = nl.add_input("en");
+  const auto d = nl.add_input("d");
+  const auto q0 = nl.add_latch(netlist::kNoSignal, false, "q0");
+  const auto q1 = nl.add_latch(netlist::kNoSignal, true, "q1");
+  nl.set_latch_input(q0, nl.add_mux(en, d, q0));
+  nl.set_latch_input(q1, nl.add_xor(q0, q1));
+  nl.add_output("q0", q0);
+  nl.add_output("q1", q1);
+
+  const Aig g = aig_from_netlist(nl);
+  EXPECT_EQ(g.latches().size(), 2u);
+  const auto back = netlist_from_aig(g, "back");
+  mmflow::testing::expect_equivalent(nl, back, 64, 77);
+}
+
+TEST(Bridge, ConstBindingsPropagate) {
+  // f = (a AND k) OR (b AND !k): binding k collapses the mux to one input.
+  netlist::Netlist nl("bind");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto k = nl.add_input("k");
+  nl.add_output("f", nl.add_mux(k, a, b));
+
+  const Aig generic = aig_from_netlist(nl);
+  const Aig bound1 = aig_from_netlist(nl, {{"k", true}});
+  EXPECT_EQ(bound1.pis().size(), 2u);
+  // Strashing + folding is structural, not a Boolean minimizer: the bound
+  // cone shrinks but need not collapse to a bare wire.
+  EXPECT_LT(bound1.num_ands(), generic.num_ands());
+
+  const Aig bound0 = aig_from_netlist(nl, {{"k", false}});
+  EXPECT_LT(bound0.num_ands(), generic.num_ands());
+
+  // Semantics: bound1 output == a.
+  const auto back = netlist_from_aig(bound1, "back");
+  netlist::Simulator sim(back);
+  EXPECT_EQ(sim.eval_outputs({0b01, 0b10})[0] & 0b11, 0b01u);
+}
+
+TEST(Bridge, ConstantPropagationShrinksLogic) {
+  // A 4-bit adder with one operand constant should shrink markedly.
+  netlist::Netlist nl("add4");
+  std::vector<netlist::SignalId> a(4);
+  std::vector<netlist::SignalId> b(4);
+  for (int i = 0; i < 4; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+  netlist::SignalId carry = nl.add_constant(false);
+  for (int i = 0; i < 4; ++i) {
+    auto [s, c] = nl.add_full_adder(a[i], b[i], carry);
+    nl.add_output("s" + std::to_string(i), s);
+    carry = c;
+  }
+  nl.add_output("cout", carry);
+
+  const Aig generic = aig_from_netlist(nl);
+  const Aig bound = aig_from_netlist(
+      nl, {{"b0", false}, {"b1", true}, {"b2", false}, {"b3", false}});
+  EXPECT_LT(bound.num_ands(), generic.num_ands());
+}
+
+TEST(Bridge, OffsetCoverNetlist) {
+  const auto nl = netlist::parse_blif(
+      ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n");
+  const Aig g = aig_from_netlist(nl);
+  const auto back = netlist_from_aig(g, "back");
+  mmflow::testing::expect_equivalent(nl, back, 8, 5);
+}
+
+}  // namespace
+}  // namespace mmflow::aig

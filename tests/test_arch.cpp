@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/arch.h"
+#include "arch/rrg.h"
+
+namespace mmflow::arch {
+namespace {
+
+TEST(ArchSpec, Validation) {
+  ArchSpec spec;
+  EXPECT_NO_THROW(spec.validate());
+  spec.k = 9;
+  EXPECT_THROW(spec.validate(), PreconditionError);
+  spec.k = 4;
+  spec.channel_width = 0;
+  EXPECT_THROW(spec.validate(), PreconditionError);
+}
+
+TEST(DeviceGrid, ClbIndexRoundTrip) {
+  ArchSpec spec;
+  spec.nx = 5;
+  spec.ny = 3;
+  DeviceGrid grid(spec);
+  for (int i = 0; i < grid.num_clb_sites(); ++i) {
+    const Site s = grid.clb_site(i);
+    EXPECT_EQ(grid.clb_index(s.x, s.y), i);
+    EXPECT_GE(s.x, 1);
+    EXPECT_LE(s.x, 5);
+    EXPECT_GE(s.y, 1);
+    EXPECT_LE(s.y, 3);
+  }
+}
+
+TEST(DeviceGrid, PadIndexRoundTripAndPerimeter) {
+  ArchSpec spec;
+  spec.nx = 4;
+  spec.ny = 6;
+  spec.io_capacity = 2;
+  DeviceGrid grid(spec);
+  EXPECT_EQ(grid.num_pad_sites(), (2 * 4 + 2 * 6) * 2);
+  std::set<std::tuple<int, int, int>> seen;
+  for (int i = 0; i < grid.num_pad_sites(); ++i) {
+    const Site s = grid.pad_site(i);
+    EXPECT_EQ(grid.pad_index(s), i);
+    // On the perimeter, not on a corner.
+    const bool xin = s.x >= 1 && s.x <= 4;
+    const bool yin = s.y >= 1 && s.y <= 6;
+    EXPECT_TRUE((s.x == 0 && yin) || (s.x == 5 && yin) || (s.y == 0 && xin) ||
+                (s.y == 7 && xin))
+        << "pad at " << s.x << "," << s.y;
+    EXPECT_TRUE(seen.emplace(s.x, s.y, s.sub).second) << "duplicate pad site";
+  }
+}
+
+TEST(SizeDevice, FitsRequestWithSlack) {
+  const ArchSpec spec = size_device(100, 30, 1.2);
+  EXPECT_GE(spec.nx * spec.ny, 120);
+  EXPECT_GE(spec.num_pad_sites(), 30);
+  // Not wastefully large either.
+  EXPECT_LE(spec.nx, 12);
+}
+
+TEST(SizeDevice, IoDominatedGrowsPerimeter) {
+  const ArchSpec spec = size_device(4, 100, 1.0, 2);
+  EXPECT_GE(spec.num_pad_sites(), 100);
+}
+
+class RrgTest : public ::testing::TestWithParam<SwitchBoxKind> {};
+
+TEST_P(RrgTest, StructuralInvariants) {
+  ArchSpec spec;
+  spec.nx = 4;
+  spec.ny = 4;
+  spec.channel_width = 4;
+  spec.switch_box = GetParam();
+  const RoutingGraph rrg(spec);
+  EXPECT_NO_THROW(rrg.validate());
+}
+
+TEST_P(RrgTest, SwitchBoxPairsShareSwitchIds) {
+  ArchSpec spec;
+  spec.nx = 3;
+  spec.ny = 3;
+  spec.channel_width = 2;
+  spec.switch_box = GetParam();
+  const RoutingGraph rrg(spec);
+
+  // Wire-to-wire edges must come in symmetric pairs with equal switch ids.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> sw;
+  for (std::uint32_t e = 0; e < rrg.num_edges(); ++e) {
+    const auto& edge = rrg.edge(e);
+    if (rrg.is_wire(edge.from) && rrg.is_wire(edge.to)) {
+      sw[{edge.from, edge.to}] = edge.switch_id;
+    }
+  }
+  for (const auto& [key, id] : sw) {
+    const auto rev = sw.find({key.second, key.first});
+    ASSERT_NE(rev, sw.end()) << "missing reverse edge";
+    EXPECT_EQ(rev->second, id) << "pair must share the physical switch";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SwitchBoxes, RrgTest,
+                         ::testing::Values(SwitchBoxKind::Subset,
+                                           SwitchBoxKind::Wilton));
+
+TEST(Rrg, NodeLookupsConsistent) {
+  ArchSpec spec;
+  spec.nx = 3;
+  spec.ny = 2;
+  spec.channel_width = 3;
+  const RoutingGraph rrg(spec);
+
+  for (int x = 1; x <= 3; ++x) {
+    for (int y = 1; y <= 2; ++y) {
+      EXPECT_EQ(rrg.node(rrg.clb_source(x, y)).kind, RrKind::Source);
+      EXPECT_EQ(rrg.node(rrg.clb_sink(x, y)).kind, RrKind::Sink);
+      EXPECT_EQ(rrg.node(rrg.clb_sink(x, y)).capacity, spec.k);
+      EXPECT_EQ(rrg.node(rrg.clb_opin(x, y)).kind, RrKind::Opin);
+      for (int p = 0; p < spec.k; ++p) {
+        const auto& n = rrg.node(rrg.clb_ipin(x, y, p));
+        EXPECT_EQ(n.kind, RrKind::Ipin);
+        EXPECT_EQ(n.ptc, p);
+        EXPECT_EQ(n.x, x);
+        EXPECT_EQ(n.y, y);
+      }
+    }
+  }
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(rrg.node(rrg.chanx_node(1, 0, t)).kind, RrKind::ChanX);
+    EXPECT_EQ(rrg.node(rrg.chany_node(0, 1, t)).kind, RrKind::ChanY);
+  }
+}
+
+TEST(Rrg, OpinReachesAdjacentChannels) {
+  ArchSpec spec;
+  spec.nx = 2;
+  spec.ny = 2;
+  spec.channel_width = 2;
+  const RoutingGraph rrg(spec);
+  const std::uint32_t opin = rrg.clb_opin(1, 1);
+  auto [begin, end] = rrg.out_edges(opin);
+  // South + east channels, all W tracks each.
+  EXPECT_EQ(end - begin, 2 * spec.channel_width);
+  for (const auto* it = begin; it != end; ++it) {
+    EXPECT_TRUE(rrg.is_wire(rrg.edge(*it).to));
+  }
+}
+
+TEST(Rrg, IpinListensToFullChannel) {
+  ArchSpec spec;
+  spec.nx = 2;
+  spec.ny = 2;
+  spec.channel_width = 5;
+  const RoutingGraph rrg(spec);
+  for (int p = 0; p < spec.k; ++p) {
+    EXPECT_EQ(rrg.fan_in(rrg.clb_ipin(1, 1, p)),
+              static_cast<std::size_t>(spec.channel_width));
+  }
+}
+
+TEST(Rrg, PadsConnectBothDirections) {
+  ArchSpec spec;
+  spec.nx = 2;
+  spec.ny = 2;
+  spec.channel_width = 2;
+  const RoutingGraph rrg(spec);
+  DeviceGrid grid(spec);
+  for (int i = 0; i < grid.num_pad_sites(); ++i) {
+    const Site s = grid.pad_site(i);
+    // source -> opin -> wires
+    const std::uint32_t src = rrg.pad_source(s);
+    auto [b1, e1] = rrg.out_edges(src);
+    ASSERT_EQ(e1 - b1, 1);
+    const std::uint32_t opin = rrg.edge(*b1).to;
+    auto [b2, e2] = rrg.out_edges(opin);
+    EXPECT_EQ(e2 - b2, spec.channel_width);
+    // wires -> ipin -> sink
+    const std::uint32_t sink = rrg.pad_sink(s);
+    EXPECT_EQ(rrg.fan_in(sink), 1u);
+  }
+}
+
+TEST(Rrg, DistanceIsManhattan) {
+  ArchSpec spec;
+  spec.nx = 4;
+  spec.ny = 4;
+  spec.channel_width = 2;
+  const RoutingGraph rrg(spec);
+  EXPECT_EQ(rrg.distance(rrg.clb_source(1, 1), rrg.clb_sink(4, 3)), 5);
+}
+
+}  // namespace
+}  // namespace mmflow::arch

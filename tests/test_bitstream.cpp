@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "arch/rrg.h"
+#include "bitstream/config_model.h"
+
+namespace mmflow::bitstream {
+namespace {
+
+arch::ArchSpec small_spec() {
+  arch::ArchSpec spec;
+  spec.nx = 3;
+  spec.ny = 3;
+  spec.channel_width = 3;
+  return spec;
+}
+
+/// Picks a legal (node, in-edge) pair for tests.
+std::pair<std::uint32_t, std::uint32_t> some_mux(const arch::RoutingGraph& rrg) {
+  for (std::uint32_t n = 0; n < rrg.num_nodes(); ++n) {
+    if (rrg.is_wire(n) && rrg.fan_in(n) > 1) {
+      auto [b, e] = rrg.in_edges(n);
+      (void)e;
+      return {n, *b};
+    }
+  }
+  throw InternalError("no mux found");
+}
+
+TEST(ConfigModel, TotalsArePositiveAndEncodingDependent) {
+  const arch::RoutingGraph rrg(small_spec());
+  const ConfigModel binary(rrg, MuxEncoding::Binary);
+  const ConfigModel onehot(rrg, MuxEncoding::OneHot);
+  EXPECT_GT(binary.total_routing_bits(), 0u);
+  EXPECT_GT(onehot.total_routing_bits(), binary.total_routing_bits());
+  // 3x3 CLBs, 16 truth bits + 1 ff bit each.
+  EXPECT_EQ(binary.total_lut_bits(), 9u * 17u);
+  EXPECT_EQ(binary.full_region_bits(),
+            binary.total_routing_bits() + binary.total_lut_bits());
+}
+
+TEST(ConfigModel, EmptyStatesHaveNoDiff) {
+  const arch::RoutingGraph rrg(small_spec());
+  for (const auto enc : {MuxEncoding::Binary, MuxEncoding::OneHot}) {
+    const ConfigModel model(rrg, enc);
+    const RoutingState a(rrg.num_nodes());
+    const RoutingState b(rrg.num_nodes());
+    EXPECT_EQ(model.diff_routing_bits(a, b), 0u);
+    EXPECT_EQ(model.used_routing_bits(a), 0u);
+    const std::vector<RoutingState> modes{a, b};
+    EXPECT_EQ(model.parameterized_routing_bits(modes), 0u);
+  }
+}
+
+TEST(ConfigModel, SingleDriverDiff) {
+  const arch::RoutingGraph rrg(small_spec());
+  const auto [node, edge] = some_mux(rrg);
+  for (const auto enc : {MuxEncoding::Binary, MuxEncoding::OneHot}) {
+    const ConfigModel model(rrg, enc);
+    RoutingState a(rrg.num_nodes());
+    RoutingState b(rrg.num_nodes());
+    a.set_driver(node, edge);
+    const auto diff = model.diff_routing_bits(a, b);
+    EXPECT_GT(diff, 0u);
+    EXPECT_EQ(diff, model.used_routing_bits(a));
+    // Diff is symmetric.
+    EXPECT_EQ(model.diff_routing_bits(b, a), diff);
+    // Same state: no diff.
+    EXPECT_EQ(model.diff_routing_bits(a, a), 0u);
+  }
+}
+
+TEST(ConfigModel, ParameterizedEqualsDiffForTwoModes) {
+  const arch::RoutingGraph rrg(small_spec());
+  const ConfigModel model(rrg, MuxEncoding::Binary);
+
+  RoutingState a(rrg.num_nodes());
+  RoutingState b(rrg.num_nodes());
+  // Configure a handful of muxes differently.
+  int configured = 0;
+  for (std::uint32_t n = 0; n < rrg.num_nodes() && configured < 6; ++n) {
+    if (!rrg.is_wire(n) || rrg.fan_in(n) < 2) continue;
+    auto [begin, end] = rrg.in_edges(n);
+    a.set_driver(n, *begin);
+    if (configured % 2 == 0) {
+      b.set_driver(n, *(begin + 1));  // differs
+    } else if (configured % 3 == 0) {
+      b.set_driver(n, *begin);  // same
+    }
+    (void)end;
+    ++configured;
+  }
+  const std::vector<RoutingState> modes{a, b};
+  EXPECT_EQ(model.parameterized_routing_bits(modes),
+            model.diff_routing_bits(a, b));
+}
+
+TEST(ConfigModel, ParameterizedMonotoneInModes) {
+  const arch::RoutingGraph rrg(small_spec());
+  const ConfigModel model(rrg, MuxEncoding::Binary);
+  RoutingState a(rrg.num_nodes());
+  RoutingState b(rrg.num_nodes());
+  RoutingState c(rrg.num_nodes());
+  const auto [node, edge] = some_mux(rrg);
+  b.set_driver(node, edge);
+  // Third mode adds another differing mux.
+  for (std::uint32_t n = 0; n < rrg.num_nodes(); ++n) {
+    if (n != node && rrg.is_wire(n) && rrg.fan_in(n) > 1) {
+      c.set_driver(n, *rrg.in_edges(n).first);
+      break;
+    }
+  }
+  const std::vector<RoutingState> two{a, b};
+  const std::vector<RoutingState> three{a, b, c};
+  EXPECT_GE(model.parameterized_routing_bits(three),
+            model.parameterized_routing_bits(two));
+}
+
+TEST(ConfigModel, LutBitsDiffAndParameterized) {
+  const arch::RoutingGraph rrg(small_spec());
+  const ConfigModel model(rrg, MuxEncoding::Binary);
+  LutRegionConfig a(9);
+  LutRegionConfig b(9);
+  a.set_site(0, 0xffff, true);
+  b.set_site(0, 0xfffe, true);  // one truth bit differs
+  EXPECT_EQ(model.diff_lut_bits(a, b), 1u);
+  b.set_site(3, 0x0001, false);  // site used only in b: 1 bit
+  EXPECT_EQ(model.diff_lut_bits(a, b), 2u);
+  const std::vector<LutRegionConfig> modes{a, b};
+  EXPECT_EQ(model.parameterized_lut_bits(modes), 2u);
+}
+
+TEST(ConfigModel, FrameCounting) {
+  const arch::RoutingGraph rrg(small_spec());
+  const ConfigModel model(rrg, MuxEncoding::Binary);
+  RoutingState a(rrg.num_nodes());
+  RoutingState b(rrg.num_nodes());
+  std::uint64_t total = 0;
+  std::vector<RoutingState> modes{a, b};
+  EXPECT_EQ(model.parameterized_routing_frames(modes, 64, &total), 0u);
+  EXPECT_GT(total, 0u);
+
+  const auto [node, edge] = some_mux(rrg);
+  modes[1].set_driver(node, edge);
+  const auto touched = model.parameterized_routing_frames(modes, 64, &total);
+  EXPECT_GE(touched, 1u);
+  EXPECT_LE(touched, 2u);  // one mux spans at most 2 frames
+  EXPECT_LE(touched, total);
+}
+
+TEST(ConfigModel, FrameGranularityTradeoff) {
+  // Smaller frames -> at least as many total frames and touched frames
+  // bounded by totals.
+  const arch::RoutingGraph rrg(small_spec());
+  const ConfigModel model(rrg, MuxEncoding::Binary);
+  std::vector<RoutingState> modes{RoutingState(rrg.num_nodes()),
+                                  RoutingState(rrg.num_nodes())};
+  int configured = 0;
+  for (std::uint32_t n = 0; n < rrg.num_nodes() && configured < 10; ++n) {
+    if (rrg.is_wire(n) && rrg.fan_in(n) > 1) {
+      modes[1].set_driver(n, *rrg.in_edges(n).first);
+      ++configured;
+    }
+  }
+  std::uint64_t total_small = 0;
+  std::uint64_t total_big = 0;
+  const auto touched_small =
+      model.parameterized_routing_frames(modes, 16, &total_small);
+  const auto touched_big =
+      model.parameterized_routing_frames(modes, 256, &total_big);
+  EXPECT_GE(total_small, total_big);
+  EXPECT_GE(touched_small, touched_big);
+}
+
+}  // namespace
+}  // namespace mmflow::bitstream

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "aig/bridge.h"
+#include "helpers.h"
+#include "place/annealer.h"
+#include "techmap/mapper.h"
+#include "tunable/modefunc.h"
+
+namespace mmflow {
+namespace {
+
+// ------------------------------------------------------ QM exhaustive checks
+
+/// Evaluates a cube list on a minterm.
+bool sop_eval(const std::vector<tunable::ModeCube>& cubes, std::uint32_t m) {
+  return std::any_of(cubes.begin(), cubes.end(),
+                     [m](const tunable::ModeCube& c) { return c.covers(m); });
+}
+
+TEST(QmExhaustive, AllTwoVarFunctions) {
+  // All 16 functions of 2 variables, no don't-cares: the SOP must equal the
+  // function exactly, and literal counts must be minimal for the known
+  // textbook cases.
+  for (std::uint32_t f = 0; f < 16; ++f) {
+    const auto cubes = tunable::qm_minimize(2, f, 0);
+    for (std::uint32_t m = 0; m < 4; ++m) {
+      EXPECT_EQ(sop_eval(cubes, m), ((f >> m) & 1) != 0)
+          << "function " << f << " minterm " << m;
+    }
+  }
+  // XOR (0b0110) needs exactly 2 cubes of 2 literals.
+  const auto xor_cubes = tunable::qm_minimize(2, 0b0110, 0);
+  EXPECT_EQ(xor_cubes.size(), 2u);
+  // a OR b (0b1110) needs 2 single-literal cubes.
+  const auto or_cubes = tunable::qm_minimize(2, 0b1110, 0);
+  ASSERT_EQ(or_cubes.size(), 2u);
+  for (const auto& c : or_cubes) EXPECT_EQ(std::popcount(c.care), 1);
+}
+
+TEST(QmExhaustive, AllThreeVarFunctionsWithRandomDontCares) {
+  Rng rng(123);
+  for (std::uint32_t f = 0; f < 256; ++f) {
+    const auto dc = static_cast<std::uint32_t>(rng()) & 0xffu & ~f;
+    const auto cubes = tunable::qm_minimize(3, f, dc);
+    for (std::uint32_t m = 0; m < 8; ++m) {
+      const bool covered = sop_eval(cubes, m);
+      if ((f >> m) & 1) {
+        EXPECT_TRUE(covered) << "f=" << f << " m=" << m;
+      } else if (!((dc >> m) & 1)) {
+        EXPECT_FALSE(covered) << "f=" << f << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(QmExhaustive, PrimeCountNeverExceedsMinterms) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto f = static_cast<std::uint32_t>(rng()) & 0xffffu;
+    const auto cubes = tunable::qm_minimize(4, f, 0);
+    EXPECT_LE(cubes.size(),
+              static_cast<std::size_t>(std::popcount(f)));
+  }
+}
+
+TEST(ModeFunctionProperty, SopAgreesWithEvaluation) {
+  // Property: for every mode count 2..8 and random true-sets, evaluating
+  // the minimized cubes reproduces eval() on all valid modes.
+  Rng rng(55);
+  for (int num_modes = 2; num_modes <= 8; ++num_modes) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const auto set = static_cast<tunable::ModeSet>(rng()) &
+                       tunable::all_modes(num_modes);
+      const tunable::ModeFunction f(num_modes, set);
+      const int bits = tunable::num_mode_bits(num_modes);
+      std::uint32_t dc = 0;
+      for (int code = num_modes; code < (1 << bits); ++code) {
+        dc |= 1u << code;
+      }
+      const auto cubes = tunable::qm_minimize(bits, set, dc);
+      for (int m = 0; m < num_modes; ++m) {
+        EXPECT_EQ(sop_eval(cubes, static_cast<std::uint32_t>(m)), f.eval(m))
+            << "modes=" << num_modes << " set=" << set << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(ModeFunctionProperty, NumModeBits) {
+  EXPECT_EQ(tunable::num_mode_bits(1), 1);
+  EXPECT_EQ(tunable::num_mode_bits(2), 1);
+  EXPECT_EQ(tunable::num_mode_bits(3), 2);
+  EXPECT_EQ(tunable::num_mode_bits(4), 2);
+  EXPECT_EQ(tunable::num_mode_bits(5), 3);
+  EXPECT_EQ(tunable::num_mode_bits(8), 3);
+  EXPECT_EQ(tunable::num_mode_bits(9), 4);
+}
+
+// ------------------------------------------------------ annealer properties
+
+TEST(AnnealSchedule, TemperatureDecreasesAtModerateAcceptance) {
+  place::AnnealOptions options;
+  place::AnnealSchedule schedule(options, 100, 20);
+  schedule.set_initial_temperature(10.0);
+  double prev = schedule.temperature();
+  for (int i = 0; i < 50; ++i) {
+    schedule.step(0.4);
+    EXPECT_LT(schedule.temperature(), prev);
+    prev = schedule.temperature();
+  }
+}
+
+TEST(AnnealSchedule, RangeLimitStaysInBounds) {
+  place::AnnealOptions options;
+  place::AnnealSchedule schedule(options, 100, 20);
+  schedule.set_initial_temperature(10.0);
+  for (int i = 0; i < 100; ++i) {
+    schedule.step(i % 2 == 0 ? 0.9 : 0.05);
+    EXPECT_GE(schedule.range_limit(), 1);
+    EXPECT_LE(schedule.range_limit(), 20);
+  }
+  // Low acceptance shrinks the range limit to 1 eventually.
+  for (int i = 0; i < 100; ++i) schedule.step(0.01);
+  EXPECT_EQ(schedule.range_limit(), 1);
+}
+
+TEST(AnnealSchedule, MovesScaleWithBlockCount) {
+  place::AnnealOptions options;
+  const place::AnnealSchedule small(options, 10, 5);
+  const place::AnnealSchedule large(options, 1000, 5);
+  EXPECT_GT(large.moves_per_temperature(), small.moves_per_temperature() * 50);
+}
+
+TEST(CrossingFactorProperty, MonotoneNonDecreasing) {
+  double prev = 0.0;
+  for (std::size_t t = 1; t < 120; ++t) {
+    const double q = place::crossing_factor(t);
+    EXPECT_GE(q, prev) << "terminals " << t;
+    prev = q;
+  }
+}
+
+// ------------------------------------------------------- mapper truth tables
+
+TEST(MapperTruth, KnownFunctionsMapExactly) {
+  // Single-LUT functions must produce the exact truth table.
+  struct Case {
+    const char* name;
+    std::uint64_t expected_truth;  // over inputs (a=bit0, b=bit1)
+  };
+  netlist::Netlist nl("t");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  nl.add_output("and", nl.add_and(a, b));
+
+  const auto mapped = techmap::map_to_luts(aig::aig_from_netlist(nl));
+  ASSERT_EQ(mapped.num_blocks(), 1u);
+  const auto& block = mapped.blocks()[0];
+  ASSERT_EQ(block.inputs.size(), 2u);
+  // AND truth over 2 inputs is 0b1000 regardless of input order.
+  EXPECT_EQ(block.truth, 0b1000u);
+}
+
+TEST(MapperTruth, FfInitPreserved) {
+  netlist::Netlist nl("init");
+  const auto d = nl.add_input("d");
+  const auto q1 = nl.add_latch(netlist::kNoSignal, true, "q1");
+  const auto q0 = nl.add_latch(netlist::kNoSignal, false, "q0");
+  nl.set_latch_input(q1, d);
+  nl.set_latch_input(q0, d);
+  nl.add_output("q1", q1);
+  nl.add_output("q0", q0);
+  const auto mapped = techmap::map_to_luts(aig::aig_from_netlist(nl));
+  int with_init = 0;
+  int without_init = 0;
+  for (const auto& block : mapped.blocks()) {
+    if (!block.has_ff) continue;
+    (block.ff_init ? with_init : without_init)++;
+  }
+  EXPECT_EQ(with_init, 1);
+  EXPECT_EQ(without_init, 1);
+}
+
+class MapperCutLimitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MapperCutLimitTest, QualityDegradesGracefully) {
+  // Fewer priority cuts may worsen area but never correctness.
+  Rng rng(17);
+  netlist::Netlist nl("cl");
+  std::vector<netlist::SignalId> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back(nl.add_input("i" + std::to_string(i)));
+  for (int g = 0; g < 80; ++g) {
+    const auto x = pool[rng.next_below(pool.size())];
+    const auto y = pool[rng.next_below(pool.size())];
+    pool.push_back(rng.next_bool(0.5) ? nl.add_xor(x, y) : nl.add_and(x, y));
+  }
+  for (int i = 0; i < 3; ++i) {
+    nl.add_output("o" + std::to_string(i), pool[pool.size() - 1 - i]);
+  }
+  techmap::MapperOptions options;
+  options.cuts_per_node = GetParam();
+  const auto mapped = techmap::map_to_luts(aig::aig_from_netlist(nl), options);
+  mmflow::testing::expect_equivalent(nl, mapped, 16, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(CutLimits, MapperCutLimitTest,
+                         ::testing::Values(1, 2, 4, 16));
+
+// -------------------------------------------------------- AIG sweep property
+
+TEST(AigProperty, SweepIsIdempotentAndPreservesInterface) {
+  Rng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    aig::Aig g;
+    std::vector<aig::Lit> pool;
+    for (int i = 0; i < 6; ++i) pool.push_back(g.add_pi("i" + std::to_string(i)));
+    for (int n = 0; n < 50; ++n) {
+      const auto a = pool[rng.next_below(pool.size())];
+      const auto b = pool[rng.next_below(pool.size())];
+      pool.push_back(rng.next_bool(0.3) ? g.or2(a, b) : g.and2(a, b));
+    }
+    g.add_po("o", pool.back());
+    const auto once = g.sweep();
+    const auto twice = once.sweep();
+    EXPECT_EQ(once.num_ands(), twice.num_ands());
+    EXPECT_EQ(once.pis().size(), g.pis().size());
+    EXPECT_LE(once.num_ands(), g.num_ands());
+  }
+}
+
+}  // namespace
+}  // namespace mmflow

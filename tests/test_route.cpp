@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "arch/rrg.h"
+#include "common/rng.h"
+#include "route/router.h"
+
+namespace mmflow::route {
+namespace {
+
+arch::ArchSpec spec_with(int n, int w) {
+  arch::ArchSpec spec;
+  spec.nx = n;
+  spec.ny = n;
+  spec.channel_width = w;
+  return spec;
+}
+
+/// Audits a successful result against first principles: each connection's
+/// path starts at the net source, ends at its sink, follows RRG edges, and
+/// no (node, mode) carries two different (net, driver) pairs.
+void audit(const arch::RoutingGraph& rrg, const RouteProblem& problem,
+           const RouteResult& result) {
+  ASSERT_TRUE(result.success);
+  struct Claim {
+    std::int32_t net = -1;
+    std::int32_t edge = -1;
+  };
+  std::vector<Claim> claims(rrg.num_nodes() *
+                            static_cast<std::size_t>(problem.num_modes));
+  for (const RoutedConn& rc : result.conns) {
+    const auto& net = problem.nets[rc.net];
+    const auto& conn = net.conns[rc.conn];
+    ASSERT_FALSE(rc.nodes.empty());
+    EXPECT_EQ(rc.nodes.front(), net.source_node);
+    EXPECT_EQ(rc.nodes.back(), conn.sink_node);
+    ASSERT_EQ(rc.edges.size() + 1, rc.nodes.size());
+    for (std::size_t i = 0; i < rc.edges.size(); ++i) {
+      const auto& e = rrg.edge(rc.edges[i]);
+      EXPECT_EQ(e.from, rc.nodes[i]);
+      EXPECT_EQ(e.to, rc.nodes[i + 1]);
+    }
+    for (std::size_t i = 0; i < rc.nodes.size(); ++i) {
+      const std::int32_t edge =
+          i == 0 ? -1 : static_cast<std::int32_t>(rc.edges[i - 1]);
+      for (int m = 0; m < problem.num_modes; ++m) {
+        if (!(conn.modes >> m & 1)) continue;
+        Claim& c = claims[static_cast<std::size_t>(rc.nodes[i]) *
+                              problem.num_modes + m];
+        if (c.net == -1) {
+          c.net = static_cast<std::int32_t>(rc.net);
+          c.edge = edge;
+        } else {
+          EXPECT_EQ(c.net, static_cast<std::int32_t>(rc.net))
+              << "two nets on node " << rc.nodes[i] << " in mode " << m;
+          EXPECT_EQ(c.edge, edge) << "two drivers on node " << rc.nodes[i];
+        }
+      }
+    }
+  }
+}
+
+TEST(Router, SingleConnection) {
+  const arch::RoutingGraph rrg(spec_with(4, 3));
+  RouteProblem problem;
+  problem.num_modes = 1;
+  RouteNet net;
+  net.name = "n0";
+  net.source_node = rrg.clb_source(1, 1);
+  net.conns.push_back(RouteConn{rrg.clb_sink(4, 4), 1});
+  problem.nets.push_back(net);
+
+  const RouteResult result = route(rrg, problem);
+  audit(rrg, problem, result);
+  EXPECT_GE(result.conns[0].nodes.size(), 4u);  // src, opin, wires..., ipin, sink
+}
+
+TEST(Router, FanoutSharesTrunk) {
+  const arch::RoutingGraph rrg(spec_with(5, 4));
+  RouteProblem problem;
+  RouteNet net;
+  net.name = "fan";
+  net.source_node = rrg.clb_source(1, 3);
+  net.conns.push_back(RouteConn{rrg.clb_sink(5, 3), 1});
+  net.conns.push_back(RouteConn{rrg.clb_sink(5, 2), 1});
+  net.conns.push_back(RouteConn{rrg.clb_sink(5, 4), 1});
+  problem.nets.push_back(net);
+
+  const RouteResult result = route(rrg, problem);
+  audit(rrg, problem, result);
+  // With the share discount the three paths should reuse trunk wires:
+  // total distinct wires well below the sum of the three path lengths.
+  std::size_t total_path_wires = 0;
+  for (const auto& rc : result.conns) {
+    for (const auto n : rc.nodes) total_path_wires += rrg.is_wire(n) ? 1 : 0;
+  }
+  EXPECT_LT(result.total_wirelength(rrg), total_path_wires);
+}
+
+TEST(Router, CongestionNegotiation) {
+  // Many nets crossing a narrow channel force negotiation.
+  const arch::RoutingGraph rrg(spec_with(4, 3));
+  RouteProblem problem;
+  for (int y = 1; y <= 4; ++y) {
+    RouteNet net;
+    net.name = "h" + std::to_string(y);
+    net.source_node = rrg.clb_source(1, y);
+    net.conns.push_back(RouteConn{rrg.clb_sink(4, y), 1});
+    problem.nets.push_back(net);
+    RouteNet net2;
+    net2.name = "d" + std::to_string(y);
+    net2.source_node = rrg.clb_source(2, y);
+    net2.conns.push_back(RouteConn{rrg.clb_sink(3, (y % 4) + 1), 1});
+    problem.nets.push_back(net2);
+  }
+  const RouteResult result = route(rrg, problem);
+  audit(rrg, problem, result);
+}
+
+TEST(Router, CrossModeSharingIsLegal) {
+  // Two different nets with the same source/sink sites but in different
+  // modes: they may overlap on wires.
+  const arch::RoutingGraph rrg(spec_with(4, 2));
+  RouteProblem problem;
+  problem.num_modes = 2;
+  RouteNet a;
+  a.name = "modeA";
+  a.source_node = rrg.clb_source(1, 1);
+  a.conns.push_back(RouteConn{rrg.clb_sink(4, 4), 0b01});
+  RouteNet b;
+  b.name = "modeB";
+  b.source_node = rrg.clb_source(1, 1);
+  b.conns.push_back(RouteConn{rrg.clb_sink(4, 4), 0b10});
+  problem.nets.push_back(a);
+  problem.nets.push_back(b);
+
+  const RouteResult result = route(rrg, problem);
+  audit(rrg, problem, result);
+}
+
+TEST(Router, MergedConnectionIsStatic) {
+  // One connection active in both modes: its routing bits must be identical
+  // across modes (zero parameterized bits).
+  const arch::RoutingGraph rrg(spec_with(4, 3));
+  RouteProblem problem;
+  problem.num_modes = 2;
+  RouteNet net;
+  net.name = "merged";
+  net.source_node = rrg.clb_source(1, 1);
+  net.conns.push_back(RouteConn{rrg.clb_sink(3, 3), 0b11});
+  problem.nets.push_back(net);
+
+  const RouteResult result = route(rrg, problem);
+  audit(rrg, problem, result);
+  const auto states = result.per_mode_states(rrg, problem);
+  const bitstream::ConfigModel model(rrg, bitstream::MuxEncoding::Binary);
+  EXPECT_EQ(model.parameterized_routing_bits(states), 0u);
+  EXPECT_GT(model.used_routing_bits(states[0]), 0u);
+}
+
+TEST(Router, UnmergedConnectionsAreParameterized) {
+  // Same endpoints but separate per-mode connections of *different* nets:
+  // bits should differ across modes unless the router happens to align them
+  // (different nets may still share wires across modes; drivers of IPIN of
+  // two different nets from different wires differ with high probability).
+  const arch::RoutingGraph rrg(spec_with(4, 3));
+  RouteProblem problem;
+  problem.num_modes = 2;
+  RouteNet a;
+  a.name = "a";
+  a.source_node = rrg.clb_source(1, 1);
+  a.conns.push_back(RouteConn{rrg.clb_sink(3, 3), 0b01});
+  RouteNet b;
+  b.name = "b";
+  b.source_node = rrg.clb_source(1, 2);  // different source site
+  b.conns.push_back(RouteConn{rrg.clb_sink(3, 3), 0b10});
+  problem.nets.push_back(a);
+  problem.nets.push_back(b);
+
+  const RouteResult result = route(rrg, problem);
+  audit(rrg, problem, result);
+  const auto states = result.per_mode_states(rrg, problem);
+  const bitstream::ConfigModel model(rrg, bitstream::MuxEncoding::Binary);
+  EXPECT_GT(model.parameterized_routing_bits(states), 0u);
+}
+
+TEST(Router, PadToPadRouting) {
+  const arch::RoutingGraph rrg(spec_with(3, 2));
+  const arch::DeviceGrid grid(spec_with(3, 2));
+  RouteProblem problem;
+  RouteNet net;
+  net.name = "io";
+  net.source_node = rrg.pad_source(grid.pad_site(0));
+  net.conns.push_back(RouteConn{rrg.pad_sink(grid.pad_site(17)), 1});
+  problem.nets.push_back(net);
+  const RouteResult result = route(rrg, problem);
+  audit(rrg, problem, result);
+}
+
+TEST(Router, WirelengthPerMode) {
+  const arch::RoutingGraph rrg(spec_with(4, 3));
+  RouteProblem problem;
+  problem.num_modes = 2;
+  RouteNet a;
+  a.name = "a";
+  a.source_node = rrg.clb_source(1, 1);
+  a.conns.push_back(RouteConn{rrg.clb_sink(4, 1), 0b01});
+  problem.nets.push_back(a);
+  const RouteResult result = route(rrg, problem);
+  audit(rrg, problem, result);
+  EXPECT_GT(result.wirelength_of_mode(rrg, problem, 0), 0u);
+  EXPECT_EQ(result.wirelength_of_mode(rrg, problem, 1), 0u);
+}
+
+TEST(Router, DeterministicForSeed) {
+  const arch::RoutingGraph rrg(spec_with(4, 2));
+  RouteProblem problem;
+  for (int i = 1; i <= 4; ++i) {
+    RouteNet net;
+    net.name = "n" + std::to_string(i);
+    net.source_node = rrg.clb_source(i, 1);
+    net.conns.push_back(RouteConn{rrg.clb_sink(5 - i, 4), 1});
+    problem.nets.push_back(net);
+  }
+  const RouteResult r1 = route(rrg, problem);
+  const RouteResult r2 = route(rrg, problem);
+  ASSERT_EQ(r1.conns.size(), r2.conns.size());
+  for (std::size_t i = 0; i < r1.conns.size(); ++i) {
+    EXPECT_EQ(r1.conns[i].nodes, r2.conns[i].nodes);
+  }
+}
+
+TEST(MinChannelWidth, FindsMinimum) {
+  arch::ArchSpec spec = spec_with(3, 1);
+  // A crossing pattern needing a couple of tracks.
+  auto make_problem = [](const arch::RoutingGraph& rrg) {
+    RouteProblem problem;
+    for (int i = 1; i <= 3; ++i) {
+      RouteNet net;
+      net.name = "n" + std::to_string(i);
+      net.source_node = rrg.clb_source(i, 1);
+      net.conns.push_back(RouteConn{rrg.clb_sink(4 - i, 3), 1});
+      problem.nets.push_back(net);
+    }
+    return problem;
+  };
+  const int wmin = min_channel_width(spec, make_problem);
+  EXPECT_GE(wmin, 1);
+  EXPECT_LE(wmin, 8);
+  // Verify minimality: wmin routes, wmin-1 does not (when wmin > 1).
+  spec.channel_width = wmin;
+  {
+    const arch::RoutingGraph rrg(spec);
+    EXPECT_TRUE(route(rrg, make_problem(rrg)).success);
+  }
+  if (wmin > 1) {
+    spec.channel_width = wmin - 1;
+    const arch::RoutingGraph rrg(spec);
+    EXPECT_FALSE(route(rrg, make_problem(rrg)).success);
+  }
+}
+
+}  // namespace
+}  // namespace mmflow::route

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "aig/bridge.h"
+#include "helpers.h"
+#include "netlist/blif.h"
+#include "techmap/mapper.h"
+
+namespace mmflow::techmap {
+namespace {
+
+netlist::Netlist random_logic_netlist(int num_inputs, int num_gates,
+                                      int num_latches, std::uint64_t seed) {
+  Rng rng(seed);
+  netlist::Netlist nl("rand");
+  std::vector<netlist::SignalId> pool;
+  for (int i = 0; i < num_inputs; ++i) {
+    pool.push_back(nl.add_input("i" + std::to_string(i)));
+  }
+  std::vector<netlist::SignalId> latches;
+  for (int i = 0; i < num_latches; ++i) {
+    const auto q = nl.add_latch(netlist::kNoSignal, rng.next_bool(0.5),
+                                "q" + std::to_string(i));
+    latches.push_back(q);
+    pool.push_back(q);
+  }
+  for (int i = 0; i < num_gates; ++i) {
+    const auto a = pool[rng.next_below(pool.size())];
+    const auto b = pool[rng.next_below(pool.size())];
+    const auto c = pool[rng.next_below(pool.size())];
+    netlist::SignalId g = 0;
+    switch (rng.next_below(5)) {
+      case 0: g = nl.add_and(a, b); break;
+      case 1: g = nl.add_or(a, b); break;
+      case 2: g = nl.add_xor(a, b); break;
+      case 3: g = nl.add_mux(a, b, c); break;
+      case 4: g = nl.add_nand(a, b); break;
+    }
+    pool.push_back(g);
+  }
+  for (std::size_t i = 0; i < latches.size(); ++i) {
+    nl.set_latch_input(latches[i], pool[pool.size() - 1 - i]);
+  }
+  for (int i = 0; i < 4; ++i) {
+    nl.add_output("o" + std::to_string(i), pool[pool.size() - 1 - i]);
+  }
+  return nl;
+}
+
+TEST(Mapper, SimpleCombinationalEquivalence) {
+  netlist::Netlist nl("c");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto c = nl.add_input("c");
+  const auto d = nl.add_input("d");
+  nl.add_output("f", nl.add_xor(nl.add_and(a, b), nl.add_or(c, d)));
+
+  const auto g = aig::aig_from_netlist(nl);
+  MapperStats stats;
+  const auto mapped = map_to_luts(g, MapperOptions{}, &stats);
+  // f fits one 4-LUT.
+  EXPECT_EQ(stats.num_luts, 1u);
+  EXPECT_EQ(stats.depth, 1);
+  mmflow::testing::expect_equivalent(nl, mapped, 8, 42);
+}
+
+TEST(Mapper, RespectsK) {
+  netlist::Netlist nl("wide");
+  std::vector<netlist::SignalId> ins;
+  for (int i = 0; i < 13; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  nl.add_output("f", nl.add_xor_tree(ins));
+
+  for (int k : {2, 3, 4, 5, 6}) {
+    MapperOptions opts;
+    opts.k = k;
+    const auto mapped = map_to_luts(aig::aig_from_netlist(nl), opts);
+    for (const auto& block : mapped.blocks()) {
+      EXPECT_LE(static_cast<int>(block.inputs.size()), k);
+    }
+    mmflow::testing::expect_equivalent(nl, mapped, 4, 7);
+  }
+}
+
+TEST(Mapper, SequentialEquivalence) {
+  // 4-bit counter with enable.
+  netlist::Netlist nl("ctr");
+  const auto en = nl.add_input("en");
+  std::vector<netlist::SignalId> q;
+  for (int i = 0; i < 4; ++i) {
+    q.push_back(nl.add_latch(netlist::kNoSignal, false, "q" + std::to_string(i)));
+  }
+  netlist::SignalId carry = en;
+  for (int i = 0; i < 4; ++i) {
+    nl.set_latch_input(q[i], nl.add_xor(q[i], carry));
+    carry = nl.add_and(q[i], carry);
+  }
+  for (int i = 0; i < 4; ++i) nl.add_output("q" + std::to_string(i), q[i]);
+
+  MapperStats stats;
+  const auto mapped = map_to_luts(aig::aig_from_netlist(nl), MapperOptions{}, &stats);
+  EXPECT_EQ(stats.num_ffs, 4u);
+  mmflow::testing::expect_equivalent(nl, mapped, 64, 3);
+}
+
+TEST(Mapper, FfAbsorptionPacksExclusiveDrivers) {
+  // q <= a XOR b, q unused elsewhere: the XOR LUT should absorb the FF
+  // (one block total).
+  netlist::Netlist nl("pack");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto q = nl.add_latch(netlist::kNoSignal, false, "q");
+  nl.set_latch_input(q, nl.add_xor(a, b));
+  nl.add_output("q", q);
+
+  const auto mapped = map_to_luts(aig::aig_from_netlist(nl));
+  EXPECT_EQ(mapped.num_blocks(), 1u);
+  EXPECT_TRUE(mapped.blocks()[0].has_ff);
+  mmflow::testing::expect_equivalent(nl, mapped, 32, 11);
+}
+
+TEST(Mapper, SharedDriverGetsFeedThroughFf) {
+  // f = a XOR b used combinationally AND registered: FF cannot absorb.
+  netlist::Netlist nl("noabsorb");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto f = nl.add_xor(a, b);
+  const auto q = nl.add_latch(netlist::kNoSignal, false, "q");
+  nl.set_latch_input(q, f);
+  nl.add_output("f", f);
+  nl.add_output("q", q);
+
+  const auto mapped = map_to_luts(aig::aig_from_netlist(nl));
+  EXPECT_EQ(mapped.num_ffs(), 1u);
+  mmflow::testing::expect_equivalent(nl, mapped, 32, 13);
+}
+
+TEST(Mapper, RegisteredPiNeedsFeedThrough) {
+  netlist::Netlist nl("regpi");
+  const auto d = nl.add_input("d");
+  const auto q = nl.add_latch(netlist::kNoSignal, true, "q");
+  nl.set_latch_input(q, d);
+  nl.add_output("q", q);
+
+  const auto mapped = map_to_luts(aig::aig_from_netlist(nl));
+  EXPECT_EQ(mapped.num_blocks(), 1u);
+  EXPECT_TRUE(mapped.blocks()[0].has_ff);
+  mmflow::testing::expect_equivalent(nl, mapped, 16, 19);
+}
+
+TEST(Mapper, InvertedAndConstantPos) {
+  netlist::Netlist nl("invpo");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  nl.add_output("nand", nl.add_nand(a, b));
+  nl.add_output("zero", nl.add_constant(false));
+  nl.add_output("one", nl.add_constant(true));
+  nl.add_output("na", nl.add_not(a));
+
+  const auto mapped = map_to_luts(aig::aig_from_netlist(nl));
+  mmflow::testing::expect_equivalent(nl, mapped, 8, 23);
+}
+
+TEST(Mapper, PoDirectlyFromPi) {
+  netlist::Netlist nl("wirepo");
+  const auto a = nl.add_input("a");
+  nl.add_output("y", a);
+  const auto mapped = map_to_luts(aig::aig_from_netlist(nl));
+  mmflow::testing::expect_equivalent(nl, mapped, 4, 29);
+}
+
+class MapperRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapperRandomTest, RandomLogicEquivalence) {
+  const auto nl = random_logic_netlist(8, 60, 6, GetParam());
+  const auto g = aig::aig_from_netlist(nl);
+  const auto mapped = map_to_luts(g);
+  mmflow::testing::expect_equivalent(nl, mapped, 48, GetParam() * 31 + 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Mapper, DepthIsMonotoneInK) {
+  const auto nl = random_logic_netlist(10, 120, 0, 99);
+  const auto g = aig::aig_from_netlist(nl);
+  int prev_depth = 1 << 20;
+  for (int k : {2, 3, 4, 5, 6}) {
+    MapperOptions opts;
+    opts.k = k;
+    MapperStats stats;
+    (void)map_to_luts(g, opts, &stats);
+    EXPECT_LE(stats.depth, prev_depth);
+    prev_depth = stats.depth;
+  }
+}
+
+TEST(Mapper, LutCountShrinksWithLargerK) {
+  const auto nl = random_logic_netlist(10, 150, 0, 123);
+  const auto g = aig::aig_from_netlist(nl);
+  MapperOptions k2;
+  k2.k = 2;
+  MapperOptions k6;
+  k6.k = 6;
+  MapperStats s2, s6;
+  (void)map_to_luts(g, k2, &s2);
+  (void)map_to_luts(g, k6, &s6);
+  EXPECT_LT(s6.num_luts, s2.num_luts);
+}
+
+}  // namespace
+}  // namespace mmflow::techmap

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "aig/bridge.h"
+#include "core/timing.h"
+#include "helpers.h"
+#include "techmap/mapper.h"
+#include "tunable/report.h"
+
+namespace mmflow {
+namespace {
+
+techmap::LutCircuit chainy_mode(int depth, std::uint64_t seed) {
+  Rng rng(seed);
+  netlist::Netlist nl("chain" + std::to_string(seed));
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  auto cur = nl.add_xor(a, b);
+  for (int i = 0; i < depth; ++i) {
+    cur = rng.next_bool(0.5) ? nl.add_xor(cur, a) : nl.add_and(cur, b);
+    // Break into registers every few levels so paths are bounded.
+    if (i % 5 == 4) {
+      const auto q = nl.add_latch(cur, false, "q" + std::to_string(i));
+      cur = nl.add_xor(q, b);
+    }
+  }
+  nl.add_output("o", cur);
+  auto mapped = techmap::map_to_luts(aig::aig_from_netlist(nl));
+  mapped.set_name(nl.name());
+  return mapped;
+}
+
+TEST(Timing, ReportIsPositiveAndSane) {
+  std::vector<techmap::LutCircuit> modes{chainy_mode(18, 1), chainy_mode(18, 2)};
+  core::FlowOptions options;
+  options.anneal.inner_num = 2.0;
+  options.seed = 5;
+  const auto exp = core::run_experiment(modes, options);
+  const auto report = core::timing_report(exp, modes);
+  ASSERT_EQ(report.mdr_critical_path.size(), 2u);
+  ASSERT_EQ(report.dcs_critical_path.size(), 2u);
+  for (std::size_t m = 0; m < 2; ++m) {
+    EXPECT_GT(report.mdr_critical_path[m], 0.0);
+    EXPECT_GT(report.dcs_critical_path[m], 0.0);
+  }
+  // A unit-delay path of L LUT levels has delay >= L * lut_delay.
+  EXPECT_GE(report.mdr_critical_path[0], 2.0);
+  // DCS should not be catastrophically slower (loose bound; the paper's
+  // claim is "no significant penalty").
+  EXPECT_LT(report.mean_ratio(), 2.5);
+  EXPECT_GE(report.max_ratio(), report.mean_ratio());
+}
+
+TEST(Timing, LongerWiresRaiseDelay) {
+  // Same circuit, two timing models: zero wire delay vs heavy wire delay.
+  std::vector<techmap::LutCircuit> modes{chainy_mode(12, 3), chainy_mode(12, 4)};
+  core::FlowOptions options;
+  options.anneal.inner_num = 2.0;
+  options.seed = 9;
+  const auto exp = core::run_experiment(modes, options);
+
+  core::TimingModel logic_only;
+  logic_only.wire_delay = 0.0;
+  logic_only.pin_delay = 0.0;
+  core::TimingModel wire_heavy;
+  wire_heavy.wire_delay = 2.0;
+
+  const auto r_logic = core::timing_report(exp, modes, logic_only);
+  const auto r_wire = core::timing_report(exp, modes, wire_heavy);
+  for (std::size_t m = 0; m < 2; ++m) {
+    EXPECT_GT(r_wire.mdr_critical_path[m], r_logic.mdr_critical_path[m]);
+    EXPECT_GT(r_wire.dcs_critical_path[m], r_logic.dcs_critical_path[m]);
+  }
+  // With zero wire/pin delay both flows collapse to pure logic depth, which
+  // merging does not change.
+  for (std::size_t m = 0; m < 2; ++m) {
+    EXPECT_DOUBLE_EQ(r_logic.mdr_critical_path[m],
+                     r_logic.dcs_critical_path[m]);
+  }
+}
+
+TEST(Report, DescribeContainsStructure) {
+  // Two tiny modes with a parameterized truth bit.
+  techmap::LutCircuit a(2, "a");
+  a.add_pi("x");
+  a.add_pi("y");
+  a.add_block({"l", {techmap::Ref::pi(0), techmap::Ref::pi(1)}, 0b1001, false, false});
+  a.add_po("o", techmap::Ref::block(0));
+  techmap::LutCircuit b = a;
+  b.blocks()[0].truth = 0b1000;
+
+  std::vector<techmap::LutCircuit> modes{a, b};
+  const tunable::TunableCircuit tc(modes, tunable::MergeAssignment::by_index(modes));
+
+  const std::string text = tunable::describe(tc);
+  EXPECT_NE(text.find("tlut0"), std::string::npos);
+  EXPECT_NE(text.find("!m0"), std::string::npos);  // the parameterized bit
+  EXPECT_NE(text.find("->"), std::string::npos);   // connections section
+
+  const std::string summary = tunable::summary_line(tc);
+  EXPECT_NE(summary.find("2 modes"), std::string::npos);
+  EXPECT_NE(summary.find("1 parameterized LUT bits"), std::string::npos);
+}
+
+TEST(Report, ParameterizedOnlyFiltersStatic) {
+  // Identical modes: everything static; the filtered report lists nothing.
+  techmap::LutCircuit a(2, "a");
+  a.add_pi("x");
+  a.add_block({"l", {techmap::Ref::pi(0)}, 0b01, false, false});
+  a.add_po("o", techmap::Ref::block(0));
+  std::vector<techmap::LutCircuit> modes{a, a};
+  const tunable::TunableCircuit tc(modes, tunable::MergeAssignment::by_index(modes));
+
+  tunable::ReportOptions options;
+  options.parameterized_only = true;
+  const std::string text = tunable::describe(tc, options);
+  EXPECT_EQ(text.find("bits:"), std::string::npos);
+
+  const std::string full = tunable::describe(tc);
+  EXPECT_NE(full.find("bits:"), std::string::npos);
+}
+
+TEST(Report, LimitTruncates) {
+  // Many TLUTs, limit 2: the report must note the truncation.
+  techmap::LutCircuit a(2, "a");
+  a.add_pi("x");
+  for (int i = 0; i < 6; ++i) {
+    a.add_block({"l" + std::to_string(i), {techmap::Ref::pi(0)}, 0b01, false, false});
+  }
+  a.add_po("o", techmap::Ref::block(5));
+  std::vector<techmap::LutCircuit> modes{a};
+  const tunable::TunableCircuit tc(modes, tunable::MergeAssignment::by_index(modes));
+  tunable::ReportOptions options;
+  options.limit = 2;
+  const std::string text = tunable::describe(tc, options);
+  EXPECT_NE(text.find("more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmflow

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include "aig/bridge.h"
+#include "helpers.h"
+#include "techmap/mapper.h"
+#include "tunable/modefunc.h"
+#include "tunable/tunable_circuit.h"
+
+namespace mmflow::tunable {
+namespace {
+
+// ---------------------------------------------------------------- ModeFunction
+
+TEST(ModeFunction, Basics) {
+  const ModeFunction f(3, 0b101);
+  EXPECT_TRUE(f.eval(0));
+  EXPECT_FALSE(f.eval(1));
+  EXPECT_TRUE(f.eval(2));
+  EXPECT_FALSE(f.is_constant());
+  EXPECT_TRUE(ModeFunction::constant(3, true).is_constant());
+  EXPECT_TRUE(ModeFunction::constant(3, true).constant_value());
+  EXPECT_FALSE(ModeFunction::constant(3, false).constant_value());
+}
+
+TEST(ModeFunction, OrAndMergeActivations) {
+  const ModeFunction a(2, 0b01);
+  const ModeFunction b(2, 0b10);
+  EXPECT_TRUE((a | b).is_constant());
+  EXPECT_TRUE((a | b).constant_value());
+  EXPECT_TRUE((a & b).is_constant());
+  EXPECT_FALSE((a & b).constant_value());
+}
+
+TEST(ModeFunction, SopTwoModes) {
+  // Two modes: one mode bit m0. Paper Fig. 3: m0 + !m0 = 1.
+  EXPECT_EQ(ModeFunction(2, 0b10).to_sop(), "m0");
+  EXPECT_EQ(ModeFunction(2, 0b01).to_sop(), "!m0");
+  EXPECT_EQ(ModeFunction(2, 0b11).to_sop(), "1");
+  EXPECT_EQ(ModeFunction(2, 0b00).to_sop(), "0");
+}
+
+TEST(ModeFunction, SopFourModes) {
+  // Four modes, bits m1 m0.
+  EXPECT_EQ(ModeFunction(4, 0b0100).to_sop(), "m1.!m0");  // mode 2 only
+  EXPECT_EQ(ModeFunction(4, 0b1100).to_sop(), "m1");      // modes 2,3
+  EXPECT_EQ(ModeFunction(4, 0b1010).to_sop(), "m0");      // modes 1,3
+  EXPECT_EQ(ModeFunction(4, 0b1111).to_sop(), "1");
+  // XOR-like: modes 1 and 2 -> no single-cube cover.
+  const std::string sop = ModeFunction(4, 0b0110).to_sop();
+  EXPECT_TRUE(sop == "!m1.m0 + m1.!m0" || sop == "m1.!m0 + !m1.m0") << sop;
+}
+
+TEST(ModeFunction, SopUsesInvalidCodesAsDontCares) {
+  // 3 modes: code 3 is a don't-care, so {mode 1} can print as plain m0
+  // (covering invalid code 3 for free)? No: {1} with DC {3} -> cube !m1.m0
+  // or m0 (covers 1 and 3). Minimal is "m0".
+  EXPECT_EQ(ModeFunction(3, 0b010).to_sop(), "m0");
+  // {2} with DC {3} -> "m1".
+  EXPECT_EQ(ModeFunction(3, 0b100).to_sop(), "m1");
+  // {1,2} needs two cubes even with the don't-care.
+  const std::string sop = ModeFunction(3, 0b110).to_sop();
+  EXPECT_TRUE(sop.find('+') != std::string::npos) << sop;
+}
+
+TEST(ModeFunction, ModeProduct) {
+  EXPECT_EQ(ModeFunction::mode_product(2, 0), "!m0");
+  EXPECT_EQ(ModeFunction::mode_product(2, 1), "m0");
+  EXPECT_EQ(ModeFunction::mode_product(4, 2), "m1.!m0");
+  EXPECT_EQ(ModeFunction::mode_product(3, 2), "m1.!m0");
+}
+
+TEST(QmMinimize, CoversExactlyOnSet) {
+  // Property: for random on-sets/dc-sets, the SOP covers every on-set
+  // minterm and no off-set minterm.
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int vars = 1 + static_cast<int>(rng.next_below(4));
+    const std::uint32_t universe = (1u << (1 << vars)) - 1;
+    const std::uint32_t onset = static_cast<std::uint32_t>(rng()) & universe;
+    const std::uint32_t dc = static_cast<std::uint32_t>(rng()) & universe & ~onset;
+    const auto cubes = qm_minimize(vars, onset, dc);
+    for (int m = 0; m < (1 << vars); ++m) {
+      const bool covered =
+          std::any_of(cubes.begin(), cubes.end(), [&](const ModeCube& c) {
+            return c.covers(static_cast<std::uint32_t>(m));
+          });
+      if ((onset >> m) & 1) {
+        EXPECT_TRUE(covered) << "minterm " << m << " uncovered";
+      } else if (!((dc >> m) & 1)) {
+        EXPECT_FALSE(covered) << "off-set minterm " << m << " covered";
+      }
+    }
+  }
+}
+
+TEST(QmMinimize, KnownMinimalForms) {
+  // f = m1 + m0 over 2 vars: onset {1,2,3}.
+  const auto cubes = qm_minimize(2, 0b1110, 0);
+  EXPECT_EQ(cubes.size(), 2u);
+  for (const auto& c : cubes) EXPECT_EQ(std::popcount(c.care), 1);
+}
+
+// ------------------------------------------------------------- TunableCircuit
+
+/// Tiny two-mode pair used across the merge tests.
+std::vector<techmap::LutCircuit> two_small_modes() {
+  netlist::Netlist a("modeA");
+  {
+    const auto x = a.add_input("x");
+    const auto y = a.add_input("y");
+    const auto q = a.add_latch(netlist::kNoSignal, false, "q");
+    a.set_latch_input(q, a.add_xor(x, q));
+    a.add_output("o", a.add_and(q, y));
+  }
+  netlist::Netlist b("modeB");
+  {
+    const auto x = b.add_input("x");
+    const auto y = b.add_input("y");
+    const auto q = b.add_latch(netlist::kNoSignal, true, "q");
+    b.set_latch_input(q, b.add_or(x, q));
+    b.add_output("o", b.add_xor(q, y));
+  }
+  std::vector<techmap::LutCircuit> modes;
+  modes.push_back(techmap::map_to_luts(aig::aig_from_netlist(a)));
+  modes.back().set_name("modeA");
+  modes.push_back(techmap::map_to_luts(aig::aig_from_netlist(b)));
+  modes.back().set_name("modeB");
+  return modes;
+}
+
+TEST(MergeAssignment, ByIndexShapes) {
+  const auto modes = two_small_modes();
+  const auto assignment = MergeAssignment::by_index(modes);
+  EXPECT_EQ(assignment.lut_to_tlut.size(), 2u);
+  EXPECT_GE(assignment.num_tluts,
+            std::max(modes[0].num_blocks(), modes[1].num_blocks()));
+  EXPECT_EQ(assignment.num_tios,
+            std::max(modes[0].num_pis(), modes[1].num_pis()) +
+                std::max(modes[0].num_pos(), modes[1].num_pos()));
+}
+
+TEST(TunableCircuit, MergeByIndexStructure) {
+  auto modes = two_small_modes();
+  const auto assignment = MergeAssignment::by_index(modes);
+  const TunableCircuit tc(modes, assignment);
+  tc.validate();
+
+  EXPECT_EQ(tc.num_modes(), 2);
+  // Total per-mode connections is at least the merged connection count.
+  EXPECT_GE(tc.total_mode_connections(), tc.conns().size());
+  // Every net's connections share the net's source.
+  for (const auto& net : tc.nets()) {
+    for (const auto c : net.conns) {
+      EXPECT_TRUE(tc.conns()[c].source == net.source);
+    }
+  }
+}
+
+TEST(TunableCircuit, SpecializationRoundTrip) {
+  auto modes = two_small_modes();
+  const auto assignment = MergeAssignment::by_index(modes);
+  const TunableCircuit tc(modes, assignment);
+  for (int m = 0; m < 2; ++m) {
+    const auto specialized = tc.specialize(m);
+    // Same interface and behaviour as the original mode circuit.
+    ASSERT_EQ(specialized.num_pis(), modes[m].num_pis());
+    ASSERT_EQ(specialized.num_pos(), modes[m].num_pos());
+
+    techmap::LutSimulator sim_orig(modes[m]);
+    techmap::LutSimulator sim_spec(specialized);
+    Rng rng(123 + m);
+    for (int cycle = 0; cycle < 64; ++cycle) {
+      const auto words = mmflow::testing::random_words(modes[m].num_pis(), rng);
+      EXPECT_EQ(sim_orig.step(words), sim_spec.step(words))
+          << "mode " << m << " cycle " << cycle;
+    }
+  }
+}
+
+TEST(TunableCircuit, ParameterizedBitsFig4Semantics) {
+  // Build the paper's Fig. 4 example: two 2-LUTs merged into one TLUT.
+  // Mode 0 LUT truth 1001 (XNOR), mode 1 truth 1000 (AND) over the same
+  // input sources -> bit 3 (highest) is m0.1 + !m0.1 ... depends on bits.
+  techmap::LutCircuit a(2, "a");
+  const auto ax = a.add_pi("x");
+  const auto ay = a.add_pi("y");
+  a.add_block({"l", {techmap::Ref::pi(ax), techmap::Ref::pi(ay)}, 0b1001, false, false});
+  a.add_po("o", techmap::Ref::block(0));
+
+  techmap::LutCircuit b(2, "b");
+  const auto bx = b.add_pi("x");
+  const auto by = b.add_pi("y");
+  b.add_block({"l", {techmap::Ref::pi(bx), techmap::Ref::pi(by)}, 0b1000, false, false});
+  b.add_po("o", techmap::Ref::block(0));
+
+  std::vector<techmap::LutCircuit> modes{a, b};
+  const TunableCircuit tc(modes, MergeAssignment::by_index(modes));
+  const auto bits = tc.parameterized_bits(0);
+  ASSERT_EQ(bits.size(), 5u);  // 4 truth bits + FF select (k=2)
+  // Truth bit 0: mode0=1, mode1=0 -> "!m0".
+  EXPECT_EQ(bits[0].to_sop(), "!m0");
+  // Bit 1 and 2: both 0 -> "0".
+  EXPECT_EQ(bits[1].to_sop(), "0");
+  EXPECT_EQ(bits[2].to_sop(), "0");
+  // Bit 3: both 1 -> "1" (static).
+  EXPECT_EQ(bits[3].to_sop(), "1");
+  // FF unused in both modes.
+  EXPECT_EQ(bits[4].to_sop(), "0");
+  EXPECT_EQ(tc.parameterized_lut_bit_count(), 1u);
+}
+
+TEST(TunableCircuit, MatchedConnectionsMerge) {
+  // Identical circuits in both modes with index merge: every connection
+  // matches, activation becomes constant-true.
+  techmap::LutCircuit a(4, "a");
+  const auto ax = a.add_pi("x");
+  a.add_block({"l0", {techmap::Ref::pi(ax)}, 0b01, false, false});
+  a.add_block({"l1", {techmap::Ref::block(0)}, 0b10, false, false});
+  a.add_po("o", techmap::Ref::block(1));
+  std::vector<techmap::LutCircuit> modes{a, a};
+  const TunableCircuit tc(modes, MergeAssignment::by_index(modes));
+  EXPECT_EQ(tc.conns().size(), tc.total_mode_connections() / 2);
+  for (const auto& conn : tc.conns()) {
+    EXPECT_EQ(conn.activation, 0b11u);
+  }
+  EXPECT_EQ(tc.num_merged_connections(), tc.conns().size());
+  EXPECT_EQ(tc.parameterized_lut_bit_count(), 0u);
+}
+
+TEST(TunableCircuit, PinSharingKeepsMatchedSourcesOnOnePin) {
+  // Both modes read sources (P0, P1); mode order differs. The pin
+  // assignment should still share pins per source.
+  techmap::LutCircuit a(4, "a");
+  a.add_pi("p");
+  a.add_pi("q");
+  a.add_block({"l", {techmap::Ref::pi(0), techmap::Ref::pi(1)}, 0b0110, false, false});
+  a.add_po("o", techmap::Ref::block(0));
+
+  techmap::LutCircuit b(4, "b");
+  b.add_pi("p");
+  b.add_pi("q");
+  b.add_block({"l", {techmap::Ref::pi(1), techmap::Ref::pi(0)}, 0b0110, false, false});
+  b.add_po("o", techmap::Ref::block(0));
+
+  std::vector<techmap::LutCircuit> modes{a, b};
+  const TunableCircuit tc(modes, MergeAssignment::by_index(modes));
+  const auto& pins = tc.pins(0);
+  // Each used pin must carry the same source in both modes.
+  for (int p = 0; p < 4; ++p) {
+    if (pins.pin_used[p] == 0b11u) {
+      EXPECT_TRUE(pins.pin_source[p][0] == pins.pin_source[p][1]);
+    }
+  }
+  // XOR is symmetric, so the permuted truths agree -> no parameterized bits.
+  EXPECT_EQ(tc.parameterized_lut_bit_count(), 0u);
+}
+
+TEST(TunableCircuit, RejectsTwoLutsOfSameModeOnOneTlut) {
+  techmap::LutCircuit a(4, "a");
+  a.add_pi("x");
+  a.add_block({"l0", {techmap::Ref::pi(0)}, 0b01, false, false});
+  a.add_block({"l1", {techmap::Ref::pi(0)}, 0b10, false, false});
+  a.add_po("o", techmap::Ref::block(1));
+  MergeAssignment assignment;
+  assignment.num_tluts = 1;
+  assignment.num_tios = 2;
+  assignment.lut_to_tlut = {{0, 0}};  // both LUTs on TLUT 0: illegal
+  assignment.pi_to_tio = {{0}};
+  assignment.po_to_tio = {{1}};
+  std::vector<techmap::LutCircuit> modes{a};
+  EXPECT_THROW(TunableCircuit(modes, assignment), PreconditionError);
+}
+
+TEST(TunableCircuit, ThreeModesActivationFunctions) {
+  // Three copies of a tiny circuit; connection activations are constant 1,
+  // rendered over 2 mode bits with code 3 as don't-care.
+  techmap::LutCircuit a(4, "a");
+  a.add_pi("x");
+  a.add_block({"l", {techmap::Ref::pi(0)}, 0b01, false, false});
+  a.add_po("o", techmap::Ref::block(0));
+  std::vector<techmap::LutCircuit> modes{a, a, a};
+  const TunableCircuit tc(modes, MergeAssignment::by_index(modes));
+  for (const auto& conn : tc.conns()) {
+    const ModeFunction f(3, conn.activation);
+    EXPECT_EQ(f.to_sop(), "1");
+  }
+}
+
+TEST(TunableCircuit, RandomMergeSpecializationProperty) {
+  // Property: for random mode pairs and a *random* (legal) assignment,
+  // specialization recovers each mode's behaviour.
+  Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto modes = two_small_modes();
+    // Random permutation-based assignment: TLUT count = max blocks + slack.
+    const std::uint32_t num_tluts =
+        static_cast<std::uint32_t>(
+            std::max(modes[0].num_blocks(), modes[1].num_blocks())) +
+        2;
+    MergeAssignment assignment;
+    assignment.num_tluts = num_tluts;
+    for (const auto& mode : modes) {
+      std::vector<std::uint32_t> perm(num_tluts);
+      for (std::uint32_t i = 0; i < num_tluts; ++i) perm[i] = i;
+      shuffle(perm, rng);
+      perm.resize(mode.num_blocks());
+      assignment.lut_to_tlut.push_back(perm);
+    }
+    const std::uint32_t num_tios = static_cast<std::uint32_t>(
+        std::max(modes[0].num_pis() + modes[0].num_pos(),
+                 modes[1].num_pis() + modes[1].num_pos()) + 2);
+    assignment.num_tios = num_tios;
+    for (const auto& mode : modes) {
+      std::vector<std::uint32_t> perm(num_tios);
+      for (std::uint32_t i = 0; i < num_tios; ++i) perm[i] = i;
+      shuffle(perm, rng);
+      assignment.pi_to_tio.push_back(std::vector<std::uint32_t>(
+          perm.begin(), perm.begin() + mode.num_pis()));
+      assignment.po_to_tio.push_back(std::vector<std::uint32_t>(
+          perm.begin() + mode.num_pis(),
+          perm.begin() + mode.num_pis() + mode.num_pos()));
+    }
+    const TunableCircuit tc(modes, assignment);
+    for (int m = 0; m < 2; ++m) {
+      const auto specialized = tc.specialize(m);
+      techmap::LutSimulator sim_orig(modes[m]);
+      techmap::LutSimulator sim_spec(specialized);
+      Rng stim(trial * 7 + m);
+      for (int cycle = 0; cycle < 32; ++cycle) {
+        const auto words =
+            mmflow::testing::random_words(modes[m].num_pis(), stim);
+        ASSERT_EQ(sim_orig.step(words), sim_spec.step(words));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmflow::tunable
