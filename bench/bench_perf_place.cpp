@@ -1,10 +1,13 @@
 /// \file bench_perf_place.cpp
-/// Throughput microbenchmarks (google-benchmark) for the placement engines:
-/// the conventional VPR-style placer and the multi-mode combined placement.
+/// Throughput benchmarks for the placement engines: the conventional
+/// VPR-style annealer and the multi-mode combined placement. Emits JSON
+/// with wall times, QoR guard rails (final cost, move counts) and the
+/// placer's perf counters — see bench_json.h for the format.
 
-#include <benchmark/benchmark.h>
+#include <string>
 
 #include "aig/bridge.h"
+#include "bench_json.h"
 #include "common/log.h"
 #include "core/combined_place.h"
 #include "place/placer.h"
@@ -30,76 +33,70 @@ techmap::LutCircuit random_mode(int gates, std::uint64_t seed) {
   return techmap::map_to_luts(aig::aig_from_netlist(nl));
 }
 
-void BM_Place(benchmark::State& state) {
-  set_log_level(LogLevel::Silent);
-  const auto mode = random_mode(static_cast<int>(state.range(0)), 1);
+void combined_place_case(bench::PerfBench& harness, int num_modes, int reps) {
+  std::vector<techmap::LutCircuit> modes;
+  for (int m = 0; m < num_modes; ++m) {
+    modes.push_back(random_mode(150, static_cast<std::uint64_t>(m + 1)));
+  }
+  int max_clbs = 0;
+  int max_ios = 0;
+  for (const auto& m : modes) {
+    max_clbs = std::max<int>(max_clbs, static_cast<int>(m.num_blocks()));
+    max_ios = std::max<int>(max_ios,
+                            static_cast<int>(m.num_pis() + m.num_pos()));
+  }
+  const arch::DeviceGrid grid(arch::size_device(max_clbs, max_ios, 1.3));
+  core::CombinedPlaceOptions options;
+  options.anneal.inner_num = 3.0;
+  options.seed = 1;
+  harness.run_case(
+      "combined_place/modes=" + std::to_string(num_modes) + "/gates=150", reps,
+      [&] {
+        core::CombinedPlaceStats stats;
+        const auto result = core::combined_place(modes, grid, options, &stats);
+        (void)result;
+        return std::vector<bench::QorEntry>{
+            {"initial_cost", stats.initial_cost},
+            {"final_cost", stats.final_cost},
+            {"moves_attempted", static_cast<double>(stats.moves_attempted)},
+            {"moves_accepted", static_cast<double>(stats.moves_accepted)}};
+      });
+}
+
+void place_case(bench::PerfBench& harness, int gates, int reps) {
+  const auto mode = random_mode(gates, 1);
   const auto netlist = place::to_place_netlist(mode);
   const arch::DeviceGrid grid(arch::size_device(
       static_cast<int>(netlist.num_clbs()), static_cast<int>(netlist.num_ios()),
       1.3));
   place::PlacerOptions options;
   options.anneal.inner_num = 3.0;
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    options.seed = seed++;
+  options.seed = 1;
+  harness.run_case("place/gates=" + std::to_string(gates), reps, [&] {
     place::PlacerStats stats;
-    benchmark::DoNotOptimize(place::place(netlist, grid, options, &stats));
-    state.counters["moves/s"] = benchmark::Counter(
-        static_cast<double>(stats.moves_attempted), benchmark::Counter::kIsRate);
-  }
+    const auto placement = place::place(netlist, grid, options, &stats);
+    (void)placement;
+    return std::vector<bench::QorEntry>{
+        {"initial_cost", stats.initial_cost},
+        {"final_cost", stats.final_cost},
+        {"moves_attempted", static_cast<double>(stats.moves_attempted)},
+        {"moves_accepted", static_cast<double>(stats.moves_accepted)}};
+  });
 }
-BENCHMARK(BM_Place)->Arg(150)->Arg(400)->Unit(benchmark::kMillisecond);
-
-void BM_CombinedPlace(benchmark::State& state) {
-  set_log_level(LogLevel::Silent);
-  std::vector<techmap::LutCircuit> modes{
-      random_mode(static_cast<int>(state.range(0)), 1),
-      random_mode(static_cast<int>(state.range(0)), 2)};
-  int max_clbs = 0;
-  int max_ios = 0;
-  for (const auto& m : modes) {
-    max_clbs = std::max<int>(max_clbs, static_cast<int>(m.num_blocks()));
-    max_ios = std::max<int>(max_ios,
-                            static_cast<int>(m.num_pis() + m.num_pos()));
-  }
-  const arch::DeviceGrid grid(arch::size_device(max_clbs, max_ios, 1.3));
-  core::CombinedPlaceOptions options;
-  options.anneal.inner_num = 3.0;
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    options.seed = seed++;
-    core::CombinedPlaceStats stats;
-    benchmark::DoNotOptimize(
-        core::combined_place(modes, grid, options, &stats));
-    state.counters["moves/s"] = benchmark::Counter(
-        static_cast<double>(stats.moves_attempted), benchmark::Counter::kIsRate);
-  }
-}
-BENCHMARK(BM_CombinedPlace)->Arg(150)->Arg(400)->Unit(benchmark::kMillisecond);
-
-void BM_CombinedPlaceEdgeMatch(benchmark::State& state) {
-  set_log_level(LogLevel::Silent);
-  std::vector<techmap::LutCircuit> modes{random_mode(200, 1),
-                                         random_mode(200, 2)};
-  int max_clbs = 0;
-  int max_ios = 0;
-  for (const auto& m : modes) {
-    max_clbs = std::max<int>(max_clbs, static_cast<int>(m.num_blocks()));
-    max_ios = std::max<int>(max_ios,
-                            static_cast<int>(m.num_pis() + m.num_pos()));
-  }
-  const arch::DeviceGrid grid(arch::size_device(max_clbs, max_ios, 1.3));
-  core::CombinedPlaceOptions options;
-  options.cost = core::CombinedCost::EdgeMatch;
-  options.anneal.inner_num = 3.0;
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    options.seed = seed++;
-    benchmark::DoNotOptimize(core::combined_place(modes, grid, options));
-  }
-}
-BENCHMARK(BM_CombinedPlaceEdgeMatch)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  set_log_level(LogLevel::Silent);
+  bench::PerfBench harness("bench_perf_place");
+
+  place_case(harness, 150, 3);
+  place_case(harness, 400, 2);
+
+  combined_place_case(harness, 2, 2);
+  // The four-mode transceiver regime: per-move cost scans scale with the
+  // mode count, so this is where a naive occupancy representation hurts.
+  combined_place_case(harness, 4, 2);
+
+  return harness.finish();
+}

@@ -1,13 +1,15 @@
 /// \file bench_perf_route.cpp
-/// Throughput microbenchmarks (google-benchmark) for the router: RRG
-/// construction, single-mode PathFinder routing, and the multi-mode
-/// connection router (TRoute).
-
-#include <benchmark/benchmark.h>
+/// Throughput benchmarks for the router hot paths: RRG construction,
+/// single-mode PathFinder routing, the multi-mode connection router
+/// (TRoute), and the minimum-channel-width search. Emits JSON with wall
+/// times, QoR guard rails (success, iteration count, wirelength) and the
+/// router's perf counters — see bench_json.h for the format.
 
 #include <set>
+#include <string>
 
 #include "arch/rrg.h"
+#include "bench_json.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "route/router.h"
@@ -56,56 +58,93 @@ route::RouteProblem random_problem(const arch::RoutingGraph& rrg, int nets,
   return problem;
 }
 
-void BM_BuildRrg(benchmark::State& state) {
-  const auto spec = spec_with(static_cast<int>(state.range(0)), 12);
-  for (auto _ : state) {
-    const arch::RoutingGraph rrg(spec);
-    benchmark::DoNotOptimize(rrg.num_edges());
-  }
+std::vector<bench::QorEntry> route_qor(const arch::RoutingGraph& rrg,
+                                       const route::RouteResult& result) {
+  return {{"success", result.success ? 1.0 : 0.0},
+          {"iterations", static_cast<double>(result.iterations)},
+          {"conns", static_cast<double>(result.conns.size())},
+          {"total_wirelength",
+           static_cast<double>(result.total_wirelength(rrg))}};
 }
-BENCHMARK(BM_BuildRrg)->Arg(10)->Arg(20)->Arg(30)->Unit(benchmark::kMillisecond);
-
-void BM_RouteSingleMode(benchmark::State& state) {
-  set_log_level(LogLevel::Silent);
-  const arch::RoutingGraph rrg(spec_with(16, 10));
-  const auto problem = random_problem(rrg, static_cast<int>(state.range(0)), 1, 3);
-  std::size_t conns = 0;
-  for (const auto& net : problem.nets) conns += net.conns.size();
-  for (auto _ : state) {
-    const auto result = route::route(rrg, problem);
-    benchmark::DoNotOptimize(result.success);
-    state.counters["conns/s"] = benchmark::Counter(
-        static_cast<double>(conns), benchmark::Counter::kIsRate);
-  }
-}
-BENCHMARK(BM_RouteSingleMode)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
-
-void BM_RouteMultiMode(benchmark::State& state) {
-  set_log_level(LogLevel::Silent);
-  const arch::RoutingGraph rrg(spec_with(16, 10));
-  const auto problem =
-      random_problem(rrg, static_cast<int>(state.range(0)), 2, 5);
-  for (auto _ : state) {
-    const auto result = route::route(rrg, problem);
-    benchmark::DoNotOptimize(result.success);
-  }
-}
-BENCHMARK(BM_RouteMultiMode)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
-
-void BM_MinChannelWidth(benchmark::State& state) {
-  set_log_level(LogLevel::Silent);
-  auto spec = spec_with(10, 1);
-  for (auto _ : state) {
-    const int w = route::min_channel_width(
-        spec,
-        [](const arch::RoutingGraph& rrg) {
-          return random_problem(rrg, 60, 1, 7);
-        });
-    benchmark::DoNotOptimize(w);
-  }
-}
-BENCHMARK(BM_MinChannelWidth)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  set_log_level(LogLevel::Silent);
+  bench::PerfBench harness("bench_perf_route");
+
+  harness.run_case("build_rrg/n=20/w=12", 5, [] {
+    const arch::RoutingGraph rrg(spec_with(20, 12));
+    return std::vector<bench::QorEntry>{
+        {"nodes", static_cast<double>(rrg.num_nodes())},
+        {"edges", static_cast<double>(rrg.num_edges())}};
+  });
+
+  {
+    const arch::RoutingGraph rrg(spec_with(16, 10));
+    const auto problem = random_problem(rrg, 150, 1, 3);
+    harness.run_case("route_single_mode/n=16/w=10/nets=150", 3, [&] {
+      const auto result = route::route(rrg, problem);
+      return route_qor(rrg, result);
+    });
+  }
+
+  {
+    const arch::RoutingGraph rrg(spec_with(16, 10));
+    const auto problem = random_problem(rrg, 150, 2, 5);
+    harness.run_case("route_multi_mode/modes=2/nets=150", 3, [&] {
+      const auto result = route::route(rrg, problem);
+      return route_qor(rrg, result);
+    });
+  }
+
+  // The paper's TRoute regime: many modes sharing one fabric at the
+  // relaxed (routable) channel width the flow actually routes at. This is
+  // where the per-relaxation mode scans of a naive state representation
+  // dominate.
+  {
+    const arch::RoutingGraph rrg(spec_with(20, 12));
+    const auto problem = random_problem(rrg, 300, 4, 7);
+    harness.run_case("route_multi_mode/modes=4/n=20/nets=300", 3, [&] {
+      const auto result = route::route(rrg, problem);
+      return route_qor(rrg, result);
+    });
+  }
+  {
+    const arch::RoutingGraph rrg(spec_with(24, 16));
+    const auto problem = random_problem(rrg, 300, 8, 11);
+    harness.run_case("route_multi_mode/modes=8/n=24/nets=300", 2, [&] {
+      const auto result = route::route(rrg, problem);
+      return route_qor(rrg, result);
+    });
+  }
+  {
+    const arch::RoutingGraph rrg(spec_with(20, 16));
+    const auto problem = random_problem(rrg, 200, 16, 13);
+    harness.run_case("route_multi_mode/modes=16/n=20/nets=200", 3, [&] {
+      const auto result = route::route(rrg, problem);
+      return route_qor(rrg, result);
+    });
+  }
+
+  harness.run_case("min_channel_width/n=8/nets=40", 2, [] {
+    const int w = route::min_channel_width(
+        spec_with(8, 1), [](const arch::RoutingGraph& rrg) {
+          return random_problem(rrg, 40, 1, 7);
+        });
+    return std::vector<bench::QorEntry>{{"min_width", static_cast<double>(w)}};
+  });
+
+  // Multi-mode width search — the inner loop of the paper's region protocol
+  // (flows.cpp sizes the shared region by probing widths for every mode and
+  // the merged Tunable circuit).
+  harness.run_case("min_channel_width/modes=6/n=8/nets=40", 2, [] {
+    const int w = route::min_channel_width(
+        spec_with(8, 1), [](const arch::RoutingGraph& rrg) {
+          return random_problem(rrg, 40, 6, 17);
+        });
+    return std::vector<bench::QorEntry>{{"min_width", static_cast<double>(w)}};
+  });
+
+  return harness.finish();
+}

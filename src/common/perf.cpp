@@ -1,0 +1,111 @@
+#include "common/perf.h"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <ostream>
+
+namespace mmflow::perf {
+
+namespace {
+
+/// Backing store with pointer-stable entries (deque never relocates).
+struct Store {
+  std::mutex mutex;
+  std::deque<std::pair<std::string, std::uint64_t>> counters;
+  std::deque<std::pair<std::string, TimerStat>> timers;
+};
+
+Store& store() {
+  static Store s;
+  return s;
+}
+
+void write_escaped(std::ostream& os, std::string_view text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+std::uint64_t& Registry::counter(std::string_view name) {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& [n, value] : s.counters) {
+    if (n == name) return value;
+  }
+  s.counters.emplace_back(std::string(name), 0);
+  return s.counters.back().second;
+}
+
+TimerStat& Registry::timer(std::string_view name) {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& [n, value] : s.timers) {
+    if (n == name) return value;
+  }
+  s.timers.emplace_back(std::string(name), TimerStat{});
+  return s.timers.back().second;
+}
+
+void Registry::reset() {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& [n, value] : s.counters) value = 0;
+  for (auto& [n, value] : s.timers) value = TimerStat{};
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> out(s.counters.begin(),
+                                                         s.counters.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, TimerStat>> Registry::timers() const {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<std::pair<std::string, TimerStat>> out(s.timers.begin(),
+                                                     s.timers.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void Registry::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2(static_cast<std::size_t>(indent) + 2, ' ');
+  const std::string pad4(static_cast<std::size_t>(indent) + 4, ' ');
+
+  const auto cs = counters();
+  const auto ts = timers();
+
+  os << "{\n" << pad2 << "\"counters\": {";
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << pad4 << '"';
+    write_escaped(os, cs[i].first);
+    os << "\": " << cs[i].second;
+  }
+  os << (cs.empty() ? "" : "\n" + pad2) << "},\n";
+
+  os << pad2 << "\"timers_ms\": {";
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << pad4 << '"';
+    write_escaped(os, ts[i].first);
+    os << "\": {\"total_ms\": "
+       << static_cast<double>(ts[i].second.total_ns) / 1e6
+       << ", \"count\": " << ts[i].second.count << '}';
+  }
+  os << (ts.empty() ? "" : "\n" + pad2) << "}\n" << pad << '}';
+}
+
+}  // namespace mmflow::perf

@@ -1,0 +1,115 @@
+#pragma once
+/// \file perf.h
+/// Lightweight performance-counter and timer subsystem. Every stage of the
+/// flow (placement, routing, width search) reports through this registry so
+/// that benches and the CLI can emit a machine-readable picture of where the
+/// time goes — the paper's P&R inner loops are only credibly "fast" when the
+/// hot paths are instrumented, not just correct.
+///
+/// Design constraints:
+///  * near-zero overhead at call sites: hot loops accumulate into locals and
+///    flush once per connection / per anneal; the registry itself is only
+///    touched on the cold path;
+///  * stable references: `counter()` / `timer()` return references that stay
+///    valid for the process lifetime, so call sites can cache them in a
+///    function-local static;
+///  * deterministic output: `write_json()` emits entries sorted by name.
+///
+/// The registry is process-global and guarded by a mutex on mutation of the
+/// name table only; bumping a counter through a cached reference is a plain
+/// unsynchronized increment (the flow is single-threaded today — see
+/// ROADMAP "parallel routing" for when that changes).
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmflow::perf {
+
+/// Accumulated wall time of one named scope.
+struct TimerStat {
+  std::uint64_t total_ns = 0;
+  std::uint64_t count = 0;
+};
+
+/// Process-global registry of named counters and timers.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Find-or-create; the returned reference is valid for the process
+  /// lifetime. Names are dot-separated, e.g. "route.heap_pushes".
+  std::uint64_t& counter(std::string_view name);
+  TimerStat& timer(std::string_view name);
+
+  /// Zeroes every counter and timer (names stay registered). Benches call
+  /// this between the warm-up and the measured region.
+  void reset();
+
+  /// Sorted-by-name snapshots.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, TimerStat>> timers() const;
+
+  /// Emits {"counters": {...}, "timers_ms": {...}} at the given indentation
+  /// depth (spaces). Keys are sorted for diff-stable output.
+  void write_json(std::ostream& os, int indent = 0) const;
+
+ private:
+  Registry() = default;
+};
+
+/// Convenience accessors against the global registry.
+inline std::uint64_t& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+inline TimerStat& timer(std::string_view name) {
+  return Registry::instance().timer(name);
+}
+inline void reset() { Registry::instance().reset(); }
+
+/// RAII wall-clock timer accumulating into a TimerStat.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerStat& stat)
+      : stat_(&stat), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    stat_->total_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+            .count());
+    ++stat_->count;
+  }
+
+ private:
+  TimerStat* stat_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mmflow::perf
+
+#define MMFLOW_PERF_CONCAT2(a, b) a##b
+#define MMFLOW_PERF_CONCAT(a, b) MMFLOW_PERF_CONCAT2(a, b)
+
+/// Times the enclosing scope under `name`. The registry lookup happens once
+/// per call site (function-local static), the per-entry cost is two clock
+/// reads.
+#define MMFLOW_PERF_SCOPE(name)                                            \
+  static ::mmflow::perf::TimerStat& MMFLOW_PERF_CONCAT(mmflow_perf_stat_,  \
+                                                       __LINE__) =         \
+      ::mmflow::perf::timer(name);                                         \
+  ::mmflow::perf::ScopedTimer MMFLOW_PERF_CONCAT(mmflow_perf_scope_,       \
+                                                 __LINE__)(                \
+      MMFLOW_PERF_CONCAT(mmflow_perf_stat_, __LINE__))
+
+/// Adds `delta` to the counter `name`; lookup cached per call site.
+#define MMFLOW_PERF_ADD(name, delta)                                       \
+  do {                                                                     \
+    static std::uint64_t& mmflow_perf_counter_ = ::mmflow::perf::counter(name); \
+    mmflow_perf_counter_ += static_cast<std::uint64_t>(delta);             \
+  } while (false)

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/log.h"
+#include "common/perf.h"
 #include "common/stats.h"
 
 namespace mmflow::core {
@@ -65,6 +66,28 @@ class CombinedSa {
     // Total block count for move sampling.
     for (const auto& nl : netlists_) total_blocks_ += nl.num_blocks();
 
+    // Flat per-mode mirrors of the placement, maintained across swaps: the
+    // annealer's hot loop runs entirely on block→site, block→site-key and
+    // site-key→occupant arrays (no Placement occupancy bookkeeping per
+    // move); the Placement objects are rebuilt once at the end.
+    block_key_.resize(netlists_.size());
+    msite_.resize(netlists_.size());
+    occ_.resize(netlists_.size());
+    for (std::size_t m = 0; m < netlists_.size(); ++m) {
+      block_key_[m].resize(netlists_[m].num_blocks());
+      msite_[m].resize(netlists_[m].num_blocks());
+      occ_[m].assign(static_cast<std::size_t>(keys_.num_keys()), -1);
+      for (std::uint32_t b = 0; b < netlists_[m].num_blocks(); ++b) {
+        const Site site = placements_[m].site_of(b);
+        const int key = keys_.key(site);
+        block_key_[m][b] = key;
+        msite_[m][b] = site;
+        occ_[m][static_cast<std::size_t>(key)] = static_cast<std::int32_t>(b);
+      }
+    }
+
+    key_epoch_.assign(static_cast<std::size_t>(keys_.num_keys()), 0);
+    site_epoch_.assign(static_cast<std::size_t>(keys_.num_keys()), 0);
     if (cost_kind_ == CombinedCost::WireLength) {
       site_cost_.assign(static_cast<std::size_t>(keys_.num_keys()), 0.0);
       cost_ = 0.0;
@@ -81,13 +104,34 @@ class CombinedSa {
   [[nodiscard]] double cost() const { return cost_; }
   [[nodiscard]] std::size_t total_blocks() const { return total_blocks_; }
   [[nodiscard]] std::vector<Placement> take_placements() {
-    return std::move(placements_);
+    // Rebuild the Placement objects from the annealed mirrors.
+    std::vector<Placement> out;
+    out.reserve(netlists_.size());
+    for (std::size_t m = 0; m < netlists_.size(); ++m) {
+      Placement p(grid_, netlists_[m].num_blocks());
+      for (std::uint32_t b = 0; b < netlists_[m].num_blocks(); ++b) {
+        p.assign(b, msite_[m][b]);
+      }
+      out.push_back(std::move(p));
+    }
+    return out;
   }
   Rng& rng() { return rng_; }
+
+  /// Flushes accumulated per-anneal tallies into the perf registry.
+  void flush_perf() {
+    MMFLOW_PERF_ADD("combined_place.moves_proposed", moves_proposed_);
+    MMFLOW_PERF_ADD("combined_place.moves_accepted", moves_accepted_);
+    MMFLOW_PERF_ADD("combined_place.site_evals", site_evals_);
+    moves_proposed_ = 0;
+    moves_accepted_ = 0;
+    site_evals_ = 0;
+  }
 
   /// One combined-placement move (paper §III-A): choose two sites and a
   /// mode, swap that mode's occupants. Returns acceptance.
   bool try_move(int range_limit, double temperature, double* delta_out) {
+    ++moves_proposed_;
     // Pick an occupied site by sampling a random block of a random mode.
     std::uint64_t pick = rng_.next_below(total_blocks_);
     int mode_of_pick = 0;
@@ -95,8 +139,8 @@ class CombinedSa {
       pick -= netlists_[mode_of_pick].num_blocks();
       ++mode_of_pick;
     }
-    const Site s1 =
-        placements_[mode_of_pick].site_of(static_cast<std::uint32_t>(pick));
+    const Site s1 = msite_[static_cast<std::size_t>(mode_of_pick)]
+                          [static_cast<std::uint32_t>(pick)];
 
     // Target site of the same type within the range limit.
     Site s2;
@@ -121,19 +165,21 @@ class CombinedSa {
       }
     }
     if (s2 == s1) return false;
+    const int k1 = keys_.key(s1);
+    const int k2 = keys_.key(s2);
 
     // Mode choice among modes present at either site (paper: select a mode
     // for which the swap will be executed).
-    ModeSetLocal present = modes_present(s1) | modes_present(s2);
+    ModeSetLocal present = modes_present(k1) | modes_present(k2);
     if (present == 0) return false;
     const int mode = pick_mode(present);
 
-    const std::int32_t b1 = occupant(mode, s1);
-    const std::int32_t b2 = occupant(mode, s2);
+    const std::int32_t b1 = occ_[static_cast<std::size_t>(mode)][static_cast<std::size_t>(k1)];
+    const std::int32_t b2 = occ_[static_cast<std::size_t>(mode)][static_cast<std::size_t>(k2)];
     if (b1 < 0 && b2 < 0) return false;
 
-    const double before = affected_cost_before(mode, b1, b2, s1, s2);
-    apply_swap(mode, b1, b2, s1, s2);
+    const double before = affected_cost_before(mode, b1, b2, k1, k2);
+    apply_swap(mode, b1, b2, k1, k2, s1, s2);
     const double after = affected_cost_after();
     const double delta = after - before;
 
@@ -141,13 +187,14 @@ class CombinedSa {
         delta <= 0.0 ||
         (temperature > 0.0 && rng_.next_double() < std::exp(-delta / temperature));
     if (accept) {
+      ++moves_accepted_;
       commit_affected();
       cost_ += delta;
     } else {
       // EdgeMatch bookkeeping must be unwound at the *new* positions before
       // the swap itself is undone.
       rollback_before_undo();
-      apply_swap(mode, b2, b1, s1, s2);  // swap back (occupants now reversed)
+      apply_swap(mode, b2, b1, k1, k2, s1, s2);  // swap back (reversed)
       rollback_after_undo();
     }
     if (delta_out != nullptr) *delta_out = delta;
@@ -157,16 +204,12 @@ class CombinedSa {
  private:
   using ModeSetLocal = std::uint32_t;
 
-  [[nodiscard]] std::int32_t occupant(int mode, const Site& s) const {
-    return s.type == Site::Type::Clb
-               ? placements_[mode].clb_occupant(grid_.clb_index(s.x, s.y))
-               : placements_[mode].pad_occupant(grid_.pad_index(s));
-  }
-
-  [[nodiscard]] ModeSetLocal modes_present(const Site& s) const {
+  [[nodiscard]] ModeSetLocal modes_present(int key) const {
     ModeSetLocal mask = 0;
     for (std::size_t m = 0; m < netlists_.size(); ++m) {
-      if (occupant(static_cast<int>(m), s) >= 0) mask |= ModeSetLocal{1} << m;
+      if (occ_[m][static_cast<std::size_t>(key)] >= 0) {
+        mask |= ModeSetLocal{1} << m;
+      }
     }
     return mask;
   }
@@ -181,50 +224,61 @@ class CombinedSa {
     }
   }
 
-  void apply_swap(int mode, std::int32_t b1, std::int32_t b2, const Site& s1,
-                  const Site& s2) {
-    Placement& p = placements_[mode];
-    if (b1 >= 0) p.unassign(static_cast<std::uint32_t>(b1));
-    if (b2 >= 0) p.unassign(static_cast<std::uint32_t>(b2));
-    if (b1 >= 0) p.assign(static_cast<std::uint32_t>(b1), s2);
-    if (b2 >= 0) p.assign(static_cast<std::uint32_t>(b2), s1);
+  void apply_swap(int mode, std::int32_t b1, std::int32_t b2, int k1, int k2,
+                  const Site& s1, const Site& s2) {
+    const auto mi = static_cast<std::size_t>(mode);
+    occ_[mi][static_cast<std::size_t>(k1)] = b2;
+    occ_[mi][static_cast<std::size_t>(k2)] = b1;
+    if (b1 >= 0) {
+      msite_[mi][static_cast<std::uint32_t>(b1)] = s2;
+      block_key_[mi][static_cast<std::uint32_t>(b1)] = k2;
+    }
+    if (b2 >= 0) {
+      msite_[mi][static_cast<std::uint32_t>(b2)] = s1;
+      block_key_[mi][static_cast<std::uint32_t>(b2)] = k1;
+    }
   }
 
   // ---- WireLength engine -----------------------------------------------------
 
   /// Cost of the merged tunable net sourced at site `key` (0 if no driver).
   [[nodiscard]] double merged_net_cost(int key) const {
+    ++site_evals_;
     const Site s = keys_.site(key);
     int xmin = s.x, xmax = s.x, ymin = s.y, ymax = s.y;
-    // Distinct terminal count: source site + distinct sink sites. Collect
-    // sink site keys in a small local buffer (fanouts are small).
+    // Distinct terminal count: source site + distinct sink sites. Distinct
+    // sink sites are counted with an epoch-stamped per-key scratch array
+    // (replacing a sort + unique + binary_search per evaluation). The
+    // source site itself may appear as a sink site (another mode's block at
+    // this site reading this net); it is one physical terminal.
     bool has_driver = false;
-    thread_local std::vector<int> sink_keys;
-    sink_keys.clear();
+    bool self = false;
+    int distinct = 0;
+    const std::uint64_t epoch = ++key_epoch_counter_;
     for (std::size_t m = 0; m < netlists_.size(); ++m) {
-      const std::int32_t block = occupant(static_cast<int>(m), s);
+      const std::int32_t block = occ_[m][static_cast<std::size_t>(key)];
       if (block < 0) continue;
       const std::int32_t net = driven_net_[m][static_cast<std::uint32_t>(block)];
       if (net < 0) continue;
       has_driver = true;
       for (const auto sink :
            netlists_[m].nets()[static_cast<std::uint32_t>(net)].sinks) {
-        const Site ss = placements_[m].site_of(sink);
+        const Site ss = msite_[m][sink];
         xmin = std::min<int>(xmin, ss.x);
         xmax = std::max<int>(xmax, ss.x);
         ymin = std::min<int>(ymin, ss.y);
         ymax = std::max<int>(ymax, ss.y);
-        sink_keys.push_back(keys_.key(ss));
+        const int k = block_key_[m][sink];
+        if (key_epoch_[static_cast<std::size_t>(k)] != epoch) {
+          key_epoch_[static_cast<std::size_t>(k)] = epoch;
+          ++distinct;
+          if (k == key) self = true;
+        }
       }
     }
     if (!has_driver) return 0.0;
-    std::sort(sink_keys.begin(), sink_keys.end());
-    sink_keys.erase(std::unique(sink_keys.begin(), sink_keys.end()),
-                    sink_keys.end());
-    // The source site itself may appear as a sink site (another mode's block
-    // at this site reading this net); it is one physical terminal.
-    const bool self = std::binary_search(sink_keys.begin(), sink_keys.end(), key);
-    const std::size_t terminals = 1 + sink_keys.size() - (self ? 1 : 0);
+    const std::size_t terminals =
+        1 + static_cast<std::size_t>(distinct) - (self ? 1 : 0);
     return place::hpwl_cost(xmin, xmax, ymin, ymax, terminals);
   }
 
@@ -235,10 +289,9 @@ class CombinedSa {
     matches_ = 0;
     for (std::size_t m = 0; m < netlists_.size(); ++m) {
       for (const auto& net : netlists_[m].nets()) {
-        const int src = keys_.key(placements_[m].site_of(net.driver));
+        const int src = block_key_[m][net.driver];
         for (const auto sink : net.sinks) {
-          add_pair(src, keys_.key(placements_[m].site_of(sink)),
-                   static_cast<int>(m));
+          add_pair(src, block_key_[m][sink], static_cast<int>(m));
         }
       }
     }
@@ -273,11 +326,12 @@ class CombinedSa {
   /// when both swapped blocks touch the same net.
   void update_pairs_for_nets(int mode, const std::vector<std::uint32_t>& nets,
                              bool add) {
+    const auto mi = static_cast<std::size_t>(mode);
     for (const auto n : nets) {
       const auto& net = netlists_[mode].nets()[n];
-      const int src = keys_.key(placements_[mode].site_of(net.driver));
+      const int src = block_key_[mi][net.driver];
       for (const auto sink : net.sinks) {
-        const int sk = keys_.key(placements_[mode].site_of(sink));
+        const int sk = block_key_[mi][sink];
         add ? add_pair(src, sk, mode) : remove_pair(src, sk, mode);
       }
     }
@@ -290,9 +344,9 @@ class CombinedSa {
     std::vector<std::uint32_t> nets;
     for (const std::int32_t b : {b1, b2}) {
       if (b < 0) continue;
-      const auto& list =
+      auto [begin, end] =
           netlists_[mode].nets_of_block(static_cast<std::uint32_t>(b));
-      nets.insert(nets.end(), list.begin(), list.end());
+      nets.insert(nets.end(), begin, end);
     }
     std::sort(nets.begin(), nets.end());
     nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
@@ -304,7 +358,7 @@ class CombinedSa {
   /// Cost of everything the pending swap can affect, computed *before* the
   /// swap is applied; stashes the affected-site list for the after pass.
   double affected_cost_before(int mode, std::int32_t b1, std::int32_t b2,
-                              const Site& s1, const Site& s2) {
+                              int k1, int k2) {
     if (cost_kind_ == CombinedCost::EdgeMatch) {
       // Remove the affected nets' pairs now (positions still old); the
       // matches_ counter absorbs the delta incrementally.
@@ -316,20 +370,22 @@ class CombinedSa {
     }
 
     affected_sites_.clear();
-    auto add_site = [this](int key) {
-      if (std::find(affected_sites_.begin(), affected_sites_.end(), key) ==
-          affected_sites_.end()) {
+    const std::uint64_t epoch = ++site_epoch_counter_;
+    auto add_site = [this, epoch](int key) {
+      if (site_epoch_[static_cast<std::size_t>(key)] != epoch) {
+        site_epoch_[static_cast<std::size_t>(key)] = epoch;
         affected_sites_.push_back(key);
       }
     };
-    add_site(keys_.key(s1));
-    add_site(keys_.key(s2));
+    add_site(k1);
+    add_site(k2);
     for (const std::int32_t b : {b1, b2}) {
       if (b < 0) continue;
       const auto block = static_cast<std::uint32_t>(b);
-      for (const auto n : netlists_[mode].nets_of_block(block)) {
-        const auto& net = netlists_[mode].nets()[n];
-        add_site(keys_.key(placements_[mode].site_of(net.driver)));
+      auto [begin, end] = netlists_[mode].nets_of_block(block);
+      for (const auto* it = begin; it != end; ++it) {
+        const auto& net = netlists_[mode].nets()[*it];
+        add_site(block_key_[static_cast<std::size_t>(mode)][net.driver]);
       }
     }
     double before = 0.0;
@@ -392,6 +448,17 @@ class CombinedSa {
   std::vector<double> site_cost_;
   std::vector<int> affected_sites_;
   std::vector<double> new_site_cost_;
+  mutable std::vector<std::uint64_t> key_epoch_;  ///< distinct-key scratch
+  mutable std::uint64_t key_epoch_counter_ = 0;
+  std::vector<std::uint64_t> site_epoch_;  ///< affected-site dedup scratch
+  std::uint64_t site_epoch_counter_ = 0;
+  std::vector<std::vector<int>> block_key_;  ///< [mode][block] site key
+  std::vector<std::vector<Site>> msite_;     ///< [mode][block] site mirror
+  std::vector<std::vector<std::int32_t>> occ_;  ///< [mode][key] occupant
+
+  std::uint64_t moves_proposed_ = 0;
+  std::uint64_t moves_accepted_ = 0;
+  mutable std::uint64_t site_evals_ = 0;
 
   // EdgeMatch engine state.
   std::unordered_map<std::uint64_t, ModeSetLocal> match_table_;
@@ -408,6 +475,8 @@ CombinedPlacement combined_place(const std::vector<techmap::LutCircuit>& modes,
                                  const CombinedPlaceOptions& options,
                                  CombinedPlaceStats* stats) {
   MMFLOW_REQUIRE(!modes.empty() && modes.size() <= 32);
+  MMFLOW_PERF_SCOPE("combined_place.total");
+  MMFLOW_PERF_ADD("combined_place.calls", 1);
   CombinedPlacement out;
   Rng rng(options.seed ^ 0xa02bdbf7bb3c0a7ULL);
 
@@ -480,6 +549,7 @@ CombinedPlacement combined_place(const std::vector<techmap::LutCircuit>& modes,
                                 << "): cost " << local.initial_cost << " -> "
                                 << local.final_cost);
 
+  sa.flush_perf();
   out.placements = sa.take_placements();
   for (std::size_t m = 0; m < out.netlists.size(); ++m) {
     out.placements[m].validate(out.netlists[m]);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "common/perf.h"
 
 namespace mmflow::core {
 
@@ -128,6 +129,8 @@ void tplace_from_scratch(const tunable::TunableCircuit& tc,
 MultiModeExperiment run_experiment(std::vector<techmap::LutCircuit> modes,
                                    const FlowOptions& options) {
   MMFLOW_REQUIRE(!modes.empty() && modes.size() <= 32);
+  MMFLOW_PERF_SCOPE("flow.experiment");
+  MMFLOW_PERF_ADD("flow.experiments", 1);
   const int num_modes = static_cast<int>(modes.size());
 
   // ---- region sizing: logic array from the largest mode --------------------
@@ -145,16 +148,19 @@ MultiModeExperiment run_experiment(std::vector<techmap::LutCircuit> modes,
   MultiModeExperiment exp;
 
   // ---- MDR: place every mode separately ------------------------------------
-  for (int m = 0; m < num_modes; ++m) {
-    ModeImpl impl{place::PlaceNetlist{}, {}, place::Placement(grid, 0), {}};
-    impl.netlist = place::to_place_netlist(modes[static_cast<std::size_t>(m)],
-                                           &impl.mapping);
-    place::PlacerOptions popt;
-    popt.seed = options.seed * 1000003u + static_cast<std::uint64_t>(m);
-    popt.anneal = options.anneal;
-    impl.placement = place::place(impl.netlist, grid, popt);
-    impl.route_spec = mdr_route_spec(impl.netlist, impl.placement);
-    exp.mdr.push_back(std::move(impl));
+  {
+    MMFLOW_PERF_SCOPE("flow.mdr_place");
+    for (int m = 0; m < num_modes; ++m) {
+      ModeImpl impl{place::PlaceNetlist{}, {}, place::Placement(grid, 0), {}};
+      impl.netlist = place::to_place_netlist(modes[static_cast<std::size_t>(m)],
+                                             &impl.mapping);
+      place::PlacerOptions popt;
+      popt.seed = options.seed * 1000003u + static_cast<std::uint64_t>(m);
+      popt.anneal = options.anneal;
+      impl.placement = place::place(impl.netlist, grid, popt);
+      impl.route_spec = mdr_route_spec(impl.netlist, impl.placement);
+      exp.mdr.push_back(std::move(impl));
+    }
   }
 
   // ---- DCS: combined placement, merge, TPlace ------------------------------
@@ -173,6 +179,7 @@ MultiModeExperiment run_experiment(std::vector<techmap::LutCircuit> modes,
 
   if (options.cost_engine == CombinedCost::EdgeMatch &&
       options.tplace_from_scratch_for_edgematch) {
+    MMFLOW_PERF_SCOPE("flow.tplace");
     tplace_from_scratch(*exp.tunable, grid,
                         options.seed * 2862933555777941757ULL + 3,
                         options.anneal, &exp.tlut_site, &exp.tio_site);
@@ -195,26 +202,15 @@ MultiModeExperiment run_experiment(std::vector<techmap::LutCircuit> modes,
                         options.router)
         .success;
   };
-
-  int lo = 0;
-  int hi = 4;
-  while (hi <= options.max_channel_width && !all_route(hi)) {
-    lo = hi;
-    hi *= 2;
+  {
+    MMFLOW_PERF_SCOPE("flow.width_search");
+    exp.min_width =
+        route::search_min_width(all_route, options.max_channel_width);
   }
-  MMFLOW_REQUIRE_MSG(hi <= options.max_channel_width,
-                     "multi-mode circuit unroutable at max channel width");
-  while (hi - lo > 1) {
-    const int mid = (lo + hi) / 2;
-    if (all_route(mid)) {
-      hi = mid;
-    } else {
-      lo = mid;
-    }
-  }
-  exp.min_width = hi;
+  const int hi = exp.min_width;
 
   // ---- final implementation with relaxed routing ----------------------------
+  MMFLOW_PERF_SCOPE("flow.final_route");
   exp.region = base;
   exp.region.channel_width = std::max(
       hi, static_cast<int>(std::ceil(hi * options.width_slack)));

@@ -14,24 +14,36 @@ std::size_t PlaceNetlist::num_clbs() const {
 std::size_t PlaceNetlist::num_ios() const { return blocks_.size() - num_clbs(); }
 
 void PlaceNetlist::build_block_nets() const {
-  block_nets_.assign(blocks_.size(), {});
+  // Two-pass CSR construction; per-block net order matches the former
+  // vector-of-vectors build (ascending net id, driver before sinks).
+  std::vector<std::vector<std::uint32_t>> lists(blocks_.size());
   for (std::uint32_t n = 0; n < nets_.size(); ++n) {
-    block_nets_[nets_[n].driver].push_back(n);
+    lists[nets_[n].driver].push_back(n);
     for (const auto s : nets_[n].sinks) {
       // A block may appear as several sinks only after dedup failure; the
       // construction below dedups, but stay robust.
-      if (block_nets_[s].empty() || block_nets_[s].back() != n) {
-        block_nets_[s].push_back(n);
+      if (lists[s].empty() || lists[s].back() != n) {
+        lists[s].push_back(n);
       }
     }
   }
+  block_net_offset_.assign(blocks_.size() + 1, 0);
+  block_net_ids_.clear();
+  for (std::size_t b = 0; b < lists.size(); ++b) {
+    block_net_offset_[b] = static_cast<std::uint32_t>(block_net_ids_.size());
+    block_net_ids_.insert(block_net_ids_.end(), lists[b].begin(),
+                          lists[b].end());
+  }
+  block_net_offset_[lists.size()] =
+      static_cast<std::uint32_t>(block_net_ids_.size());
 }
 
-const std::vector<std::uint32_t>& PlaceNetlist::nets_of_block(
-    std::uint32_t block) const {
+std::pair<const std::uint32_t*, const std::uint32_t*>
+PlaceNetlist::nets_of_block(std::uint32_t block) const {
   MMFLOW_REQUIRE(block < blocks_.size());
-  if (block_nets_.empty()) build_block_nets();
-  return block_nets_[block];
+  if (block_net_offset_.empty()) build_block_nets();
+  return {block_net_ids_.data() + block_net_offset_[block],
+          block_net_ids_.data() + block_net_offset_[block + 1]};
 }
 
 PlaceNetlist to_place_netlist(const techmap::LutCircuit& circuit,

@@ -50,15 +50,18 @@ class PlaceNetlist {
   [[nodiscard]] std::size_t num_clbs() const;
   [[nodiscard]] std::size_t num_ios() const;
 
-  /// Net ids touching each block (CSR), built lazily.
-  [[nodiscard]] const std::vector<std::uint32_t>& nets_of_block(
-      std::uint32_t block) const;
+  /// Net ids touching a block (CSR slice), built lazily. The two annealers
+  /// walk this on every proposed move, so it is stored as one flat id array
+  /// plus offsets rather than a vector-of-vectors.
+  [[nodiscard]] std::pair<const std::uint32_t*, const std::uint32_t*>
+  nets_of_block(std::uint32_t block) const;
   void build_block_nets() const;
 
  private:
   std::vector<PlaceBlock> blocks_;
   std::vector<PlaceNet> nets_;
-  mutable std::vector<std::vector<std::uint32_t>> block_nets_;
+  mutable std::vector<std::uint32_t> block_net_offset_;
+  mutable std::vector<std::uint32_t> block_net_ids_;
 };
 
 /// Mapping between a LutCircuit and its PlaceNetlist: logic blocks come

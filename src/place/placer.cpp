@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "common/perf.h"
 #include "common/stats.h"
 
 namespace mmflow::place {
@@ -130,10 +131,19 @@ Placement random_placement(const PlaceNetlist& netlist,
 namespace {
 
 /// Incremental SA engine. Cost is maintained as the sum of per-net costs;
-/// a move re-evaluates only the nets touching the moved block(s). Net fanouts
-/// in mapped LUT circuits are small, so recomputing a net's bounding box
-/// from scratch is cheap and, unlike VPR's incremental bounding boxes,
-/// trivially correct.
+/// a move evaluates only the nets touching the moved block(s), *before*
+/// mutating the placement: the two candidate positions are staged in a flat
+/// block→site mirror, the affected boxes are recomputed from that mirror
+/// (branch-free), and the placement's occupancy structures are only touched
+/// when the move is accepted — which then commits the already-computed
+/// costs instead of re-evaluating them (the seed paid a second full
+/// evaluation per accepted move). Net fanouts in mapped LUT circuits are
+/// small, so recomputing a net's bounding box from scratch is cheap and,
+/// unlike VPR's incremental bounding boxes, trivially correct; a cached-box
+/// equality shortcut was measured and rejected (the moved block is almost
+/// always a terminal of every affected net, so the box nearly always
+/// changes and the compare plus write-back costs more than the hpwl it
+/// saves).
 class Sa {
  public:
   Sa(const PlaceNetlist& netlist, const arch::DeviceGrid& grid,
@@ -142,8 +152,37 @@ class Sa {
         grid_(grid),
         placement_(std::move(placement)),
         rng_(rng),
-        net_cost_(netlist.num_nets(), 0.0) {
+        net_cost_(netlist.num_nets(), 0.0),
+        net_weight_(netlist.num_nets(), 0.0),
+        term_offset_(netlist.num_nets() + 1, 0),
+        sites_(netlist.num_blocks()),
+        net_epoch_(netlist.num_nets(), 0) {
     netlist_.build_block_nets();
+    clb_occ_.assign(static_cast<std::size_t>(grid.num_clb_sites()), -1);
+    pad_occ_.assign(static_cast<std::size_t>(grid.num_pad_sites()), -1);
+    for (std::uint32_t b = 0; b < netlist_.num_blocks(); ++b) {
+      const arch::Site site = placement_.site_of(b);
+      sites_[b] = site;
+      if (site.type == arch::Site::Type::Clb) {
+        clb_occ_[static_cast<std::size_t>(grid_.clb_index(site.x, site.y))] =
+            static_cast<std::int32_t>(b);
+      } else {
+        pad_occ_[static_cast<std::size_t>(grid_.pad_index(site))] =
+            static_cast<std::int32_t>(b);
+      }
+    }
+    // Flatten net terminals (driver first, then sinks in order) into one
+    // CSR array: the per-move evaluation walks terminals of a handful of
+    // nets, and chasing each net's sink vector separately dominates it.
+    for (std::uint32_t n = 0; n < netlist_.num_nets(); ++n) {
+      const PlaceNet& net = netlist_.nets()[n];
+      term_offset_[n] = static_cast<std::uint32_t>(term_ids_.size());
+      term_ids_.push_back(net.driver);
+      term_ids_.insert(term_ids_.end(), net.sinks.begin(), net.sinks.end());
+      net_weight_[n] = net.weight;
+    }
+    term_offset_[netlist_.num_nets()] =
+        static_cast<std::uint32_t>(term_ids_.size());
     cost_ = 0.0;
     for (std::uint32_t n = 0; n < netlist_.num_nets(); ++n) {
       net_cost_[n] = net_cost(netlist_.nets()[n], placement_);
@@ -152,16 +191,26 @@ class Sa {
   }
 
   [[nodiscard]] double cost() const { return cost_; }
-  [[nodiscard]] Placement take_placement() { return std::move(placement_); }
+
+  /// Rebuilds the Placement from the annealed site mirror (the annealing
+  /// loop never touches the Placement's occupancy bookkeeping).
+  [[nodiscard]] Placement take_placement() {
+    Placement out(grid_, netlist_.num_blocks());
+    for (std::uint32_t b = 0; b < netlist_.num_blocks(); ++b) {
+      out.assign(b, sites_[b]);
+    }
+    return out;
+  }
 
   /// Proposes one swap; returns the delta. Accepting is the caller's call.
-  /// If `accept` ends up false the move is undone.
+  /// The placement is only mutated when the move is accepted.
   bool try_move(int range_limit, double temperature, double* delta_out) {
+    ++moves_proposed_;
     // Pick a random placed block, then a target site of the same type within
     // the range limit window centred on it.
     const auto block =
         static_cast<std::uint32_t>(rng_.next_below(netlist_.num_blocks()));
-    const arch::Site from = placement_.site_of(block);
+    const arch::Site from = sites_[block];
     const bool is_clb = netlist_.blocks()[block].type == PlaceBlock::Type::Clb;
 
     arch::Site to;
@@ -194,18 +243,19 @@ class Sa {
       if (!found) return false;
     }
 
-    const std::int32_t other =
-        to.type == arch::Site::Type::Clb
-            ? placement_.clb_occupant(grid_.clb_index(to.x, to.y))
-            : placement_.pad_occupant(grid_.pad_index(to));
+    const int from_idx = is_clb ? grid_.clb_index(from.x, from.y)
+                                : grid_.pad_index(from);
+    const int to_idx = is_clb ? grid_.clb_index(to.x, to.y)
+                              : grid_.pad_index(to);
+    std::vector<std::int32_t>& occ = is_clb ? clb_occ_ : pad_occ_;
+    const std::int32_t other = occ[static_cast<std::size_t>(to_idx)];
 
     // Collect affected nets (dedup via epoch stamps).
     affected_.clear();
     auto mark_nets = [&](std::uint32_t b) {
-      for (const auto n : netlist_.nets_of_block(b)) {
-        if (net_epoch_.size() < netlist_.num_nets()) {
-          net_epoch_.assign(netlist_.num_nets(), 0);
-        }
+      auto [begin, end] = netlist_.nets_of_block(b);
+      for (const auto* it = begin; it != end; ++it) {
+        const std::uint32_t n = *it;
         if (net_epoch_[n] != epoch_) {
           net_epoch_[n] = epoch_;
           affected_.push_back(n);
@@ -219,15 +269,31 @@ class Sa {
     double old_cost = 0.0;
     for (const auto n : affected_) old_cost += net_cost_[n];
 
-    // Apply.
-    placement_.unassign(block);
-    if (other >= 0) placement_.unassign(static_cast<std::uint32_t>(other));
-    placement_.assign(block, to);
-    if (other >= 0) placement_.assign(static_cast<std::uint32_t>(other), from);
+    // What-if evaluation: stage the candidate positions in the site mirror
+    // (the placement itself stays untouched until the move is accepted).
+    sites_[block] = to;
+    if (other >= 0) sites_[static_cast<std::uint32_t>(other)] = from;
 
+    new_cost_.clear();
     double new_cost = 0.0;
     for (const auto n : affected_) {
-      new_cost += net_cost(netlist_.nets()[n], placement_);
+      const std::uint32_t* t = term_ids_.data() + term_offset_[n];
+      const std::uint32_t* tend = term_ids_.data() + term_offset_[n + 1];
+      const std::size_t terminals = static_cast<std::size_t>(tend - t);
+      const arch::Site& d = sites_[*t];  // driver
+      Bb bb{d.x, d.x, d.y, d.y};
+      for (++t; t != tend; ++t) {
+        const arch::Site& site = sites_[*t];
+        bb.xmin = std::min<int>(bb.xmin, site.x);
+        bb.xmax = std::max<int>(bb.xmax, site.x);
+        bb.ymin = std::min<int>(bb.ymin, site.y);
+        bb.ymax = std::max<int>(bb.ymax, site.y);
+      }
+      const double c = net_weight_[n] *
+          hpwl_cost(bb.xmin, bb.xmax, bb.ymin, bb.ymax, terminals);
+      ++net_evals_;
+      new_cost_.push_back(c);
+      new_cost += c;
     }
     const double delta = new_cost - old_cost;
 
@@ -235,16 +301,17 @@ class Sa {
         delta <= 0.0 ||
         (temperature > 0.0 && rng_.next_double() < std::exp(-delta / temperature));
     if (accept) {
-      for (const auto n : affected_) {
-        net_cost_[n] = net_cost(netlist_.nets()[n], placement_);
+      ++moves_accepted_;
+      occ[static_cast<std::size_t>(to_idx)] = static_cast<std::int32_t>(block);
+      occ[static_cast<std::size_t>(from_idx)] = other;
+      for (std::size_t i = 0; i < affected_.size(); ++i) {
+        net_cost_[affected_[i]] = new_cost_[i];
       }
       cost_ += delta;
     } else {
-      // Undo.
-      placement_.unassign(block);
-      if (other >= 0) placement_.unassign(static_cast<std::uint32_t>(other));
-      placement_.assign(block, from);
-      if (other >= 0) placement_.assign(static_cast<std::uint32_t>(other), to);
+      // Unstage.
+      sites_[block] = from;
+      if (other >= 0) sites_[static_cast<std::uint32_t>(other)] = to;
     }
     if (delta_out != nullptr) *delta_out = delta;
     return accept;
@@ -252,16 +319,37 @@ class Sa {
 
   Rng& rng() { return rng_; }
 
+  /// Flushes accumulated per-anneal tallies into the perf registry.
+  void flush_perf() {
+    MMFLOW_PERF_ADD("place.moves_proposed", moves_proposed_);
+    MMFLOW_PERF_ADD("place.moves_accepted", moves_accepted_);
+    MMFLOW_PERF_ADD("place.net_evals", net_evals_);
+    moves_proposed_ = 0;
+    moves_accepted_ = 0;
+    net_evals_ = 0;
+  }
+
  private:
   const PlaceNetlist& netlist_;
   const arch::DeviceGrid& grid_;
   Placement placement_;
   Rng rng_;
   std::vector<double> net_cost_;
+  std::vector<double> net_weight_;
+  std::vector<std::uint32_t> term_offset_;  ///< net terminals (CSR)
+  std::vector<std::uint32_t> term_ids_;     ///< driver first, then sinks
+  std::vector<arch::Site> sites_;  ///< block→site mirror for evaluation
+  std::vector<std::int32_t> clb_occ_;  ///< CLB-site occupancy mirror
+  std::vector<std::int32_t> pad_occ_;  ///< pad-site occupancy mirror
   double cost_ = 0.0;
   std::vector<std::uint32_t> affected_;
+  std::vector<double> new_cost_;
   std::vector<std::uint64_t> net_epoch_;
   std::uint64_t epoch_ = 0;
+
+  std::uint64_t moves_proposed_ = 0;
+  std::uint64_t moves_accepted_ = 0;
+  std::uint64_t net_evals_ = 0;
 };
 
 }  // namespace
@@ -269,6 +357,8 @@ class Sa {
 Placement place_from(const PlaceNetlist& netlist, const arch::DeviceGrid& grid,
                      Placement initial, const PlacerOptions& options,
                      PlacerStats* stats) {
+  MMFLOW_PERF_SCOPE("place.total");
+  MMFLOW_PERF_ADD("place.calls", 1);
   initial.validate(netlist);
   Rng rng(options.seed);
   Sa sa(netlist, grid, std::move(initial), rng.fork());
@@ -284,6 +374,7 @@ Placement place_from(const PlaceNetlist& netlist, const arch::DeviceGrid& grid,
       local_stats.final_cost = sa.cost();
       *stats = local_stats;
     }
+    sa.flush_perf();
     return sa.take_placement();
   }
 
@@ -337,6 +428,7 @@ Placement place_from(const PlaceNetlist& netlist, const arch::DeviceGrid& grid,
   if (stats != nullptr) *stats = local_stats;
   MMFLOW_DEBUG("place: cost " << local_stats.initial_cost << " -> "
                               << local_stats.final_cost);
+  sa.flush_perf();
   Placement result = sa.take_placement();
   result.validate(netlist);
   return result;

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <bit>
-#include <queue>
-#include <unordered_set>
+#include <map>
 
 #include "common/log.h"
+#include "common/perf.h"
 
 namespace mmflow::route {
 
@@ -26,108 +26,151 @@ double base_cost(RrKind kind) {
   return 1.0;
 }
 
-/// Per-(node, mode) ownership record.
-struct Owner {
-  std::int32_t net = -1;
-  std::int32_t edge = -1;   ///< driving edge (-1 for the source node itself)
-  std::uint16_t refs = 0;   ///< connections of `net` using the node in this mode
-};
+constexpr double kInf = 1e30;
 
-/// Mutable router state: ownership per node per mode, congestion history.
+/// Per-node hot state, packed so that one A* relaxation touches a single
+/// cache line: the search-owned label (best_cost / prev_edge), the
+/// router-owned occupancy summary (`occupied` has bit m set iff the node is
+/// occupied in mode m) and the precomputed base-plus-history cost.
+struct alignas(32) NodeHot {
+  double best_cost = 0.0;   ///< A* label, reset via the touched list
+  double base_hist = 0.0;   ///< base cost + accumulated congestion history
+  std::int32_t prev_edge = -1;
+  ModeMask occupied = 0;
+  std::uint8_t is_sink = 0;
+  std::uint8_t pad_[7] = {};
+};
+static_assert(sizeof(NodeHot) == 32);
+
+/// Mutable router state: ownership per node per mode (SoA), congestion
+/// history, and the per-node hot summaries.
+///
+/// The per-(node, mode) ownership records are split into parallel flat
+/// arrays (net / edge / refs) indexed by node*num_modes+m; the packed
+/// `NodeHot::occupied` word lets an A* edge relaxation decide the common
+/// uncontended case (node free in every queried mode, nothing to share or
+/// align with) with a single word test instead of three scans over
+/// scattered records.
 class RouterState {
  public:
+  /// One (node, mode) ownership record, packed so the contended-score path
+  /// reads it with a single 8-byte load.
+  struct OwnerRec {
+    std::int32_t net = -1;
+    std::int32_t edge = -1;  ///< driving edge (-1 for the source node itself)
+    bool operator==(const OwnerRec&) const = default;
+  };
+
   RouterState(const RoutingGraph& rrg, int num_modes)
-      : rrg_(rrg),
-        num_modes_(num_modes),
-        owners_(rrg.num_nodes() * static_cast<std::size_t>(num_modes)),
-        history_(rrg.num_nodes(), 0.0) {}
-
-  [[nodiscard]] Owner& owner(std::uint32_t node, int mode) {
-    return owners_[static_cast<std::size_t>(node) * num_modes_ + mode];
+      : num_modes_(num_modes),
+        hot_(rrg.num_nodes()),
+        owner_(rrg.num_nodes() * static_cast<std::size_t>(num_modes)),
+        refs_(rrg.num_nodes() * static_cast<std::size_t>(num_modes), 0),
+        history_(rrg.num_nodes(), 0.0),
+        base_(rrg.num_nodes(), 0.0) {
+    for (std::uint32_t n = 0; n < rrg.num_nodes(); ++n) {
+      base_[n] = base_cost(rrg.node(n).kind);
+      hot_[n].best_cost = kInf;
+      hot_[n].base_hist = base_[n];
+      hot_[n].is_sink = rrg.node(n).kind == RrKind::Sink ? 1 : 0;
+    }
   }
-  [[nodiscard]] const Owner& owner(std::uint32_t node, int mode) const {
-    return owners_[static_cast<std::size_t>(node) * num_modes_ + mode];
-  }
 
+  /// Mutable hot-node array, shared with the search (which owns the
+  /// best_cost / prev_edge fields between resets).
+  [[nodiscard]] NodeHot* hot() { return hot_.data(); }
+
+  [[nodiscard]] ModeMask occupied(std::uint32_t node) const {
+    return hot_[node].occupied;
+  }
+  /// Precomputed base cost per node (flat array; replaces the former
+  /// per-relaxation switch on the node kind).
+  [[nodiscard]] double base(std::uint32_t node) const { return base_[node]; }
   [[nodiscard]] double history(std::uint32_t node) const {
     return history_[node];
   }
   void add_history(std::uint32_t node, double amount) {
     history_[node] += amount;
+    // Maintained on this cold path so the hot relaxation pays one load.
+    hot_[node].base_hist = base_[node] + history_[node];
   }
 
-  /// Number of modes in `mask` where occupying `node` via `edge` for `net`
-  /// conflicts with the current owner.
-  [[nodiscard]] int conflicts(std::uint32_t node, std::int32_t edge,
-                              std::int32_t net, ModeMask mask) const {
-    int count = 0;
-    for (int m = 0; m < num_modes_; ++m) {
-      if (!(mask >> m & 1)) continue;
-      const Owner& o = owner(node, m);
-      if (o.refs == 0) continue;
-      if (o.net != net || o.edge != edge) ++count;
-    }
-    return count;
-  }
+  /// Fused occupancy query for one edge relaxation, replacing the former
+  /// separate conflicts / fully_shared / aligned_with_other_modes scans:
+  ///  * `conflicts`: modes in `mask` where the node is occupied by a
+  ///    different (net, edge);
+  ///  * `fully_shared`: node already owned by (net, edge) in *every* mode of
+  ///    `mask` (free re-use of the net's existing tree);
+  ///  * `aligned`: all *other* occupied modes drive the node through `edge`
+  ///    (and at least one exists), so its mux select bits stay static.
+  struct Score {
+    int conflicts = 0;
+    bool fully_shared = false;
+    bool aligned = false;
+  };
 
-  /// True if the node is already owned by `net` via `edge` in every mode of
-  /// `mask` (free re-use of the net's existing tree).
-  [[nodiscard]] bool fully_shared(std::uint32_t node, std::int32_t edge,
-                                  std::int32_t net, ModeMask mask) const {
-    for (int m = 0; m < num_modes_; ++m) {
-      if (!(mask >> m & 1)) continue;
-      const Owner& o = owner(node, m);
-      if (o.refs == 0 || o.net != net || o.edge != edge) return false;
-    }
-    return true;
-  }
+  [[nodiscard]] Score score(std::uint32_t node, std::int32_t edge,
+                            std::int32_t net, ModeMask mask) const {
+    Score s;
+    const ModeMask occ = hot_[node].occupied;
+    const std::size_t base = static_cast<std::size_t>(node) * num_modes_;
+    const OwnerRec want{net, edge};
 
-  /// True if entering through `edge` matches the driver that every *other*
-  /// mode already configured on this node (and at least one exists): the
-  /// node's mux select bits then stay constant across modes.
-  [[nodiscard]] bool aligned_with_other_modes(std::uint32_t node,
-                                              std::int32_t edge,
-                                              ModeMask mask) const {
-    bool any = false;
-    for (int m = 0; m < num_modes_; ++m) {
-      if (mask >> m & 1) continue;  // our own modes
-      const Owner& o = owner(node, m);
-      if (o.refs == 0) continue;
-      if (o.edge != edge) return false;
-      any = true;
+    const ModeMask mine = occ & mask;
+    bool shared_all = mine == mask;
+    for (ModeMask bits = mine; bits != 0; bits &= bits - 1) {
+      const std::size_t idx = base + static_cast<std::size_t>(std::countr_zero(bits));
+      if (!(owner_[idx] == want)) {
+        ++s.conflicts;
+        shared_all = false;
+      }
     }
-    return any;
+    s.fully_shared = shared_all;
+    if (!shared_all && s.conflicts == 0) {
+      const ModeMask others = occ & ~mask;
+      if (others != 0) {
+        s.aligned = true;
+        for (ModeMask bits = others; bits != 0; bits &= bits - 1) {
+          const std::size_t idx =
+              base + static_cast<std::size_t>(std::countr_zero(bits));
+          if (owner_[idx].edge != edge) {
+            s.aligned = false;
+            break;
+          }
+        }
+      }
+    }
+    return s;
   }
 
   void occupy(std::uint32_t node, std::int32_t edge, std::int32_t net,
               ModeMask mask) {
-    for (int m = 0; m < num_modes_; ++m) {
-      if (!(mask >> m & 1)) continue;
-      Owner& o = owner(node, m);
-      if (o.refs == 0) {
-        o.net = net;
-        o.edge = edge;
-        o.refs = 1;
+    const std::size_t base = static_cast<std::size_t>(node) * num_modes_;
+    for (ModeMask bits = mask; bits != 0; bits &= bits - 1) {
+      const int m = std::countr_zero(bits);
+      const std::size_t idx = base + static_cast<std::size_t>(m);
+      if (refs_[idx] == 0) {
+        owner_[idx] = OwnerRec{net, edge};
+        refs_[idx] = 1;
+        hot_[node].occupied |= ModeMask{1} << m;
       } else {
         // Conflicting occupancy is allowed transiently during negotiation;
         // ownership tracks the most recent claim, refs the claim count.
-        if (o.net != net || o.edge != edge) {
-          o.net = net;
-          o.edge = edge;
-        }
-        ++o.refs;
+        owner_[idx] = OwnerRec{net, edge};
+        ++refs_[idx];
       }
     }
   }
 
   void release(std::uint32_t node, ModeMask mask) {
-    for (int m = 0; m < num_modes_; ++m) {
-      if (!(mask >> m & 1)) continue;
-      Owner& o = owner(node, m);
-      MMFLOW_CHECK(o.refs > 0);
-      if (--o.refs == 0) {
-        o.net = -1;
-        o.edge = -1;
+    const std::size_t base = static_cast<std::size_t>(node) * num_modes_;
+    for (ModeMask bits = mask; bits != 0; bits &= bits - 1) {
+      const int m = std::countr_zero(bits);
+      const std::size_t idx = base + static_cast<std::size_t>(m);
+      MMFLOW_CHECK(refs_[idx] > 0);
+      if (--refs_[idx] == 0) {
+        owner_[idx] = OwnerRec{};
+        hot_[node].occupied &= ~(ModeMask{1} << m);
       }
     }
   }
@@ -135,156 +178,271 @@ class RouterState {
   [[nodiscard]] int num_modes() const { return num_modes_; }
 
  private:
-  const RoutingGraph& rrg_;
   int num_modes_;
-  std::vector<Owner> owners_;
+  std::vector<NodeHot> hot_;
+  std::vector<OwnerRec> owner_;
+  std::vector<std::uint16_t> refs_;
   std::vector<double> history_;
+  std::vector<double> base_;
 };
 
-/// Ownership bookkeeping cannot by itself detect all conflicts after
-/// rip-up/re-route churn (the Owner record keeps only the latest claimant),
-/// so legality is verified from scratch against the full connection list.
-/// Returns conflicting node count and bumps history on offenders.
-int audit_conflicts(const RoutingGraph& rrg,
-                    const std::vector<RoutedConn>& conns, int num_modes,
-                    RouterState* state, double hist_fac,
-                    std::vector<std::uint8_t>* conn_in_conflict) {
-  struct Claim {
-    std::int32_t net = -1;
-    std::int32_t edge = -1;
-  };
-  std::vector<Claim> claims(rrg.num_nodes() * static_cast<std::size_t>(num_modes));
-  std::vector<std::uint8_t> bad_node(rrg.num_nodes(), 0);
+/// Incremental legality audit. Ownership bookkeeping cannot by itself
+/// detect all conflicts after rip-up/re-route churn (the owner record keeps
+/// only the latest claimant), so legality is verified against the actual
+/// connection paths — but instead of rebuilding an O(nodes x modes) claims
+/// table from scratch every iteration, the index maintains, per node, the
+/// list of (connection, entering edge) claims currently routed through it,
+/// and re-validates only the nodes whose occupancy changed since the last
+/// audit. A node's conflict status is order-independent (conflicted iff two
+/// distinct (net, driver) claims share a mode), so the incremental result
+/// is identical to the full rebuild.
+class AuditIndex {
+ public:
+  explicit AuditIndex(const RoutingGraph& rrg)
+      : rrg_(rrg),
+        claims_(rrg.num_nodes()),
+        dirty_flag_(rrg.num_nodes(), 0),
+        bad_pos_(rrg.num_nodes(), -1) {}
 
-  for (const RoutedConn& rc : conns) {
-    if (rc.nodes.empty()) continue;
-    const ModeMask mask = rc.modes;
+  /// Registers a freshly routed path (call after RouterState::occupy).
+  void add_path(std::uint32_t ci, const RoutedConn& rc) {
     for (std::size_t i = 0; i < rc.nodes.size(); ++i) {
       const std::uint32_t node = rc.nodes[i];
       // SINK nodes are logical endpoints with capacity K (the K logically
       // equivalent LUT input pins); exclusivity is enforced on the IPINs.
-      if (rrg.node(node).kind == RrKind::Sink) continue;
+      if (rrg_.node(node).kind == RrKind::Sink) continue;
       const std::int32_t edge =
           i == 0 ? -1 : static_cast<std::int32_t>(rc.edges[i - 1]);
-      for (int m = 0; m < num_modes; ++m) {
-        if (!(mask >> m & 1)) continue;
-        Claim& c = claims[static_cast<std::size_t>(node) * num_modes + m];
-        if (c.net == -1) {
-          c.net = static_cast<std::int32_t>(rc.net);
-          c.edge = edge;
-        } else if (c.net != static_cast<std::int32_t>(rc.net) || c.edge != edge) {
-          bad_node[node] = 1;
-        }
-      }
+      claims_[node].push_back(Entry{ci, edge});
+      mark_dirty(node);
     }
   }
 
-  int bad = 0;
-  for (std::uint32_t n = 0; n < rrg.num_nodes(); ++n) {
-    if (!bad_node[n]) continue;
-    ++bad;
-    if (state != nullptr) state->add_history(n, hist_fac);
-  }
-  if (conn_in_conflict != nullptr) {
-    conn_in_conflict->assign(conns.size(), 0);
-    for (std::size_t ci = 0; ci < conns.size(); ++ci) {
-      for (const std::uint32_t node : conns[ci].nodes) {
-        if (bad_node[node]) {
-          (*conn_in_conflict)[ci] = 1;
+  /// Unregisters a path about to be ripped up (call before clearing it).
+  void remove_path(std::uint32_t ci, const RoutedConn& rc) {
+    for (const std::uint32_t node : rc.nodes) {
+      if (rrg_.node(node).kind == RrKind::Sink) continue;
+      auto& list = claims_[node];
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list[i].conn == ci) {
+          list[i] = list.back();
+          list.pop_back();
           break;
         }
       }
+      mark_dirty(node);
     }
   }
-  return bad;
-}
 
-/// A* search for one connection.
+  /// Re-validates dirty nodes, bumps congestion history on every currently
+  /// conflicted node, flags connections through conflicted nodes; returns
+  /// the conflicted node count. Equivalent to the former full-table audit.
+  int run(const std::vector<RoutedConn>& conns, RouterState* state,
+          double hist_fac, std::vector<std::uint8_t>* conn_in_conflict) {
+    MMFLOW_PERF_ADD("route.audits", 1);
+    MMFLOW_PERF_ADD("route.audit_dirty_nodes", dirty_.size());
+    for (const std::uint32_t node : dirty_) {
+      dirty_flag_[node] = 0;
+      set_bad(node, recompute(node, conns));
+    }
+    dirty_.clear();
+
+    for (const std::uint32_t node : bad_list_) {
+      state->add_history(node, hist_fac);
+    }
+    if (conn_in_conflict != nullptr) {
+      conn_in_conflict->assign(conns.size(), 0);
+      for (const std::uint32_t node : bad_list_) {
+        for (const Entry& e : claims_[node]) {
+          (*conn_in_conflict)[e.conn] = 1;
+        }
+      }
+    }
+    return static_cast<int>(bad_list_.size());
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t conn = 0;
+    std::int32_t edge = -1;  ///< driving edge (-1 for the source node itself)
+  };
+
+  void mark_dirty(std::uint32_t node) {
+    if (dirty_flag_[node] == 0) {
+      dirty_flag_[node] = 1;
+      dirty_.push_back(node);
+    }
+  }
+
+  /// True iff two claims with distinct (net, edge) share a mode on `node`.
+  [[nodiscard]] bool recompute(std::uint32_t node,
+                               const std::vector<RoutedConn>& conns) const {
+    std::int32_t claim_net[32];
+    std::int32_t claim_edge[32];
+    ModeMask seen = 0;
+    for (const Entry& e : claims_[node]) {
+      const RoutedConn& rc = conns[e.conn];
+      const auto net = static_cast<std::int32_t>(rc.net);
+      for (ModeMask bits = rc.modes; bits != 0; bits &= bits - 1) {
+        const int m = std::countr_zero(bits);
+        if ((seen >> m & 1) == 0) {
+          seen |= ModeMask{1} << m;
+          claim_net[m] = net;
+          claim_edge[m] = e.edge;
+        } else if (claim_net[m] != net || claim_edge[m] != e.edge) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void set_bad(std::uint32_t node, bool bad) {
+    if (bad && bad_pos_[node] < 0) {
+      bad_pos_[node] = static_cast<std::int32_t>(bad_list_.size());
+      bad_list_.push_back(node);
+    } else if (!bad && bad_pos_[node] >= 0) {
+      const std::int32_t pos = bad_pos_[node];
+      const std::uint32_t moved = bad_list_.back();
+      bad_list_[static_cast<std::size_t>(pos)] = moved;
+      bad_pos_[moved] = pos;
+      bad_list_.pop_back();
+      bad_pos_[node] = -1;
+    }
+  }
+
+  const RoutingGraph& rrg_;
+  std::vector<std::vector<Entry>> claims_;  ///< per node: live path claims
+  std::vector<std::uint8_t> dirty_flag_;
+  std::vector<std::uint32_t> dirty_;
+  std::vector<std::int32_t> bad_pos_;   ///< position in bad_list_ or -1
+  std::vector<std::uint32_t> bad_list_; ///< currently conflicted nodes
+};
+
+/// A* search for one connection. Holds flat, cache-friendly mirrors of the
+/// RRG fields the inner loop touches — a packed (target, edge-id) adjacency
+/// array in CSR order so one relaxation is one sequential 8-byte load
+/// instead of two dependent indirections — plus a reusable open heap that is
+/// cleared, not reallocated, per connection.
 class Search {
  public:
   explicit Search(const RoutingGraph& rrg)
-      : rrg_(rrg),
-        best_cost_(rrg.num_nodes(), kInf),
-        prev_edge_(rrg.num_nodes(), -1),
-        touched_() {}
-
-  static constexpr double kInf = 1e30;
+      : x_(rrg.num_nodes(), 0),
+        y_(rrg.num_nodes(), 0),
+        adj_offset_(rrg.num_nodes() + 1, 0),
+        edge_from_(rrg.num_edges(), 0) {
+    for (std::uint32_t n = 0; n < rrg.num_nodes(); ++n) {
+      const auto& node = rrg.node(n);
+      x_[n] = node.x;
+      y_[n] = node.y;
+    }
+    adj_.reserve(rrg.num_edges());
+    for (std::uint32_t n = 0; n < rrg.num_nodes(); ++n) {
+      adj_offset_[n] = static_cast<std::uint32_t>(adj_.size());
+      auto [begin, end] = rrg.out_edges(n);
+      for (const auto* it = begin; it != end; ++it) {
+        adj_.push_back(Adj{rrg.edge(*it).to, *it});
+      }
+    }
+    adj_offset_[rrg.num_nodes()] = static_cast<std::uint32_t>(adj_.size());
+    for (std::uint32_t e = 0; e < rrg.num_edges(); ++e) {
+      edge_from_[e] = rrg.edge(e).from;
+    }
+  }
 
   /// Returns the path (nodes + entering edges) or empty on failure.
-  bool run(const RouterState& state, std::uint32_t source, std::uint32_t sink,
+  /// Scribbles A* labels into `state`'s hot-node array (reset on entry via
+  /// the touched list).
+  bool run(RouterState& state, std::uint32_t source, std::uint32_t sink,
            std::int32_t net, ModeMask mask, double pres_fac,
            double share_discount, double align_discount, double astar_fac,
            RoutedConn* out) {
+    NodeHot* const hot = state.hot();
+
     // Reset touched entries from the previous search.
     for (const std::uint32_t n : touched_) {
-      best_cost_[n] = kInf;
-      prev_edge_[n] = -1;
+      hot[n].best_cost = kInf;
+      hot[n].prev_edge = -1;
     }
     touched_.clear();
+    open_.clear();
 
-    struct QEntry {
-      double f = 0.0;
-      double g = 0.0;
-      std::uint32_t node = 0;
-      bool operator<(const QEntry& other) const { return f > other.f; }
+    const int sink_x = x_[sink];
+    const int sink_y = y_[sink];
+    const auto distance = [&](std::uint32_t n) {
+      return std::abs(static_cast<int>(x_[n]) - sink_x) +
+             std::abs(static_cast<int>(y_[n]) - sink_y);
     };
-    std::priority_queue<QEntry> open;
 
-    best_cost_[source] = 0.0;
+    // pres_fac is constant for the whole search and a connection conflicts
+    // in at most popcount(mask) modes: precompute the congestion factors so
+    // the contended relaxation pays one table load instead of a mul+add
+    // (identical arithmetic: entry c holds exactly 1.0 + pres_fac * c).
+    double conflict_factor[33];
+    const int max_conflicts = std::popcount(mask);
+    for (int c = 0; c <= max_conflicts; ++c) {
+      conflict_factor[c] = 1.0 + pres_fac * c;
+    }
+
+    hot[source].best_cost = 0.0;
     touched_.push_back(source);
-    open.push(QEntry{astar_fac * rrg_.distance(source, sink), 0.0, source});
+    push(QEntry{astar_fac * distance(source), 0.0, source});
 
-    while (!open.empty()) {
-      const QEntry top = open.top();
-      open.pop();
+    while (!open_.empty()) {
+      const QEntry top = pop();
       if (top.node == sink) break;
-      if (top.g > best_cost_[top.node]) continue;  // stale entry
+      if (top.g > hot[top.node].best_cost) continue;  // stale entry
+      ++expanded_;
 
-      auto [begin, end] = rrg_.out_edges(top.node);
-      for (const auto* it = begin; it != end; ++it) {
-        const auto& edge = rrg_.edge(*it);
-        const std::uint32_t to = edge.to;
+      const Adj* it = adj_.data() + adj_offset_[top.node];
+      const Adj* end = adj_.data() + adj_offset_[top.node + 1];
+      for (; it != end; ++it) {
+        const std::uint32_t to = it->to;
+        NodeHot& h = hot[to];
         // Sinks other than the target are dead ends.
-        if (rrg_.node(to).kind == RrKind::Sink && to != sink) continue;
+        if (h.is_sink != 0 && to != sink) continue;
 
         double node_cost;
-        const auto edge_id = static_cast<std::int32_t>(*it);
         if (to == sink) {
           node_cost = 0.0;
-        } else if (state.fully_shared(to, edge_id, net, mask)) {
-          node_cost = base_cost(rrg_.node(to).kind) * share_discount;
+        } else if (h.occupied == 0) {
+          // Uncontended node, nothing to share or align with: the former
+          // (base + history) * (1 + pres_fac * 0) collapses to one load
+          // (multiplying by exactly 1.0 is an identity).
+          node_cost = h.base_hist;
         } else {
-          const int conflicts = state.conflicts(to, edge_id, net, mask);
-          node_cost = (base_cost(rrg_.node(to).kind) + state.history(to)) *
-                      (1.0 + pres_fac * conflicts);
-          if (conflicts == 0 &&
-              state.aligned_with_other_modes(to, edge_id, mask)) {
-            node_cost *= align_discount;
+          const auto edge_id = static_cast<std::int32_t>(it->edge);
+          const RouterState::Score s = state.score(to, edge_id, net, mask);
+          if (s.fully_shared) {
+            node_cost = state.base(to) * share_discount;
+          } else {
+            node_cost = h.base_hist * conflict_factor[s.conflicts];
+            if (s.aligned) node_cost *= align_discount;
           }
         }
 
         const double g = top.g + node_cost;
-        if (g + 1e-12 < best_cost_[to]) {
-          if (best_cost_[to] == kInf) touched_.push_back(to);
-          best_cost_[to] = g;
-          prev_edge_[to] = static_cast<std::int32_t>(*it);
-          open.push(QEntry{g + astar_fac * rrg_.distance(to, sink), g, to});
+        if (g + 1e-12 < h.best_cost) {
+          if (h.best_cost == kInf) touched_.push_back(to);
+          h.best_cost = g;
+          h.prev_edge = static_cast<std::int32_t>(it->edge);
+          push(QEntry{g + astar_fac * distance(to), g, to});
         }
       }
     }
 
-    if (best_cost_[sink] >= kInf) return false;
+    if (hot[sink].best_cost >= kInf) return false;
 
     // Reconstruct.
     out->nodes.clear();
     out->edges.clear();
     std::uint32_t node = sink;
     while (node != source) {
-      const std::int32_t e = prev_edge_[node];
+      const std::int32_t e = hot[node].prev_edge;
       MMFLOW_CHECK(e >= 0);
       out->nodes.push_back(node);
       out->edges.push_back(static_cast<std::uint32_t>(e));
-      node = rrg_.edge(static_cast<std::uint32_t>(e)).from;
+      node = edge_from_[static_cast<std::uint32_t>(e)];
     }
     out->nodes.push_back(source);
     std::reverse(out->nodes.begin(), out->nodes.end());
@@ -292,11 +450,57 @@ class Search {
     return true;
   }
 
+  /// Flushes accumulated per-search tallies into the perf registry.
+  void flush_perf() {
+    MMFLOW_PERF_ADD("route.heap_pushes", pushes_);
+    MMFLOW_PERF_ADD("route.heap_pops", pops_);
+    MMFLOW_PERF_ADD("route.nodes_expanded", expanded_);
+    pushes_ = 0;
+    pops_ = 0;
+    expanded_ = 0;
+  }
+
  private:
-  const RoutingGraph& rrg_;
-  std::vector<double> best_cost_;
-  std::vector<std::int32_t> prev_edge_;
+  struct QEntry {
+    double f = 0.0;
+    double g = 0.0;
+    std::uint32_t node = 0;
+    bool operator<(const QEntry& other) const { return f > other.f; }
+  };
+
+  struct Adj {
+    std::uint32_t to = 0;
+    std::uint32_t edge = 0;
+  };
+
+  // std::push_heap / std::pop_heap over a reusable vector: identical
+  // ordering (including tie-breaks) to the std::priority_queue they
+  // replace, without the per-connection container construction.
+  void push(QEntry e) {
+    open_.push_back(e);
+    std::push_heap(open_.begin(), open_.end());
+    ++pushes_;
+  }
+  QEntry pop() {
+    std::pop_heap(open_.begin(), open_.end());
+    const QEntry top = open_.back();
+    open_.pop_back();
+    ++pops_;
+    return top;
+  }
+
   std::vector<std::uint32_t> touched_;
+  std::vector<QEntry> open_;
+
+  // Flat RRG mirrors (immutable once built).
+  std::vector<std::int16_t> x_, y_;
+  std::vector<std::uint32_t> adj_offset_;
+  std::vector<Adj> adj_;
+  std::vector<std::uint32_t> edge_from_;
+
+  std::uint64_t pushes_ = 0;
+  std::uint64_t pops_ = 0;
+  std::uint64_t expanded_ = 0;
 };
 
 }  // namespace
@@ -304,8 +508,22 @@ class Search {
 RouteResult route(const RoutingGraph& rrg, const RouteProblem& problem,
                   const RouterOptions& options) {
   MMFLOW_REQUIRE(problem.num_modes >= 1 && problem.num_modes <= 32);
+  // The bit-scan state updates index ownership rows by mask bit, so a stray
+  // bit >= num_modes would read out of bounds (the former per-mode loops
+  // silently ignored such bits); reject malformed masks up front.
+  for (const RouteNet& net : problem.nets) {
+    for (const RouteConn& conn : net.conns) {
+      MMFLOW_REQUIRE_MSG(
+          problem.num_modes == 32 || (conn.modes >> problem.num_modes) == 0,
+          "connection mode mask " << conn.modes << " exceeds num_modes "
+                                  << problem.num_modes);
+    }
+  }
+  MMFLOW_PERF_SCOPE("route.total");
+  MMFLOW_PERF_ADD("route.calls", 1);
 
   RouterState state(rrg, problem.num_modes);
+  AuditIndex audit(rrg);
   Search search(rrg);
 
   RouteResult result;
@@ -348,6 +566,7 @@ RouteResult route(const RoutingGraph& rrg, const RouteProblem& problem,
         if (!conn_in_conflict[ci] || std::popcount(rc.modes) <= 1) continue;
         // Rip up and split.
         if (!rc.nodes.empty()) {
+          audit.remove_path(static_cast<std::uint32_t>(ci), rc);
           for (const std::uint32_t node : rc.nodes) {
             state.release(node, rc.modes);
           }
@@ -356,17 +575,22 @@ RouteResult route(const RoutingGraph& rrg, const RouteProblem& problem,
         }
         ModeMask remaining = rc.modes & (rc.modes - 1);  // all but lowest bit
         rc.modes &= ~remaining;                          // keep lowest bit
+        // Copy before the push_backs below: they may reallocate result.conns
+        // and invalidate `rc`.
+        const std::uint32_t split_net = rc.net;
+        const std::uint32_t split_conn = rc.conn;
         while (remaining != 0) {
           const ModeMask low = remaining & (0u - remaining);
           remaining &= ~low;
           RoutedConn extra;
-          extra.net = rc.net;
-          extra.conn = rc.conn;
+          extra.net = split_net;
+          extra.conn = split_conn;
           extra.modes = low;
           result.conns.push_back(std::move(extra));
           conn_in_conflict.push_back(1);
         }
         split_any = true;
+        MMFLOW_PERF_ADD("route.splits", 1);
       }
       if (split_any) {
         MMFLOW_DEBUG("route iter " << iter << ": split merged connections ("
@@ -388,6 +612,7 @@ RouteResult route(const RoutingGraph& rrg, const RouteProblem& problem,
 
       // Rip up.
       if (!rc.nodes.empty()) {
+        audit.remove_path(static_cast<std::uint32_t>(ci), rc);
         for (const std::uint32_t node : rc.nodes) state.release(node, mask);
         rc.nodes.clear();
         rc.edges.clear();
@@ -400,25 +625,29 @@ RouteResult route(const RoutingGraph& rrg, const RouteProblem& problem,
           &rc);
       MMFLOW_CHECK_MSG(found, "disconnected routing graph: no path for net "
                                   << net.name);
+      MMFLOW_PERF_ADD("route.conns_routed", 1);
       for (std::size_t i = 0; i < rc.nodes.size(); ++i) {
         const std::int32_t edge =
             i == 0 ? -1 : static_cast<std::int32_t>(rc.edges[i - 1]);
         state.occupy(rc.nodes[i], edge, static_cast<std::int32_t>(rc.net), mask);
       }
+      audit.add_path(static_cast<std::uint32_t>(ci), rc);
     }
 
-    const int bad = audit_conflicts(rrg, result.conns, problem.num_modes,
-                                    &state, options.hist_fac,
-                                    &conn_in_conflict);
+    const int bad = audit.run(result.conns, &state, options.hist_fac,
+                              &conn_in_conflict);
     result.iterations = iter;
+    MMFLOW_PERF_ADD("route.iterations", 1);
     if (bad == 0) {
       result.success = true;
+      search.flush_perf();
       return result;
     }
     MMFLOW_DEBUG("route iter " << iter << ": " << bad << " conflicted nodes");
     pres_fac = std::min(pres_fac * options.pres_fac_mult, options.max_pres_fac);
   }
   result.success = false;
+  search.flush_perf();
   return result;
 }
 
@@ -445,35 +674,46 @@ std::size_t RouteResult::wirelength_of_mode(const RoutingGraph& rrg,
                                             const RouteProblem& problem,
                                             int mode) const {
   (void)problem;  // masks live on the RoutedConns (splits may refine them)
-  std::unordered_set<std::uint32_t> wires;
+  std::vector<std::uint8_t> visited(rrg.num_nodes(), 0);
+  std::size_t wires = 0;
   for (const RoutedConn& rc : conns) {
     if (!(rc.modes >> mode & 1)) continue;
     for (const std::uint32_t node : rc.nodes) {
-      if (rrg.is_wire(node)) wires.insert(node);
+      if (rrg.is_wire(node) && visited[node] == 0) {
+        visited[node] = 1;
+        ++wires;
+      }
     }
   }
-  return wires.size();
+  return wires;
 }
 
 std::size_t RouteResult::total_wirelength(const RoutingGraph& rrg) const {
-  std::unordered_set<std::uint32_t> wires;
+  std::vector<std::uint8_t> visited(rrg.num_nodes(), 0);
+  std::size_t wires = 0;
   for (const RoutedConn& rc : conns) {
     for (const std::uint32_t node : rc.nodes) {
-      if (rrg.is_wire(node)) wires.insert(node);
+      if (rrg.is_wire(node) && visited[node] == 0) {
+        visited[node] = 1;
+        ++wires;
+      }
     }
   }
-  return wires.size();
+  return wires;
 }
 
-int min_channel_width(
-    arch::ArchSpec spec,
-    const std::function<RouteProblem(const arch::RoutingGraph&)>& make_problem,
-    const RouterOptions& options, int max_width) {
+int search_min_width(const std::function<bool(int)>& routable_at,
+                     int max_width) {
+  // Memoized probe: each candidate width is evaluated at most once, even if
+  // the scan and the bisection revisit it.
+  std::map<int, bool> probed;
   auto routable = [&](int width) {
-    spec.channel_width = width;
-    const arch::RoutingGraph rrg(spec);
-    const RouteProblem problem = make_problem(rrg);
-    return route(rrg, problem, options).success;
+    const auto it = probed.find(width);
+    if (it != probed.end()) return it->second;
+    MMFLOW_PERF_ADD("route.width_probes", 1);
+    const bool ok = routable_at(width);
+    probed.emplace(width, ok);
+    return ok;
   };
 
   // Exponential scan upward from a small width.
@@ -495,6 +735,21 @@ int min_channel_width(
     }
   }
   return hi;
+}
+
+int min_channel_width(
+    arch::ArchSpec spec,
+    const std::function<RouteProblem(const arch::RoutingGraph&)>& make_problem,
+    const RouterOptions& options, int max_width) {
+  MMFLOW_PERF_SCOPE("route.width_search");
+  return search_min_width(
+      [&](int width) {
+        spec.channel_width = width;
+        const arch::RoutingGraph rrg(spec);
+        const RouteProblem problem = make_problem(rrg);
+        return route(rrg, problem, options).success;
+      },
+      max_width);
 }
 
 }  // namespace mmflow::route

@@ -112,6 +112,13 @@ struct RouteResult {
                                 const RouteProblem& problem,
                                 const RouterOptions& options = {});
 
+/// Minimum-width search driver: memoizes `routable_at` (so each width is
+/// probed at most once), scans upward from width 4 by doubling, then
+/// binary-searches the bracketed range. Shared by `min_channel_width` and
+/// the flow-level region sizing. Throws if nothing <= `max_width` routes.
+[[nodiscard]] int search_min_width(const std::function<bool(int)>& routable_at,
+                                   int max_width);
+
 /// Smallest channel width for which `make_problem(rrg)` routes, scanning
 /// upward then binary-searching. `spec` provides everything but the channel
 /// width. Returns the minimum W; throws if none <= `max_width` works.

@@ -229,6 +229,105 @@ TEST(Router, DeterministicForSeed) {
   }
 }
 
+TEST(Router, SplitEscapeHatchKeepsLegality) {
+  // A three-mode merged connection pins the same physical path (wires, pins)
+  // in every mode; saturating a width-1 fabric with different per-mode cross
+  // traffic makes that joint colouring unsatisfiable, so the router must use
+  // the split-conflicted-connection escape hatch and realise the connection
+  // as per-mode pieces.
+  const int n = 4;
+  const arch::RoutingGraph rrg(spec_with(n, 1));
+  RouteProblem problem;
+  problem.num_modes = 3;
+  RouteNet merged;
+  merged.name = "merged";
+  merged.source_node = rrg.clb_source(1, 1);
+  merged.conns.push_back(RouteConn{rrg.clb_sink(n, n), 0b111});
+  problem.nets.push_back(merged);
+  for (int m = 0; m < 3; ++m) {
+    for (int y = 2; y <= n; ++y) {
+      RouteNet h;
+      h.name = "h" + std::to_string(m) + "_" + std::to_string(y);
+      h.source_node = rrg.clb_source(2, y);
+      h.conns.push_back(RouteConn{rrg.clb_sink(n, (y % n) + 1),
+                                  static_cast<ModeMask>(1u << m)});
+      problem.nets.push_back(h);
+    }
+  }
+
+  RouterOptions options;
+  options.split_conflicted_after = 4;
+  const RouteResult result = route(rrg, problem, options);
+  ASSERT_TRUE(result.success);
+
+  // The merged connection was split: several pieces with disjoint sub-masks
+  // whose union is the original activation set, each a complete path.
+  std::vector<const RoutedConn*> pieces;
+  for (const RoutedConn& rc : result.conns) {
+    if (rc.net == 0) pieces.push_back(&rc);
+  }
+  ASSERT_GT(pieces.size(), 1u);
+  ModeMask covered = 0;
+  for (const RoutedConn* rc : pieces) {
+    EXPECT_EQ(covered & rc->modes, 0u) << "overlapping sub-masks";
+    covered |= rc->modes;
+    ASSERT_FALSE(rc->nodes.empty());
+    EXPECT_EQ(rc->nodes.front(), problem.nets[0].source_node);
+    EXPECT_EQ(rc->nodes.back(), problem.nets[0].conns[0].sink_node);
+  }
+  EXPECT_EQ(covered, 0b111u);
+
+  // Post-split legality, keyed by each RoutedConn's own (refined) mask: no
+  // (node, mode) carries two different (net, driver) pairs.
+  struct Claim {
+    std::int32_t net = -1;
+    std::int32_t edge = -1;
+  };
+  std::vector<Claim> claims(rrg.num_nodes() *
+                            static_cast<std::size_t>(problem.num_modes));
+  for (const RoutedConn& rc : result.conns) {
+    ASSERT_EQ(rc.edges.size() + 1, rc.nodes.size());
+    for (std::size_t i = 0; i < rc.nodes.size(); ++i) {
+      if (rrg.node(rc.nodes[i]).kind == arch::RrKind::Sink) continue;
+      const std::int32_t edge =
+          i == 0 ? -1 : static_cast<std::int32_t>(rc.edges[i - 1]);
+      for (int m = 0; m < problem.num_modes; ++m) {
+        if (!(rc.modes >> m & 1)) continue;
+        Claim& c = claims[static_cast<std::size_t>(rc.nodes[i]) *
+                              problem.num_modes + m];
+        if (c.net == -1) {
+          c.net = static_cast<std::int32_t>(rc.net);
+          c.edge = edge;
+        } else {
+          EXPECT_EQ(c.net, static_cast<std::int32_t>(rc.net))
+              << "two nets on node " << rc.nodes[i] << " in mode " << m;
+          EXPECT_EQ(c.edge, edge) << "two drivers on node " << rc.nodes[i];
+        }
+      }
+    }
+  }
+
+  // per_mode_states must agree exactly with the drivers reconstructed from
+  // the (split) connections: in every mode, each node is driven by the edge
+  // of the piece active there, and untouched nodes stay undriven.
+  const auto states = result.per_mode_states(rrg, problem);
+  ASSERT_EQ(states.size(), 3u);
+  for (int m = 0; m < problem.num_modes; ++m) {
+    std::vector<std::int32_t> expected(rrg.num_nodes(), -1);
+    for (const RoutedConn& rc : result.conns) {
+      if (!(rc.modes >> m & 1)) continue;
+      for (std::size_t i = 0; i + 1 < rc.nodes.size(); ++i) {
+        expected[rc.nodes[i + 1]] = static_cast<std::int32_t>(rc.edges[i]);
+      }
+    }
+    for (std::uint32_t node = 0; node < rrg.num_nodes(); ++node) {
+      ASSERT_EQ(states[static_cast<std::size_t>(m)].driver(node),
+                expected[node])
+          << "driver mismatch at node " << node << " in mode " << m;
+    }
+  }
+}
+
 TEST(MinChannelWidth, FindsMinimum) {
   arch::ArchSpec spec = spec_with(3, 1);
   // A crossing pattern needing a couple of tracks.
