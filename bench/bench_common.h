@@ -3,20 +3,37 @@
 /// Shared harness for the experiment-reproduction benches. Every bench
 /// prints the paper's reported values next to the measured ones.
 ///
+/// Since PR 2 the benches run on top of the flow-level caches
+/// (core::FlowCache + core::RrgCache via `shared_context()`): a bench that
+/// compares cost engines on the same circuit re-uses the engine-independent
+/// MDR placements/routes and the per-width routing graphs instead of
+/// recomputing them — results are bit-identical either way (see the
+/// determinism contract in src/core/flows.h). Cache hit/miss counters land
+/// in each bench's JSON report next to the QoR rows (`write_rows_json`).
+///
 /// Environment knobs:
 ///   MMFLOW_PAIRS  multi-mode circuits per suite (default 3; 0 = all 10,
 ///                 the paper's full experiment)
 ///   MMFLOW_INNER  annealing effort (VPR inner_num; default 5, paper-grade 10)
 ///   MMFLOW_SEED   master seed (default 1)
+///   MMFLOW_JOBS   worker threads for batch-mode benches (default 1)
+///   MMFLOW_BENCH_JSON  output path of the JSON report (default
+///                      <bench name>.json in cwd)
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/suites.h"
 #include "common/log.h"
+#include "common/perf.h"
 #include "common/stats.h"
+#include "core/batch.h"
 #include "core/flows.h"
 #include "common/strings.h"
 #include "core/metrics.h"
@@ -27,6 +44,7 @@ struct BenchConfig {
   int pairs = 3;
   double inner_num = 5.0;
   std::uint64_t seed = 1;
+  int jobs = 1;
 
   [[nodiscard]] static BenchConfig from_env() {
     BenchConfig config;
@@ -37,6 +55,7 @@ struct BenchConfig {
     if (const char* s = std::getenv("MMFLOW_SEED")) {
       config.seed = std::strtoull(s, nullptr, 10);
     }
+    if (const char* j = std::getenv("MMFLOW_JOBS")) config.jobs = std::atoi(j);
     return config;
   }
 
@@ -55,6 +74,15 @@ struct BenchConfig {
     return options;
   }
 };
+
+/// Process-wide flow caches shared by every run_one / run_batch call in a
+/// bench binary. Engine comparisons and repeated configurations then hit
+/// the flow cache; per-width routing graphs are built once.
+inline core::FlowContext shared_context() {
+  static core::FlowCache cache;
+  static core::RrgCache rrgs;
+  return core::FlowContext{&cache, &rrgs};
+}
 
 /// One multi-mode circuit's results under one cost engine.
 struct ExperimentRecord {
@@ -75,14 +103,12 @@ inline std::vector<apps::MultiModeBenchmark> build_suite(
   throw PreconditionError("unknown suite " + suite);
 }
 
-inline ExperimentRecord run_one(const apps::MultiModeBenchmark& bench,
-                                core::CombinedCost cost,
-                                const BenchConfig& config,
-                                bool exploit_dontcares = true) {
-  const auto experiment =
-      core::run_experiment(bench.modes, config.flow_options(cost));
+/// Extracts the bench-level record from a finished experiment.
+inline ExperimentRecord make_record(const std::string& name,
+                                    const core::MultiModeExperiment& experiment,
+                                    bool exploit_dontcares = true) {
   ExperimentRecord record;
-  record.name = bench.name;
+  record.name = name;
   record.reconfig = core::reconfig_metrics(
       experiment, bitstream::MuxEncoding::Binary, exploit_dontcares);
   record.wirelength = core::wirelength_metrics(experiment);
@@ -90,6 +116,15 @@ inline ExperimentRecord run_one(const apps::MultiModeBenchmark& bench,
   record.total_conns = experiment.total_mode_connections;
   record.channel_width = experiment.region.channel_width;
   return record;
+}
+
+inline ExperimentRecord run_one(const apps::MultiModeBenchmark& bench,
+                                core::CombinedCost cost,
+                                const BenchConfig& config,
+                                bool exploit_dontcares = true) {
+  const auto experiment = core::run_experiment_shared(
+      bench.modes, config.flow_options(cost), shared_context());
+  return make_record(bench.name, *experiment, exploit_dontcares);
 }
 
 inline void print_header(const char* title, const BenchConfig& config) {
@@ -106,6 +141,60 @@ inline std::string summary_str(const Summary& s, int digits = 2) {
   return format_double(s.mean(), digits) + " [" +
          format_double(s.min(), digits) + ", " + format_double(s.max(), digits) +
          "]";
+}
+
+/// One JSON result row: a label plus numeric QoR fields.
+struct JsonRow {
+  std::string name;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+/// Writes the bench's machine-readable report:
+///   {"bench": ..., "rows": [{"name": ..., <field>: <value>, ...}, ...],
+///    "perf": {"counters": {...}, "timers_ms": {...}}}
+/// Rows carry per-(circuit, engine, seed) QoR; the perf block includes the
+/// flow/RRG cache hit/miss counters. Values are emitted at full double
+/// round-trip precision (the QoR rows are regression guard rails; 6-digit
+/// default precision would mask small drifts) and non-finite values become
+/// JSON null so the file always parses. Returns a process exit code.
+inline int write_rows_json(const std::string& bench_name,
+                           const std::vector<JsonRow>& rows) {
+  std::string path = bench_name + ".json";
+  if (const char* p = std::getenv("MMFLOW_BENCH_JSON")) path = p;
+
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  os.precision(std::numeric_limits<double>::max_digits10);
+  auto escaped = [](const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+  os << "{\n  \"bench\": \"" << escaped(bench_name) << "\",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+       << escaped(rows[i].name) << '"';
+    for (const auto& [key, value] : rows[i].fields) {
+      os << ", \"" << escaped(key) << "\": ";
+      if (std::isfinite(value)) {
+        os << value;
+      } else {
+        os << "null";
+      }
+    }
+    os << '}';
+  }
+  os << "\n  ],\n  \"perf\": ";
+  perf::Registry::instance().write_json(os, 2);
+  os << "\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace mmflow::bench

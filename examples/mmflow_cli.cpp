@@ -11,6 +11,11 @@
 /// Options:
 ///   --cost=wirelength|edgematch   combined-placement cost engine
 ///   --seed=N                      master seed (default 1)
+///   --seeds=N                     batch mode: run N seed restarts
+///                                 (seed, seed+1, ...) and report per-seed
+///                                 QoR plus the best seed
+///   --jobs=K                      worker threads for --seeds (default 1;
+///                                 0 = all hardware threads)
 ///   --inner=F                     annealing effort (default 10)
 ///   --k=N                         LUT size (default 4)
 ///   --report                      dump the parameterized configuration
@@ -18,11 +23,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/mcnc/mcnc.h"
 #include "common/log.h"
+#include "core/batch.h"
 #include "core/flows.h"
 #include "core/metrics.h"
 #include "core/timing.h"
@@ -35,9 +42,70 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--cost=wirelength|edgematch] [--seed=N] "
-               "[--inner=F] [--k=N] [--report] [--report-full] "
-               "mode0.blif mode1.blif [...]\n",
+               "[--seeds=N] [--jobs=K] [--inner=F] [--k=N] [--report] "
+               "[--report-full] mode0.blif mode1.blif [...]\n",
                argv0);
+}
+
+/// Batch mode (--seeds=N): multi-seed placement restarts through the batch
+/// driver, sharing RRGs and flow artifacts across seeds. Prints one QoR row
+/// per seed and the best seed by DCS reconfiguration cost; --report[-full]
+/// dumps the best seed's parameterized configuration.
+int run_seed_batch(const std::vector<techmap::LutCircuit>& modes,
+                   const core::FlowOptions& options, int num_seeds, int jobs,
+                   bool report, bool report_full) {
+  core::BatchOptions batch_options;
+  batch_options.jobs = jobs;
+  core::BatchDriver driver(batch_options);
+  const auto batch_jobs = core::seed_sweep(
+      "cli", std::make_shared<const std::vector<techmap::LutCircuit>>(modes),
+      options, num_seeds);
+  const auto results = driver.run(batch_jobs);
+
+  std::printf("\n%-6s | %-5s | %-12s | %-12s | %-12s | %s\n", "seed", "W",
+              "DCS bits", "speed-up", "wires vs MDR", "wall ms");
+  std::printf("-------+-------+--------------+--------------+--------------+--------\n");
+  const core::BatchResult* best = nullptr;
+  core::ReconfigMetrics best_metrics;
+  for (const auto& result : results) {
+    if (!result.experiment) {
+      std::fprintf(stderr, "seed %llu failed: %s\n",
+                   static_cast<unsigned long long>(result.seed),
+                   result.error.c_str());
+      continue;
+    }
+    const auto metrics =
+        core::reconfig_metrics(*result.experiment, options.encoding);
+    const auto wl = core::wirelength_metrics(*result.experiment);
+    std::printf("%-6llu | %5d | %12llu | %11.2fx | %12.2f | %7.0f\n",
+                static_cast<unsigned long long>(result.seed),
+                result.experiment->region.channel_width,
+                static_cast<unsigned long long>(metrics.dcs_bits),
+                metrics.dcs_speedup(), wl.mean_ratio(), result.wall_ms);
+    if (best == nullptr || metrics.dcs_bits < best_metrics.dcs_bits) {
+      best = &result;
+      best_metrics = metrics;
+    }
+  }
+  if (best == nullptr) {
+    std::fprintf(stderr, "error: every seed failed\n");
+    return 1;
+  }
+  std::printf("\nbest seed %llu: %llu DCS bits, %.2fx faster reconfiguration\n",
+              static_cast<unsigned long long>(best->seed),
+              static_cast<unsigned long long>(best_metrics.dcs_bits),
+              best_metrics.dcs_speedup());
+  std::printf("shared RRGs built once per width: %zu; flow-cache entries: %zu\n",
+              driver.rrgs().size(), driver.cache().size());
+  if (report && best->experiment->tunable.has_value()) {
+    tunable::ReportOptions ropt;
+    ropt.parameterized_only = !report_full;
+    ropt.limit = report_full ? 0 : 32;
+    std::printf("\nparameterized configuration of best seed %llu:\n%s\n",
+                static_cast<unsigned long long>(best->seed),
+                tunable::describe(*best->experiment->tunable, ropt).c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -48,6 +116,8 @@ int main(int argc, char** argv) {
   core::FlowOptions options;
   options.anneal.inner_num = 10.0;
   int k = 4;
+  int seeds = 1;
+  int jobs = 1;
   bool report = false;
   bool report_full = false;
   std::vector<std::string> paths;
@@ -66,6 +136,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      seeds = std::atoi(arg.c_str() + 8);
+      if (seeds < 1) {
+        usage(argv[0]);
+        return 1;
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--inner=", 0) == 0) {
       options.anneal.inner_num = std::atof(arg.c_str() + 8);
     } else if (arg.rfind("--k=", 0) == 0) {
@@ -97,6 +175,10 @@ int main(int argc, char** argv) {
       std::printf("mode %zu (%s): %zu LUTs, %zu FFs, %zu PIs, %zu POs\n", m,
                   paths[m].c_str(), modes[m].num_blocks(), modes[m].num_ffs(),
                   modes[m].num_pis(), modes[m].num_pos());
+    }
+
+    if (seeds > 1) {
+      return run_seed_batch(modes, options, seeds, jobs, report, report_full);
     }
 
     const auto experiment = core::run_experiment(modes, options);

@@ -36,6 +36,8 @@ struct ArchSpec {
   int io_capacity = 2;     ///< pads per perimeter tile (VPR io_rat)
   SwitchBoxKind switch_box = SwitchBoxKind::Subset;
 
+  friend bool operator==(const ArchSpec&, const ArchSpec&) = default;
+
   void validate() const {
     MMFLOW_REQUIRE(nx >= 1 && ny >= 1);
     MMFLOW_REQUIRE(channel_width >= 1);

@@ -10,10 +10,11 @@ namespace mmflow::perf {
 namespace {
 
 /// Backing store with pointer-stable entries (deque never relocates).
+/// Entries are atomics, so only the name table needs the mutex.
 struct Store {
-  std::mutex mutex;
-  std::deque<std::pair<std::string, std::uint64_t>> counters;
-  std::deque<std::pair<std::string, TimerStat>> timers;
+  mutable std::mutex mutex;
+  std::deque<std::pair<std::string, Counter>> counters;
+  std::deque<std::pair<std::string, Timer>> timers;
 };
 
 Store& store() {
@@ -35,38 +36,46 @@ Registry& Registry::instance() {
   return registry;
 }
 
-std::uint64_t& Registry::counter(std::string_view name) {
+Counter& Registry::counter(std::string_view name) {
   Store& s = store();
   const std::lock_guard<std::mutex> lock(s.mutex);
   for (auto& [n, value] : s.counters) {
     if (n == name) return value;
   }
-  s.counters.emplace_back(std::string(name), 0);
+  s.counters.emplace_back(std::piecewise_construct,
+                          std::forward_as_tuple(name),
+                          std::forward_as_tuple());
   return s.counters.back().second;
 }
 
-TimerStat& Registry::timer(std::string_view name) {
+Timer& Registry::timer(std::string_view name) {
   Store& s = store();
   const std::lock_guard<std::mutex> lock(s.mutex);
   for (auto& [n, value] : s.timers) {
     if (n == name) return value;
   }
-  s.timers.emplace_back(std::string(name), TimerStat{});
+  s.timers.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                        std::forward_as_tuple());
   return s.timers.back().second;
 }
 
 void Registry::reset() {
   Store& s = store();
   const std::lock_guard<std::mutex> lock(s.mutex);
-  for (auto& [n, value] : s.counters) value = 0;
-  for (auto& [n, value] : s.timers) value = TimerStat{};
+  for (auto& [n, value] : s.counters) {
+    value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [n, value] : s.timers) value.reset();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
   Store& s = store();
   const std::lock_guard<std::mutex> lock(s.mutex);
-  std::vector<std::pair<std::string, std::uint64_t>> out(s.counters.begin(),
-                                                         s.counters.end());
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(s.counters.size());
+  for (const auto& [n, value] : s.counters) {
+    out.emplace_back(n, value.load(std::memory_order_relaxed));
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -74,11 +83,23 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
 std::vector<std::pair<std::string, TimerStat>> Registry::timers() const {
   Store& s = store();
   const std::lock_guard<std::mutex> lock(s.mutex);
-  std::vector<std::pair<std::string, TimerStat>> out(s.timers.begin(),
-                                                     s.timers.end());
+  std::vector<std::pair<std::string, TimerStat>> out;
+  out.reserve(s.timers.size());
+  for (const auto& [n, value] : s.timers) {
+    out.emplace_back(n, value.snapshot());
+  }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (const auto& [n, value] : s.counters) {
+    if (n == name) return value.load(std::memory_order_relaxed);
+  }
+  return 0;
 }
 
 void Registry::write_json(std::ostream& os, int indent) const {

@@ -1,10 +1,11 @@
 #pragma once
 /// \file perf.h
 /// Lightweight performance-counter and timer subsystem. Every stage of the
-/// flow (placement, routing, width search) reports through this registry so
-/// that benches and the CLI can emit a machine-readable picture of where the
-/// time goes — the paper's P&R inner loops are only credibly "fast" when the
-/// hot paths are instrumented, not just correct.
+/// flow (placement, routing, width search, flow-cache lookups) reports
+/// through this registry so that benches and the CLI can emit a
+/// machine-readable picture of where the time goes — the paper's P&R inner
+/// loops are only credibly "fast" when the hot paths are instrumented, not
+/// just correct.
 ///
 /// Design constraints:
 ///  * near-zero overhead at call sites: hot loops accumulate into locals and
@@ -15,11 +16,20 @@
 ///    function-local static;
 ///  * deterministic output: `write_json()` emits entries sorted by name.
 ///
-/// The registry is process-global and guarded by a mutex on mutation of the
-/// name table only; bumping a counter through a cached reference is a plain
-/// unsynchronized increment (the flow is single-threaded today — see
-/// ROADMAP "parallel routing" for when that changes).
+/// Thread-safety: the registry is process-global; the name table is guarded
+/// by a mutex, and the counters/timers themselves are relaxed atomics so
+/// that the batch driver (src/core/batch.h) can run flow jobs on several
+/// worker threads without data races. Relaxed increments carry no ordering
+/// obligations — totals are exact, but a snapshot taken while workers are
+/// live may interleave mid-job values. Benches and tests read counters only
+/// after joining the workers.
+///
+/// Cache instrumentation convention: every cache in the flow reports
+/// `<cache>.hits` / `<cache>.misses` pairs (e.g. `flowcache.mdr_hits`,
+/// `rrgcache.misses`), so any bench JSON shows cache effectiveness without
+/// bespoke plumbing.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
@@ -29,11 +39,35 @@
 
 namespace mmflow::perf {
 
-/// Accumulated wall time of one named scope.
+/// Point-in-time snapshot of one named scope's accumulated wall time.
 struct TimerStat {
   std::uint64_t total_ns = 0;
   std::uint64_t count = 0;
 };
+
+/// Registry-owned wall-time accumulator (atomic; see thread-safety above).
+class Timer {
+ public:
+  void add(std::uint64_t ns) {
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void reset() {
+    total_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+  [[nodiscard]] TimerStat snapshot() const {
+    return TimerStat{total_ns_.load(std::memory_order_relaxed),
+                     count_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Registry-owned event counter (atomic; see thread-safety above).
+using Counter = std::atomic<std::uint64_t>;
 
 /// Process-global registry of named counters and timers.
 class Registry {
@@ -42,8 +76,8 @@ class Registry {
 
   /// Find-or-create; the returned reference is valid for the process
   /// lifetime. Names are dot-separated, e.g. "route.heap_pushes".
-  std::uint64_t& counter(std::string_view name);
-  TimerStat& timer(std::string_view name);
+  Counter& counter(std::string_view name);
+  Timer& timer(std::string_view name);
 
   /// Zeroes every counter and timer (names stay registered). Benches call
   /// this between the warm-up and the measured region.
@@ -54,6 +88,10 @@ class Registry {
   counters() const;
   [[nodiscard]] std::vector<std::pair<std::string, TimerStat>> timers() const;
 
+  /// Value of one counter (0 if never registered). Tests use this to assert
+  /// cache hit/miss behaviour.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
   /// Emits {"counters": {...}, "timers_ms": {...}} at the given indentation
   /// depth (spaces). Keys are sorted for diff-stable output.
   void write_json(std::ostream& os, int indent = 0) const;
@@ -63,31 +101,33 @@ class Registry {
 };
 
 /// Convenience accessors against the global registry.
-inline std::uint64_t& counter(std::string_view name) {
+inline Counter& counter(std::string_view name) {
   return Registry::instance().counter(name);
 }
-inline TimerStat& timer(std::string_view name) {
+inline Timer& timer(std::string_view name) {
   return Registry::instance().timer(name);
 }
 inline void reset() { Registry::instance().reset(); }
+inline std::uint64_t counter_value(std::string_view name) {
+  return Registry::instance().counter_value(name);
+}
 
-/// RAII wall-clock timer accumulating into a TimerStat.
+/// RAII wall-clock timer accumulating into a Timer.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(TimerStat& stat)
+  explicit ScopedTimer(Timer& stat)
       : stat_(&stat), start_(std::chrono::steady_clock::now()) {}
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
   ~ScopedTimer() {
     const auto end = std::chrono::steady_clock::now();
-    stat_->total_ns += static_cast<std::uint64_t>(
+    stat_->add(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
-            .count());
-    ++stat_->count;
+            .count()));
   }
 
  private:
-  TimerStat* stat_;
+  Timer* stat_;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -98,10 +138,10 @@ class ScopedTimer {
 
 /// Times the enclosing scope under `name`. The registry lookup happens once
 /// per call site (function-local static), the per-entry cost is two clock
-/// reads.
+/// reads plus two relaxed atomic adds.
 #define MMFLOW_PERF_SCOPE(name)                                            \
-  static ::mmflow::perf::TimerStat& MMFLOW_PERF_CONCAT(mmflow_perf_stat_,  \
-                                                       __LINE__) =         \
+  static ::mmflow::perf::Timer& MMFLOW_PERF_CONCAT(mmflow_perf_stat_,      \
+                                                   __LINE__) =             \
       ::mmflow::perf::timer(name);                                         \
   ::mmflow::perf::ScopedTimer MMFLOW_PERF_CONCAT(mmflow_perf_scope_,       \
                                                  __LINE__)(                \
@@ -110,6 +150,8 @@ class ScopedTimer {
 /// Adds `delta` to the counter `name`; lookup cached per call site.
 #define MMFLOW_PERF_ADD(name, delta)                                       \
   do {                                                                     \
-    static std::uint64_t& mmflow_perf_counter_ = ::mmflow::perf::counter(name); \
-    mmflow_perf_counter_ += static_cast<std::uint64_t>(delta);             \
+    static ::mmflow::perf::Counter& mmflow_perf_counter_ =                 \
+        ::mmflow::perf::counter(name);                                     \
+    mmflow_perf_counter_.fetch_add(static_cast<std::uint64_t>(delta),      \
+                                   std::memory_order_relaxed);             \
   } while (false)

@@ -1,0 +1,125 @@
+#include "core/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "common/perf.h"
+
+namespace mmflow::core {
+
+std::vector<BatchJob> seed_sweep(
+    const std::string& name,
+    std::shared_ptr<const std::vector<techmap::LutCircuit>> modes,
+    const FlowOptions& base, int num_seeds) {
+  MMFLOW_REQUIRE(modes != nullptr && num_seeds >= 1);
+  std::vector<BatchJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(num_seeds));
+  for (int s = 0; s < num_seeds; ++s) {
+    BatchJob job;
+    job.options = base;
+    job.options.seed = base.seed + static_cast<std::uint64_t>(s);
+    job.name = name + "/seed" + std::to_string(job.options.seed);
+    job.modes = modes;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<BatchJob> engine_sweep(
+    const std::string& name,
+    std::shared_ptr<const std::vector<techmap::LutCircuit>> modes,
+    const FlowOptions& base) {
+  MMFLOW_REQUIRE(modes != nullptr);
+  std::vector<BatchJob> jobs;
+  for (const CombinedCost engine :
+       {CombinedCost::EdgeMatch, CombinedCost::WireLength}) {
+    BatchJob job;
+    job.options = base;
+    job.options.cost_engine = engine;
+    job.name = name + (engine == CombinedCost::EdgeMatch ? "/edgematch"
+                                                         : "/wirelength");
+    job.modes = modes;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+BatchDriver::BatchDriver(const BatchOptions& options) : options_(options) {}
+
+FlowContext BatchDriver::context() {
+  FlowContext ctx;
+  if (options_.use_cache) ctx.cache = &cache_;
+  if (options_.share_rrg) ctx.rrgs = &rrgs_;
+  return ctx;
+}
+
+void BatchDriver::clear_caches() {
+  cache_.clear();
+  rrgs_.clear();
+}
+
+std::vector<BatchResult> BatchDriver::run(const std::vector<BatchJob>& jobs) {
+  MMFLOW_PERF_SCOPE("batch.run");
+  MMFLOW_PERF_ADD("batch.jobs", jobs.size());
+
+  std::vector<BatchResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  const FlowContext ctx = context();
+  // Workers pull job indices from an atomic cursor (in submission order) and
+  // write into their own result slot — the deterministic merge: the output
+  // order and every result bit are independent of thread scheduling.
+  auto worker = [&](std::size_t index) {
+    const BatchJob& job = jobs[index];
+    BatchResult& out = results[index];
+    out.name = job.name;
+    out.seed = job.options.seed;
+    out.engine = job.options.cost_engine;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      MMFLOW_REQUIRE_MSG(job.modes != nullptr,
+                         "batch job '" << job.name << "' has no modes");
+      // Zero-copy: the result *is* the cache's immutable entry.
+      out.experiment = run_experiment_shared(*job.modes, job.options, ctx);
+    } catch (const std::exception& e) {
+      out.error = e.what();
+      MMFLOW_PERF_ADD("batch.job_failures", 1);
+    }
+    out.wall_ms = std::chrono::duration_cast<
+                      std::chrono::duration<double, std::milli>>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  };
+
+  int workers = options_.jobs;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+  workers = std::min<int>(workers, static_cast<int>(jobs.size()));
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) worker(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t index = cursor.fetch_add(1);
+        if (index >= jobs.size()) return;
+        worker(index);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  return results;
+}
+
+}  // namespace mmflow::core

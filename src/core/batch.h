@@ -1,0 +1,117 @@
+#pragma once
+/// \file batch.h
+/// Batched multi-seed flow driver — turns the single-experiment
+/// `core::run_experiment` into a work-queue that serves many experiments at
+/// once: multi-seed placement restarts, cost-engine comparisons and
+/// `min_channel_width` probes are all embarrassingly parallel (ROADMAP
+/// "batched multi-seed runs"), and they share most of their work through
+/// the flow-level caches of core/flows.h.
+///
+/// ## Execution model
+///
+/// A `BatchDriver` owns one `FlowCache` + one `RrgCache` and a deterministic
+/// work-queue. `run()` takes an ordered list of `BatchJob`s, executes them
+/// on `BatchOptions::jobs` worker threads (std::thread; an atomic cursor
+/// hands out job indices in order) and collects results *by job index*, so
+/// the returned vector is always in submission order regardless of which
+/// worker finished first — the "deterministic merge".
+///
+/// ## Determinism contract
+///
+/// Each job's result is a pure function of (modes, options): per-seed
+/// results from a parallel batch are bit-identical to running the same jobs
+/// sequentially, with `jobs = 1`, or via bare `run_experiment` calls with no
+/// caching at all (asserted by tests/test_batch.cpp). Scheduling can only
+/// change which worker pays for a cache miss — i.e. the hit/miss perf
+/// counter split and wall time, never any result bit. Exceptions thrown by
+/// a job are captured into its result slot (`error`), not propagated, so
+/// one unroutable circuit cannot tear down a sweep.
+///
+/// ## Ownership & thread-safety
+///
+/// The driver owns its caches; results reference cache entries via
+/// `shared_ptr<const MultiModeExperiment>` and stay valid after the driver
+/// (or `clear_caches()`) discards them. Jobs share their input circuits via
+/// `shared_ptr<const vector<LutCircuit>>` — a 64-seed sweep holds one copy
+/// of the netlists. `run()` may be called repeatedly (later batches reuse
+/// the warm caches); concurrent `run()` calls on one driver are not
+/// supported — use one driver per batch stream instead.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flows.h"
+
+namespace mmflow::core {
+
+/// One unit of batch work: a full two-flow experiment on one (modes,
+/// options) point. `modes` is shared and never mutated.
+struct BatchJob {
+  std::string name;  ///< diagnostic label, e.g. "regexp01/seed3"
+  std::shared_ptr<const std::vector<techmap::LutCircuit>> modes;
+  FlowOptions options;
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 = one per hardware thread (capped by the job count).
+  int jobs = 1;
+  /// Share one immutable RoutingGraph per (arch, width) across all jobs.
+  bool share_rrg = true;
+  /// Memoize flow artifacts across jobs (see core/flows.h for granularity).
+  bool use_cache = true;
+};
+
+/// Result slot for one job, in submission order.
+struct BatchResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  CombinedCost engine = CombinedCost::WireLength;
+  /// Null iff the job threw; then `error` holds the exception message.
+  std::shared_ptr<const MultiModeExperiment> experiment;
+  std::string error;
+  double wall_ms = 0.0;
+};
+
+/// Expands one base configuration into `num_seeds` jobs with seeds
+/// `base.seed, base.seed + 1, ...` — the multi-seed placement-restart sweep.
+/// Names are `<name>/seed<seed>`.
+[[nodiscard]] std::vector<BatchJob> seed_sweep(
+    const std::string& name,
+    std::shared_ptr<const std::vector<techmap::LutCircuit>> modes,
+    const FlowOptions& base, int num_seeds);
+
+/// Expands one configuration into one job per cost engine (the figure
+/// benches' EdgeMatch-vs-WireLength comparison). Names are `<name>/<engine>`.
+[[nodiscard]] std::vector<BatchJob> engine_sweep(
+    const std::string& name,
+    std::shared_ptr<const std::vector<techmap::LutCircuit>> modes,
+    const FlowOptions& base);
+
+class BatchDriver {
+ public:
+  explicit BatchDriver(const BatchOptions& options = {});
+
+  /// Executes the jobs and returns their results in submission order. See
+  /// the file comment for the determinism and error-capture contracts.
+  [[nodiscard]] std::vector<BatchResult> run(const std::vector<BatchJob>& jobs);
+
+  /// The context handed to every job (also usable for one-off
+  /// `run_experiment` calls that should share this driver's caches).
+  [[nodiscard]] FlowContext context();
+
+  [[nodiscard]] FlowCache& cache() { return cache_; }
+  [[nodiscard]] RrgCache& rrgs() { return rrgs_; }
+  [[nodiscard]] const BatchOptions& options() const { return options_; }
+
+  /// Drops all cached artifacts (outstanding results stay valid).
+  void clear_caches();
+
+ private:
+  BatchOptions options_;
+  FlowCache cache_;
+  RrgCache rrgs_;
+};
+
+}  // namespace mmflow::core

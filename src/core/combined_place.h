@@ -19,6 +19,12 @@
 ///    connections sharing source and sink sites across modes
 ///    (equivalently: minimize the number of Tunable connections);
 ///    placement geometry is ignored.
+///
+/// Re-entrancy: `combined_place` and `extract_merge` keep all annealing and
+/// extraction state in per-call locals and never mutate their inputs, so
+/// concurrent batch jobs (src/core/batch.h) may run them in parallel —
+/// results are a pure function of (modes, grid, options), which is also what
+/// lets the flow cache (src/core/flows.h) memoize whole experiments.
 
 #include <cstdint>
 #include <vector>

@@ -1,6 +1,7 @@
 #include "core/flows.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/log.h"
@@ -29,6 +30,257 @@ route::RouteProblem SiteRouteSpec::instantiate(const RoutingGraph& rrg) const {
   }
   return out;
 }
+
+// ---- hashing ----------------------------------------------------------------
+
+namespace {
+
+/// Byte-wise FNV-1a accumulator; every field is serialized through it so the
+/// hash is a function of values only, never of memory layout or padding.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ULL;
+
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+};
+
+}  // namespace
+
+std::uint64_t hash_modes(const std::vector<techmap::LutCircuit>& modes) {
+  Fnv fnv;
+  fnv.u64(modes.size());
+  for (const auto& mode : modes) {
+    fnv.i64(mode.k());
+    fnv.str(mode.name());
+    fnv.u64(mode.num_pis());
+    for (const auto& pi : mode.pi_names()) fnv.str(pi);
+    fnv.u64(mode.num_blocks());
+    for (const auto& block : mode.blocks()) {
+      fnv.str(block.name);
+      fnv.u64(block.inputs.size());
+      for (const auto& ref : block.inputs) {
+        fnv.byte(static_cast<std::uint8_t>(ref.kind));
+        fnv.u64(ref.index);
+      }
+      fnv.u64(block.truth);
+      fnv.byte(block.has_ff ? 1 : 0);
+      fnv.byte(block.ff_init ? 1 : 0);
+    }
+    fnv.u64(mode.num_pos());
+    for (const auto& po : mode.pos()) {
+      fnv.str(po.name);
+      fnv.byte(static_cast<std::uint8_t>(po.driver.kind));
+      fnv.u64(po.driver.index);
+    }
+  }
+  return fnv.h;
+}
+
+std::uint64_t hash_arch(const arch::ArchSpec& spec) {
+  Fnv fnv;
+  fnv.i64(spec.nx);
+  fnv.i64(spec.ny);
+  fnv.i64(spec.channel_width);
+  fnv.i64(spec.k);
+  fnv.i64(spec.io_capacity);
+  fnv.byte(static_cast<std::uint8_t>(spec.switch_box));
+  return fnv.h;
+}
+
+std::uint64_t hash_flow_options(const FlowOptions& options) {
+  Fnv fnv;
+  fnv.f64(options.area_slack);
+  fnv.f64(options.width_slack);
+  fnv.byte(static_cast<std::uint8_t>(options.encoding));
+  fnv.f64(options.anneal.inner_num);
+  fnv.f64(options.anneal.init_t_factor);
+  fnv.f64(options.anneal.exit_t_fraction);
+  const route::RouterOptions& r = options.router;
+  fnv.i64(r.max_iterations);
+  fnv.i64(r.split_conflicted_after);
+  fnv.f64(r.first_iter_pres_fac);
+  fnv.f64(r.pres_fac_mult);
+  fnv.f64(r.max_pres_fac);
+  fnv.f64(r.hist_fac);
+  fnv.f64(r.share_discount);
+  fnv.f64(r.align_discount);
+  fnv.f64(r.astar_fac);
+  fnv.u64(r.seed);
+  fnv.i64(options.max_channel_width);
+  fnv.byte(options.tplace_from_scratch_for_edgematch ? 1 : 0);
+  return fnv.h;
+}
+
+std::size_t FlowKeyHash::operator()(const FlowKey& key) const noexcept {
+  Fnv fnv;
+  fnv.u64(key.netlist);
+  fnv.u64(key.arch);
+  fnv.u64(key.options);
+  fnv.u64(key.seed);
+  fnv.u64(key.engine);
+  fnv.i64(key.width);
+  return static_cast<std::size_t>(fnv.h);
+}
+
+// ---- FlowCache --------------------------------------------------------------
+
+std::shared_ptr<const MultiModeExperiment> FlowCache::find_experiment(
+    const FlowKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = experiments_.find(key);
+  if (it == experiments_.end()) {
+    MMFLOW_PERF_ADD("flowcache.experiment_misses", 1);
+    return nullptr;
+  }
+  MMFLOW_PERF_ADD("flowcache.experiment_hits", 1);
+  return it->second;
+}
+
+std::shared_ptr<const MultiModeExperiment> FlowCache::store_experiment(
+    const FlowKey& key, MultiModeExperiment experiment) {
+  auto value =
+      std::make_shared<const MultiModeExperiment>(std::move(experiment));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return experiments_.try_emplace(key, std::move(value)).first->second;
+}
+
+std::shared_ptr<const std::vector<ModeImpl>> FlowCache::mdr_or_compute(
+    const FlowKey& key,
+    const std::function<std::vector<ModeImpl>()>& compute) {
+  std::shared_future<std::shared_ptr<const std::vector<ModeImpl>>> waiting;
+  std::promise<std::shared_ptr<const std::vector<ModeImpl>>> promise;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = mdr_.find(key);
+    if (it != mdr_.end()) {
+      MMFLOW_PERF_ADD("flowcache.mdr_hits", 1);
+      return it->second;
+    }
+    const auto inflight = mdr_inflight_.find(key);
+    if (inflight != mdr_inflight_.end()) {
+      waiting = inflight->second;
+    } else {
+      MMFLOW_PERF_ADD("flowcache.mdr_misses", 1);
+      mdr_inflight_.emplace(key, promise.get_future().share());
+    }
+  }
+  if (waiting.valid()) {
+    // Another worker is annealing this bundle right now; wait and share
+    // its result instead of duplicating the work.
+    MMFLOW_PERF_ADD("flowcache.mdr_hits", 1);
+    return waiting.get();
+  }
+  std::shared_ptr<const std::vector<ModeImpl>> value;
+  try {
+    value = std::make_shared<const std::vector<ModeImpl>>(compute());
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      mdr_inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    mdr_.try_emplace(key, value);
+    mdr_inflight_.erase(key);
+  }
+  promise.set_value(value);
+  return value;
+}
+
+std::optional<bool> FlowCache::find_probe(const FlowKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = probes_.find(key);
+  if (it == probes_.end()) {
+    MMFLOW_PERF_ADD("flowcache.probe_misses", 1);
+    return std::nullopt;
+  }
+  MMFLOW_PERF_ADD("flowcache.probe_hits", 1);
+  return it->second;
+}
+
+bool FlowCache::store_probe(const FlowKey& key, bool routable) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return probes_.try_emplace(key, routable).first->second;
+}
+
+std::shared_ptr<const MdrFinalRoutes> FlowCache::find_mdr_routes(
+    const FlowKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = mdr_routes_.find(key);
+  if (it == mdr_routes_.end()) {
+    MMFLOW_PERF_ADD("flowcache.final_route_misses", 1);
+    return nullptr;
+  }
+  MMFLOW_PERF_ADD("flowcache.final_route_hits", 1);
+  return it->second;
+}
+
+std::shared_ptr<const MdrFinalRoutes> FlowCache::store_mdr_routes(
+    const FlowKey& key, MdrFinalRoutes routes) {
+  auto value = std::make_shared<const MdrFinalRoutes>(std::move(routes));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return mdr_routes_.try_emplace(key, std::move(value)).first->second;
+}
+
+std::size_t FlowCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return experiments_.size() + mdr_.size() + probes_.size() +
+         mdr_routes_.size();
+}
+
+void FlowCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  experiments_.clear();
+  mdr_.clear();
+  probes_.clear();
+  mdr_routes_.clear();
+}
+
+// ---- RrgCache ---------------------------------------------------------------
+
+std::shared_ptr<const RoutingGraph> RrgCache::get(const ArchSpec& spec) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_arch_.find(spec);
+    if (it != by_arch_.end()) {
+      MMFLOW_PERF_ADD("rrgcache.hits", 1);
+      return it->second;
+    }
+  }
+  // Build outside the lock: graph construction is the expensive part and
+  // other widths' lookups should not serialize behind it. A concurrent
+  // duplicate build of the same spec is resolved first-writer-wins.
+  MMFLOW_PERF_ADD("rrgcache.misses", 1);
+  auto built = std::make_shared<const RoutingGraph>(spec);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return by_arch_.try_emplace(spec, std::move(built)).first->second;
+}
+
+std::size_t RrgCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return by_arch_.size();
+}
+
+void RrgCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  by_arch_.clear();
+}
+
+// ---- run_experiment ---------------------------------------------------------
 
 namespace {
 
@@ -126,40 +378,51 @@ void tplace_from_scratch(const tunable::TunableCircuit& tc,
 
 }  // namespace
 
-MultiModeExperiment run_experiment(std::vector<techmap::LutCircuit> modes,
-                                   const FlowOptions& options) {
-  MMFLOW_REQUIRE(!modes.empty() && modes.size() <= 32);
+namespace {
+
+/// The uncached pipeline body. `base_key` carries the (netlist, arch,
+/// options, seed) identity for the *sub-experiment* caches when
+/// `context.cache` is set; the whole-experiment cache is the callers'
+/// business (run_experiment_shared).
+MultiModeExperiment compute_experiment(
+    const std::vector<techmap::LutCircuit>& modes, const FlowOptions& options,
+    const FlowContext& context, const ArchSpec& base, const FlowKey& base_key) {
   MMFLOW_PERF_SCOPE("flow.experiment");
   MMFLOW_PERF_ADD("flow.experiments", 1);
   const int num_modes = static_cast<int>(modes.size());
-
-  // ---- region sizing: logic array from the largest mode --------------------
-  int max_clbs = 0;
-  int max_ios = 0;
-  for (const auto& mode : modes) {
-    max_clbs = std::max<int>(max_clbs, static_cast<int>(mode.num_blocks()));
-    max_ios = std::max<int>(
-        max_ios, static_cast<int>(mode.num_pis() + mode.num_pos()));
-  }
-  ArchSpec base = arch::size_device(max_clbs, max_ios, options.area_slack, 2,
-                                    modes[0].k());
   const DeviceGrid grid(base);
+  FlowCache* const cache = context.cache;
+
+  // Shared immutable RRGs when a cache is provided, locally built otherwise.
+  auto rrg_for = [&](const ArchSpec& spec) -> std::shared_ptr<const RoutingGraph> {
+    if (context.rrgs != nullptr) return context.rrgs->get(spec);
+    return std::make_shared<const RoutingGraph>(spec);
+  };
 
   MultiModeExperiment exp;
 
   // ---- MDR: place every mode separately ------------------------------------
   {
     MMFLOW_PERF_SCOPE("flow.mdr_place");
-    for (int m = 0; m < num_modes; ++m) {
-      ModeImpl impl{place::PlaceNetlist{}, {}, place::Placement(grid, 0), {}};
-      impl.netlist = place::to_place_netlist(modes[static_cast<std::size_t>(m)],
-                                             &impl.mapping);
-      place::PlacerOptions popt;
-      popt.seed = options.seed * 1000003u + static_cast<std::uint64_t>(m);
-      popt.anneal = options.anneal;
-      impl.placement = place::place(impl.netlist, grid, popt);
-      impl.route_spec = mdr_route_spec(impl.netlist, impl.placement);
-      exp.mdr.push_back(std::move(impl));
+    auto compute_mdr = [&] {
+      std::vector<ModeImpl> mdr;
+      for (int m = 0; m < num_modes; ++m) {
+        ModeImpl impl{place::PlaceNetlist{}, {}, place::Placement(grid, 0), {}};
+        impl.netlist = place::to_place_netlist(
+            modes[static_cast<std::size_t>(m)], &impl.mapping);
+        place::PlacerOptions popt;
+        popt.seed = options.seed * 1000003u + static_cast<std::uint64_t>(m);
+        popt.anneal = options.anneal;
+        impl.placement = place::place(impl.netlist, grid, popt);
+        impl.route_spec = mdr_route_spec(impl.netlist, impl.placement);
+        mdr.push_back(std::move(impl));
+      }
+      return mdr;
+    };
+    if (cache != nullptr) {
+      exp.mdr = *cache->mdr_or_compute(base_key, compute_mdr);
+    } else {
+      exp.mdr = compute_mdr();
     }
   }
 
@@ -188,17 +451,38 @@ MultiModeExperiment run_experiment(std::vector<techmap::LutCircuit> modes,
       dcs_route_spec_from(*exp.tunable, exp.tlut_site, exp.tio_site);
 
   // ---- channel width: smallest W at which every implementation routes ------
+  // The MDR probe outcome at a given width is engine-independent, so it is
+  // cached under (base_key, width) and reused by the other engine's search.
   auto all_route = [&](int width) {
     ArchSpec spec = base;
     spec.channel_width = width;
-    const RoutingGraph rrg(spec);
-    for (const auto& impl : exp.mdr) {
-      if (!route::route(rrg, impl.route_spec.instantiate(rrg), options.router)
-               .success) {
-        return false;
+    std::shared_ptr<const RoutingGraph> rrg_sp;  // built lazily: a cached
+                                                 // MDR probe may answer
+                                                 // "unroutable" without one
+    auto rrg = [&]() -> const RoutingGraph& {
+      if (rrg_sp == nullptr) rrg_sp = rrg_for(spec);
+      return *rrg_sp;
+    };
+    bool mdr_ok = true;
+    FlowKey probe_key = base_key;
+    probe_key.width = width;
+    std::optional<bool> cached_probe;
+    if (cache != nullptr) cached_probe = cache->find_probe(probe_key);
+    if (cached_probe.has_value()) {
+      mdr_ok = *cached_probe;
+    } else {
+      for (const auto& impl : exp.mdr) {
+        if (!route::route(rrg(), impl.route_spec.instantiate(rrg()),
+                          options.router)
+                 .success) {
+          mdr_ok = false;
+          break;
+        }
       }
+      if (cache != nullptr) cache->store_probe(probe_key, mdr_ok);
     }
-    return route::route(rrg, exp.dcs_route_spec.instantiate(rrg),
+    if (!mdr_ok) return false;
+    return route::route(rrg(), exp.dcs_route_spec.instantiate(rrg()),
                         options.router)
         .success;
   };
@@ -214,19 +498,98 @@ MultiModeExperiment run_experiment(std::vector<techmap::LutCircuit> modes,
   exp.region = base;
   exp.region.channel_width = std::max(
       hi, static_cast<int>(std::ceil(hi * options.width_slack)));
-  const RoutingGraph rrg(exp.region);
-  for (const auto& impl : exp.mdr) {
-    exp.mdr_problems.push_back(impl.route_spec.instantiate(rrg));
-    exp.mdr_routing.push_back(
-        route::route(rrg, exp.mdr_problems.back(), options.router));
-    MMFLOW_CHECK_MSG(exp.mdr_routing.back().success,
-                     "MDR mode unroutable at relaxed width");
+  const std::shared_ptr<const RoutingGraph> rrg_sp = rrg_for(exp.region);
+  const RoutingGraph& rrg = *rrg_sp;
+  FlowKey final_key = base_key;
+  final_key.width = exp.region.channel_width;
+  std::shared_ptr<const MdrFinalRoutes> cached_final;
+  if (cache != nullptr) cached_final = cache->find_mdr_routes(final_key);
+  if (cached_final != nullptr) {
+    exp.mdr_problems = cached_final->problems;
+    exp.mdr_routing = cached_final->routings;
+  } else {
+    for (const auto& impl : exp.mdr) {
+      exp.mdr_problems.push_back(impl.route_spec.instantiate(rrg));
+      exp.mdr_routing.push_back(
+          route::route(rrg, exp.mdr_problems.back(), options.router));
+      MMFLOW_CHECK_MSG(exp.mdr_routing.back().success,
+                       "MDR mode unroutable at relaxed width");
+    }
+    if (cache != nullptr) {
+      cache->store_mdr_routes(final_key,
+                              MdrFinalRoutes{exp.mdr_problems, exp.mdr_routing});
+    }
   }
   exp.dcs_problem = exp.dcs_route_spec.instantiate(rrg);
   exp.dcs_routing = route::route(rrg, exp.dcs_problem, options.router);
   MMFLOW_CHECK_MSG(exp.dcs_routing.success,
                    "DCS circuit unroutable at relaxed width");
   return exp;
+}
+
+/// Region sizing: the square logic array fits the largest mode with the
+/// paper's area head-room. Cheap enough to recompute per call.
+ArchSpec base_region(const std::vector<techmap::LutCircuit>& modes,
+                     const FlowOptions& options) {
+  int max_clbs = 0;
+  int max_ios = 0;
+  for (const auto& mode : modes) {
+    max_clbs = std::max<int>(max_clbs, static_cast<int>(mode.num_blocks()));
+    max_ios = std::max<int>(
+        max_ios, static_cast<int>(mode.num_pis() + mode.num_pos()));
+  }
+  return arch::size_device(max_clbs, max_ios, options.area_slack, 2,
+                           modes[0].k());
+}
+
+}  // namespace
+
+std::shared_ptr<const MultiModeExperiment> run_experiment_shared(
+    const std::vector<techmap::LutCircuit>& modes, const FlowOptions& options,
+    const FlowContext& context) {
+  MMFLOW_REQUIRE(!modes.empty() && modes.size() <= 32);
+  const ArchSpec base = base_region(modes, options);
+
+  // `base_key` identifies the engine-independent MDR artifacts; `exp_key`
+  // adds the cost engine and identifies the whole experiment.
+  FlowCache* const cache = context.cache;
+  FlowKey base_key;
+  if (cache != nullptr) {
+    base_key.netlist = hash_modes(modes);
+    base_key.arch = hash_arch(base);
+    base_key.options = hash_flow_options(options);
+    base_key.seed = options.seed;
+  }
+  FlowKey exp_key = base_key;
+  exp_key.engine = 1u + static_cast<std::uint32_t>(options.cost_engine);
+  if (cache != nullptr) {
+    if (auto hit = cache->find_experiment(exp_key)) return hit;
+  }
+
+  MultiModeExperiment exp =
+      compute_experiment(modes, options, context, base, base_key);
+  if (cache != nullptr) {
+    return cache->store_experiment(exp_key, std::move(exp));
+  }
+  return std::make_shared<const MultiModeExperiment>(std::move(exp));
+}
+
+MultiModeExperiment run_experiment(const std::vector<techmap::LutCircuit>& modes,
+                                   const FlowOptions& options) {
+  return run_experiment(modes, options, FlowContext{});
+}
+
+MultiModeExperiment run_experiment(const std::vector<techmap::LutCircuit>& modes,
+                                   const FlowOptions& options,
+                                   const FlowContext& context) {
+  if (context.cache == nullptr) {
+    // No whole-experiment cache to feed: skip the shared wrapper and its
+    // copy-out so the plain path costs exactly what it did uncached.
+    MMFLOW_REQUIRE(!modes.empty() && modes.size() <= 32);
+    return compute_experiment(modes, options, context,
+                              base_region(modes, options), FlowKey{});
+  }
+  return *run_experiment_shared(modes, options, context);
 }
 
 std::vector<bitstream::LutRegionConfig> mdr_lut_configs(

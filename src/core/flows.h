@@ -16,9 +16,48 @@
 /// above the minimum at which *every* implementation (each MDR mode and the
 /// DCS Tunable circuit) routes. Using the same region for both flows keeps
 /// the bit-count comparison fair.
+///
+/// ## Flow-level caching (PR 2)
+///
+/// `run_experiment` is a pure function of (modes, options): identical inputs
+/// produce bit-identical outputs. The caching layer below exploits that
+/// purity. A `FlowContext` carries two optional caches:
+///  * `FlowCache` — memoizes flow artifacts under a `FlowKey`
+///    (netlist hash, arch hash, options hash, seed, engine, width), at four
+///    granularities: whole experiments, the engine-independent MDR bundle
+///    (per-mode placements + route specs), per-width MDR routability probes,
+///    and the final-width MDR routings. The sub-experiment entries are what
+///    make cost-engine comparisons cheap: the MDR side of an EdgeMatch run
+///    is bit-identical to the MDR side of a WireLength run, so the second
+///    engine reuses it instead of re-annealing and re-routing.
+///  * `RrgCache` — shares immutable `arch::RoutingGraph` instances across
+///    runs (keyed by the full ArchSpec, including channel width). One batch
+///    of seed restarts probes the same widths over and over; the graph is
+///    built once per width.
+///
+/// **Determinism contract**: every cached value is the output of a
+/// deterministic function of its key, so a cache hit returns exactly the
+/// bytes a recomputation would produce. Batched/parallel runs therefore
+/// yield bit-identical per-seed results to sequential runs — the batch
+/// tests assert this. The only thing scheduling can change is *who* pays
+/// for a miss (and hence the hit/miss counter split), never a result.
+///
+/// **Ownership & thread-safety**: caches own their entries and hand out
+/// `shared_ptr<const T>` — callers may hold values after the cache is
+/// cleared, and entries are immutable after insertion. All cache methods are
+/// mutex-guarded and safe to call from concurrent flow jobs; insertion is
+/// first-writer-wins (`store_*` returns the canonical entry, which equals
+/// any concurrently computed duplicate by the determinism contract).
+/// `FlowContext` itself is a non-owning view; the pointed-to caches must
+/// outlive every `run_experiment` call using it.
 
 #include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "arch/rrg.h"
@@ -94,12 +133,162 @@ struct MultiModeExperiment {
   std::size_t merged_connections = 0;
 };
 
+// ---- flow-level caching -----------------------------------------------------
+
+/// Stable 64-bit structural hash of the mode circuits (FNV-1a over every
+/// block, truth table, connection and name). Two mode lists hash equal iff a
+/// flow run cannot distinguish them.
+[[nodiscard]] std::uint64_t hash_modes(
+    const std::vector<techmap::LutCircuit>& modes);
+
+/// Stable hash of a full ArchSpec (including channel width).
+[[nodiscard]] std::uint64_t hash_arch(const arch::ArchSpec& spec);
+
+/// Stable hash of the flow knobs that influence results, *excluding* the
+/// seed and the cost engine — those are separate `FlowKey` fields so that
+/// engine-independent artifacts can share entries across engines.
+[[nodiscard]] std::uint64_t hash_flow_options(const FlowOptions& options);
+
+/// Cache key for one flow artifact. `engine` is `1 + CombinedCost` for
+/// engine-specific entries and 0 for engine-independent ones (the MDR side);
+/// `width` is the channel width for per-width entries and -1 for
+/// width-independent ones.
+struct FlowKey {
+  std::uint64_t netlist = 0;   ///< hash_modes of the input circuits
+  std::uint64_t arch = 0;      ///< hash_arch of the base region
+  std::uint64_t options = 0;   ///< hash_flow_options
+  std::uint64_t seed = 0;      ///< FlowOptions::seed
+  std::uint32_t engine = 0;    ///< 0 = engine-independent, else 1+CombinedCost
+  std::int32_t width = -1;     ///< -1 = width-independent
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+struct FlowKeyHash {
+  [[nodiscard]] std::size_t operator()(const FlowKey& key) const noexcept;
+};
+
+/// The final-width MDR routings (problems + results), cached as one unit.
+struct MdrFinalRoutes {
+  std::vector<route::RouteProblem> problems;
+  std::vector<route::RouteResult> routings;
+};
+
+/// Memoizes flow artifacts (see the file comment for the determinism,
+/// ownership and thread-safety contracts). Every lookup bumps a
+/// `flowcache.<kind>_hits` / `flowcache.<kind>_misses` perf counter.
+class FlowCache {
+ public:
+  std::shared_ptr<const MultiModeExperiment> find_experiment(
+      const FlowKey& key);
+  /// Insert-if-absent; returns the canonical stored entry.
+  std::shared_ptr<const MultiModeExperiment> store_experiment(
+      const FlowKey& key, MultiModeExperiment experiment);
+
+  /// Returns the MDR bundle for `key`, computing it at most once even under
+  /// concurrency: the first caller runs `compute`; callers arriving while
+  /// that computation is in flight block on it and share its result instead
+  /// of duplicating the anneal (the expensive half of an experiment) — so a
+  /// parallel engine sweep really does pay for the MDR baseline once.
+  /// Waiters count as `flowcache.mdr_hits`; an exception from `compute`
+  /// propagates to the computing caller and every waiter.
+  std::shared_ptr<const std::vector<ModeImpl>> mdr_or_compute(
+      const FlowKey& key,
+      const std::function<std::vector<ModeImpl>()>& compute);
+
+  /// Routability of the MDR implementations at `key.width`.
+  std::optional<bool> find_probe(const FlowKey& key);
+  bool store_probe(const FlowKey& key, bool routable);
+
+  std::shared_ptr<const MdrFinalRoutes> find_mdr_routes(const FlowKey& key);
+  std::shared_ptr<const MdrFinalRoutes> store_mdr_routes(const FlowKey& key,
+                                                         MdrFinalRoutes routes);
+
+  /// Total entries across all four maps.
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<FlowKey, std::shared_ptr<const MultiModeExperiment>,
+                     FlowKeyHash>
+      experiments_;
+  std::unordered_map<FlowKey, std::shared_ptr<const std::vector<ModeImpl>>,
+                     FlowKeyHash>
+      mdr_;
+  /// In-flight MDR computations (see mdr_or_compute): waiters share the
+  /// computing caller's future instead of recomputing.
+  std::unordered_map<
+      FlowKey,
+      std::shared_future<std::shared_ptr<const std::vector<ModeImpl>>>,
+      FlowKeyHash>
+      mdr_inflight_;
+  std::unordered_map<FlowKey, bool, FlowKeyHash> probes_;
+  std::unordered_map<FlowKey, std::shared_ptr<const MdrFinalRoutes>,
+                     FlowKeyHash>
+      mdr_routes_;
+};
+
+/// Shares immutable routing resource graphs across runs, keyed by the full
+/// ArchSpec (exact field equality — unlike the FlowCache's content hashes,
+/// no hash collision can ever substitute a wrong graph). Thread-safe;
+/// entries live until `clear()` (callers keep their shared_ptr past that).
+/// Bumps `rrgcache.hits` / `rrgcache.misses`.
+class RrgCache {
+ public:
+  /// Returns the graph for `spec`, building it on first use.
+  std::shared_ptr<const arch::RoutingGraph> get(const arch::ArchSpec& spec);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  struct SpecHash {
+    std::size_t operator()(const arch::ArchSpec& spec) const {
+      return static_cast<std::size_t>(hash_arch(spec));
+    }
+  };
+  mutable std::mutex mutex_;
+  std::unordered_map<arch::ArchSpec,
+                     std::shared_ptr<const arch::RoutingGraph>, SpecHash>
+      by_arch_;
+};
+
+/// Non-owning bundle of the caches a flow run may consult. Either pointer
+/// may be null (that cache is simply skipped); the default context disables
+/// all caching, which reproduces the uncached PR 1 behaviour exactly.
+struct FlowContext {
+  FlowCache* cache = nullptr;
+  RrgCache* rrgs = nullptr;
+};
+
+// ---- the flows --------------------------------------------------------------
+
 /// Runs both flows on one region. The input LutCircuits are the mapped mode
 /// circuits ("the MDR tool flow is followed up until the technology
-/// mapping"). Throws if the circuits cannot be routed within
-/// options.max_channel_width.
+/// mapping"); they are never mutated and no copy is taken. Throws if the
+/// circuits cannot be routed within options.max_channel_width.
+///
+/// Re-entrant: safe to call concurrently from several threads (the batch
+/// driver does), including with a shared `context` — see the caching
+/// contracts in the file comment.
+///
+/// The `_shared` form is the zero-copy entry point: on a cache hit it hands
+/// out the cache's own (immutable) entry, and on a miss the freshly
+/// computed experiment is moved — never copied — into the result. The
+/// by-value forms copy once out of it and exist for call sites that want a
+/// mutable or independently owned experiment.
+[[nodiscard]] std::shared_ptr<const MultiModeExperiment> run_experiment_shared(
+    const std::vector<techmap::LutCircuit>& modes, const FlowOptions& options,
+    const FlowContext& context);
+
 [[nodiscard]] MultiModeExperiment run_experiment(
-    std::vector<techmap::LutCircuit> modes, const FlowOptions& options = {});
+    const std::vector<techmap::LutCircuit>& modes, const FlowOptions& options,
+    const FlowContext& context);
+
+[[nodiscard]] MultiModeExperiment run_experiment(
+    const std::vector<techmap::LutCircuit>& modes,
+    const FlowOptions& options = {});
 
 /// Builds the per-mode LUT region configurations (truth bits + FF select per
 /// site) for the MDR implementations.

@@ -38,7 +38,7 @@ double net_cost(const PlaceNet& net, const Placement& placement) {
 }  // namespace
 
 Placement::Placement(const arch::DeviceGrid& grid, std::size_t num_blocks)
-    : grid_(&grid),
+    : grid_(grid),
       site_of_block_(num_blocks),
       placed_(num_blocks, false),
       clb_occupant_(static_cast<std::size_t>(grid.num_clb_sites()), -1),
@@ -49,9 +49,9 @@ void Placement::assign(std::uint32_t block, const arch::Site& site) {
   MMFLOW_REQUIRE(!placed_[block]);
   auto& occupant = site.type == arch::Site::Type::Clb
                        ? clb_occupant_[static_cast<std::size_t>(
-                             grid_->clb_index(site.x, site.y))]
+                             grid_.clb_index(site.x, site.y))]
                        : pad_occupant_[static_cast<std::size_t>(
-                             grid_->pad_index(site))];
+                             grid_.pad_index(site))];
   MMFLOW_REQUIRE_MSG(occupant < 0, "site already occupied");
   occupant = static_cast<std::int32_t>(block);
   site_of_block_[block] = site;
@@ -64,9 +64,9 @@ void Placement::unassign(std::uint32_t block) {
   const arch::Site site = site_of_block_[block];
   auto& occupant = site.type == arch::Site::Type::Clb
                        ? clb_occupant_[static_cast<std::size_t>(
-                             grid_->clb_index(site.x, site.y))]
+                             grid_.clb_index(site.x, site.y))]
                        : pad_occupant_[static_cast<std::size_t>(
-                             grid_->pad_index(site))];
+                             grid_.pad_index(site))];
   MMFLOW_CHECK(occupant == static_cast<std::int32_t>(block));
   occupant = -1;
   placed_[block] = false;
@@ -82,11 +82,11 @@ void Placement::validate(const PlaceNetlist& netlist) const {
                  (is_clb ? arch::Site::Type::Clb : arch::Site::Type::Pad));
     if (is_clb) {
       MMFLOW_CHECK(clb_occupant_[static_cast<std::size_t>(
-                       grid_->clb_index(site.x, site.y))] ==
+                       grid_.clb_index(site.x, site.y))] ==
                    static_cast<std::int32_t>(b));
     } else {
       MMFLOW_CHECK(pad_occupant_[static_cast<std::size_t>(
-                       grid_->pad_index(site))] ==
+                       grid_.pad_index(site))] ==
                    static_cast<std::int32_t>(b));
     }
   }

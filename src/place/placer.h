@@ -18,6 +18,10 @@
 namespace mmflow::place {
 
 /// A legal placement: every block on a site of its type, no overlap.
+/// Owns a copy of its DeviceGrid (a thin wrapper around ArchSpec), so a
+/// Placement stays fully self-contained — it can outlive the grid it was
+/// built from and be cached/shared across threads (the flow cache in
+/// src/core/flows.h stores Placements inside experiments).
 class Placement {
  public:
   Placement(const arch::DeviceGrid& grid, std::size_t num_blocks);
@@ -42,7 +46,7 @@ class Placement {
   void validate(const PlaceNetlist& netlist) const;
 
  private:
-  const arch::DeviceGrid* grid_;
+  arch::DeviceGrid grid_;
   std::vector<arch::Site> site_of_block_;
   std::vector<bool> placed_;
   std::vector<std::int32_t> clb_occupant_;

@@ -17,9 +17,19 @@
 /// has both active on it (modes are mutually exclusive in time); connections
 /// of the same net sharing a node in a mode must enter it through the same
 /// edge (one physical driver).
+///
+/// Ownership & thread-safety: the router never takes ownership of — or
+/// mutates — the `RoutingGraph`; all search state lives in per-call locals.
+/// `route()`, `search_min_width()` and `min_channel_width()` are therefore
+/// re-entrant, and one immutable RRG may be shared by any number of
+/// concurrent `route()` calls (the batch driver in src/core/batch.h relies
+/// on this: one graph per (arch, width), many seeds routing on it at once).
+/// Results are a pure function of (rrg, problem, options) — bit-identical
+/// regardless of sharing or concurrency.
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -119,11 +129,23 @@ struct RouteResult {
 [[nodiscard]] int search_min_width(const std::function<bool(int)>& routable_at,
                                    int max_width);
 
+/// Cache hook for the width search: supplies the (immutable, shareable)
+/// routing graph for a spec instead of building one per probe. Implemented
+/// by core::RrgCache; a batch of width searches over the same device then
+/// constructs each per-width graph exactly once. The provider must return a
+/// graph built from exactly `spec` (same arch semantics as the local build
+/// it replaces — the cache key is the full ArchSpec including width) and
+/// must be safe to call from concurrent searches.
+using RrgProvider = std::function<std::shared_ptr<const arch::RoutingGraph>(
+    const arch::ArchSpec&)>;
+
 /// Smallest channel width for which `make_problem(rrg)` routes, scanning
 /// upward then binary-searching. `spec` provides everything but the channel
 /// width. Returns the minimum W; throws if none <= `max_width` works.
+/// A null `rrg_provider` builds each probed width's graph locally.
 [[nodiscard]] int min_channel_width(
     arch::ArchSpec spec, const std::function<RouteProblem(const arch::RoutingGraph&)>& make_problem,
-    const RouterOptions& options = {}, int max_width = 128);
+    const RouterOptions& options = {}, int max_width = 128,
+    const RrgProvider& rrg_provider = {});
 
 }  // namespace mmflow::route

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI docs gate: required markdown files must exist and every relative link
+in them must resolve.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+
+Checks inline markdown links `[text](target)`. External targets (http/https/
+mailto) and pure in-page anchors (#...) are skipped, as is anything inside
+fenced code blocks or inline code spans (code showing link syntax as an
+example must not fail the gate); everything else is resolved relative to
+the containing file and must exist on disk.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~).*?^\1[^\S\n]*$", re.MULTILINE | re.DOTALL)
+INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
+
+
+def strip_code(text: str) -> str:
+    """Blanks out fenced blocks and inline code spans, preserving offsets
+    (so reported line numbers stay correct)."""
+
+    def blank(match: re.Match) -> str:
+        return "".join(c if c == "\n" else " " for c in match.group(0))
+
+    return INLINE_CODE_RE.sub(blank, FENCE_RE.sub(blank, text))
+
+
+def check_file(path: str) -> list[str]:
+    errors = []
+    with open(path, encoding="utf-8") as handle:
+        text = strip_code(handle.read())
+    base = os.path.dirname(os.path.abspath(path))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = os.path.normpath(os.path.join(base, target.split("#")[0]))
+        if not os.path.exists(resolved):
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(f"{path}:{line}: broken relative link '{target}'")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print("usage: check_doc_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        if not os.path.isfile(path):
+            errors.append(f"{path}: required documentation file is missing")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"docs OK: {len(argv) - 1} file(s), all relative links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
