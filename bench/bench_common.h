@@ -17,6 +17,9 @@
 ///   MMFLOW_INNER  annealing effort (VPR inner_num; default 5, paper-grade 10)
 ///   MMFLOW_SEED   master seed (default 1)
 ///   MMFLOW_JOBS   worker threads for batch-mode benches (default 1)
+///   MMFLOW_TRADEOFF  timing-driven combined-placement weight λ (default 0,
+///                    pure wirelength — results then bit-match the λ-less
+///                    flow; bench_ablation_timing sweeps its own λ values)
 ///   MMFLOW_BENCH_JSON  output path of the JSON report (default
 ///                      <bench name>.json in cwd)
 
@@ -37,6 +40,7 @@
 #include "core/flows.h"
 #include "common/strings.h"
 #include "core/metrics.h"
+#include "core/timing.h"
 
 namespace mmflow::bench {
 
@@ -45,6 +49,7 @@ struct BenchConfig {
   double inner_num = 5.0;
   std::uint64_t seed = 1;
   int jobs = 1;
+  double timing_tradeoff = 0.0;
 
   [[nodiscard]] static BenchConfig from_env() {
     BenchConfig config;
@@ -56,6 +61,9 @@ struct BenchConfig {
       config.seed = std::strtoull(s, nullptr, 10);
     }
     if (const char* j = std::getenv("MMFLOW_JOBS")) config.jobs = std::atoi(j);
+    if (const char* t = std::getenv("MMFLOW_TRADEOFF")) {
+      config.timing_tradeoff = std::atof(t);
+    }
     return config;
   }
 
@@ -67,10 +75,18 @@ struct BenchConfig {
   }
 
   [[nodiscard]] core::FlowOptions flow_options(core::CombinedCost cost) const {
+    return flow_options(cost, timing_tradeoff);
+  }
+
+  /// Flow options at an explicit timing tradeoff (the timing-ablation bench
+  /// sweeps λ per run instead of reading one value from the environment).
+  [[nodiscard]] core::FlowOptions flow_options(core::CombinedCost cost,
+                                               double tradeoff) const {
     core::FlowOptions options;
     options.cost_engine = cost;
     options.seed = seed;
     options.anneal.inner_num = inner_num;
+    options.timing_tradeoff = tradeoff;
     return options;
   }
 };
@@ -148,6 +164,29 @@ struct JsonRow {
   std::string name;
   std::vector<std::pair<std::string, double>> fields;
 };
+
+/// Appends the per-mode critical-path QoR of a timing report to a JSON row:
+/// `mdr_cp_m<i>` / `dcs_cp_m<i>` per mode plus the `mdr_cp_mean`,
+/// `dcs_cp_mean`, `cp_ratio_mean` and `cp_ratio_max` aggregates (see
+/// bench/README.md for the schema).
+inline void add_timing_fields(JsonRow& row, const core::TimingReport& report) {
+  double mdr_sum = 0.0;
+  double dcs_sum = 0.0;
+  for (std::size_t m = 0; m < report.mdr_critical_path.size(); ++m) {
+    row.fields.emplace_back("mdr_cp_m" + std::to_string(m),
+                            report.mdr_critical_path[m]);
+    row.fields.emplace_back("dcs_cp_m" + std::to_string(m),
+                            report.dcs_critical_path[m]);
+    mdr_sum += report.mdr_critical_path[m];
+    dcs_sum += report.dcs_critical_path[m];
+  }
+  const auto num_modes =
+      static_cast<double>(report.mdr_critical_path.size());
+  row.fields.emplace_back("mdr_cp_mean", mdr_sum / num_modes);
+  row.fields.emplace_back("dcs_cp_mean", dcs_sum / num_modes);
+  row.fields.emplace_back("cp_ratio_mean", report.mean_ratio());
+  row.fields.emplace_back("cp_ratio_max", report.max_ratio());
+}
 
 /// Writes the bench's machine-readable report:
 ///   {"bench": ..., "rows": [{"name": ..., <field>: <value>, ...}, ...],

@@ -17,6 +17,10 @@
 ///   --jobs=K                      worker threads for --seeds (default 1;
 ///                                 0 = all hardware threads)
 ///   --inner=F                     annealing effort (default 10)
+///   --timing-tradeoff=F           timing-driven combined placement weight
+///                                 λ in [0, 1] (default 0 = pure
+///                                 wirelength, bit-identical to before the
+///                                 knob existed)
 ///   --k=N                         LUT size (default 4)
 ///   --report                      dump the parameterized configuration
 ///   --report-full                 ... including static resources
@@ -42,8 +46,9 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--cost=wirelength|edgematch] [--seed=N] "
-               "[--seeds=N] [--jobs=K] [--inner=F] [--k=N] [--report] "
-               "[--report-full] mode0.blif mode1.blif [...]\n",
+               "[--seeds=N] [--jobs=K] [--inner=F] [--timing-tradeoff=F] "
+               "[--k=N] [--report] [--report-full] "
+               "mode0.blif mode1.blif [...]\n",
                argv0);
 }
 
@@ -62,9 +67,12 @@ int run_seed_batch(const std::vector<techmap::LutCircuit>& modes,
       options, num_seeds);
   const auto results = driver.run(batch_jobs);
 
-  std::printf("\n%-6s | %-5s | %-12s | %-12s | %-12s | %s\n", "seed", "W",
-              "DCS bits", "speed-up", "wires vs MDR", "wall ms");
-  std::printf("-------+-------+--------------+--------------+--------------+--------\n");
+  std::printf("\n%-6s | %-5s | %-12s | %-12s | %-12s | %-10s | %s\n", "seed",
+              "W", "DCS bits", "speed-up", "wires vs MDR", "CP vs MDR",
+              "wall ms");
+  std::printf(
+      "-------+-------+--------------+--------------+--------------+"
+      "------------+--------\n");
   const core::BatchResult* best = nullptr;
   core::ReconfigMetrics best_metrics;
   for (const auto& result : results) {
@@ -77,11 +85,13 @@ int run_seed_batch(const std::vector<techmap::LutCircuit>& modes,
     const auto metrics =
         core::reconfig_metrics(*result.experiment, options.encoding);
     const auto wl = core::wirelength_metrics(*result.experiment);
-    std::printf("%-6llu | %5d | %12llu | %11.2fx | %12.2f | %7.0f\n",
+    const auto timing = core::timing_report(*result.experiment, modes);
+    std::printf("%-6llu | %5d | %12llu | %11.2fx | %12.2f | %10.2f | %7.0f\n",
                 static_cast<unsigned long long>(result.seed),
                 result.experiment->region.channel_width,
                 static_cast<unsigned long long>(metrics.dcs_bits),
-                metrics.dcs_speedup(), wl.mean_ratio(), result.wall_ms);
+                metrics.dcs_speedup(), wl.mean_ratio(), timing.mean_ratio(),
+                result.wall_ms);
     if (best == nullptr || metrics.dcs_bits < best_metrics.dcs_bits) {
       best = &result;
       best_metrics = metrics;
@@ -146,6 +156,12 @@ int main(int argc, char** argv) {
       jobs = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--inner=", 0) == 0) {
       options.anneal.inner_num = std::atof(arg.c_str() + 8);
+    } else if (arg.rfind("--timing-tradeoff=", 0) == 0) {
+      options.timing_tradeoff = std::atof(arg.c_str() + 18);
+      if (options.timing_tradeoff < 0.0 || options.timing_tradeoff > 1.0) {
+        std::fprintf(stderr, "error: --timing-tradeoff must be in [0, 1]\n");
+        return 1;
+      }
     } else if (arg.rfind("--k=", 0) == 0) {
       k = std::atoi(arg.c_str() + 4);
     } else if (arg == "--report") {
@@ -204,6 +220,15 @@ int main(int argc, char** argv) {
                 wl.mean_ratio(), wl.max_ratio());
     std::printf("  critical path vs MDR  : %.2f (worst mode %.2f)\n",
                 timing.mean_ratio(), timing.max_ratio());
+    std::printf("\nper-mode critical path (delay units%s):\n",
+                options.timing_tradeoff > 0.0 ? ", timing-driven DCS" : "");
+    std::printf("  %-4s | %8s | %8s | %6s\n", "mode", "MDR", "DCS", "ratio");
+    std::printf("  -----+----------+----------+-------\n");
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      std::printf("  %-4zu | %8.2f | %8.2f | %6.2f\n", m,
+                  timing.mdr_critical_path[m], timing.dcs_critical_path[m],
+                  timing.dcs_critical_path[m] / timing.mdr_critical_path[m]);
+    }
 
     if (report && experiment.tunable.has_value()) {
       tunable::ReportOptions ropt;

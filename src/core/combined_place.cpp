@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "common/perf.h"
 #include "common/stats.h"
+#include "place/cost_model.h"
 
 namespace mmflow::core {
 
@@ -47,12 +48,12 @@ class CombinedSa {
  public:
   CombinedSa(const std::vector<PlaceNetlist>& netlists,
              std::vector<Placement> placements, const DeviceGrid& grid,
-             CombinedCost cost_kind, Rng rng)
+             const CombinedPlaceOptions& options, Rng rng)
       : netlists_(netlists),
         placements_(std::move(placements)),
         grid_(grid),
         keys_(grid),
-        cost_kind_(cost_kind),
+        cost_kind_(options.cost),
         rng_(rng) {
     const int num_modes = static_cast<int>(netlists_.size());
     driven_net_.resize(netlists_.size());
@@ -95,6 +96,7 @@ class CombinedSa {
         site_cost_[static_cast<std::size_t>(s)] = merged_net_cost(s);
         cost_ += site_cost_[static_cast<std::size_t>(s)];
       }
+      if (options.timing_tradeoff > 0.0) bind_timing(options);
     } else {
       build_match_table();
       cost_ = -static_cast<double>(matches_);
@@ -123,9 +125,31 @@ class CombinedSa {
     MMFLOW_PERF_ADD("combined_place.moves_proposed", moves_proposed_);
     MMFLOW_PERF_ADD("combined_place.moves_accepted", moves_accepted_);
     MMFLOW_PERF_ADD("combined_place.site_evals", site_evals_);
+    MMFLOW_PERF_ADD("combined_place.timing_epochs", timing_epochs_);
     moves_proposed_ = 0;
     moves_accepted_ = 0;
     site_evals_ = 0;
+    timing_epochs_ = 0;
+  }
+
+  /// Temperature-epoch hook: refreshes every mode's criticalities from the
+  /// current positions, recomputes the raw timing costs they weight, and
+  /// re-bases the two normalizations so neither term starves the other as
+  /// magnitudes drift. No-op unless the timing layer is active, which
+  /// keeps the λ=0 path bit-identical to the λ-less annealer.
+  void begin_epoch() {
+    if (!timing_enabled()) return;
+    ++timing_epochs_;
+    obj_.t_sum = 0.0;
+    for (std::size_t m = 0; m < netlists_.size(); ++m) {
+      auto& mt = timing_[m];
+      mt.graph.update(msite_[m].data());
+      for (std::uint32_t n = 0; n < netlists_[m].num_nets(); ++n) {
+        mt.net_cost[n] = mt.graph.net_timing_cost(n, msite_[m].data());
+        obj_.t_sum += mt.net_cost[n];
+      }
+    }
+    rebase_timing();
   }
 
   /// One combined-placement move (paper §III-A): choose two sites and a
@@ -179,9 +203,13 @@ class CombinedSa {
     if (b1 < 0 && b2 < 0) return false;
 
     const double before = affected_cost_before(mode, b1, b2, k1, k2);
+    const double t_before = timing_cost_before(mode, b1, b2);
     apply_swap(mode, b1, b2, k1, k2, s1, s2);
     const double after = affected_cost_after();
-    const double delta = after - before;
+    const double t_after = timing_cost_after(mode);
+    const double delta = timing_enabled()
+                             ? obj_.delta(after - before, t_after - t_before)
+                             : after - before;
 
     const bool accept =
         delta <= 0.0 ||
@@ -189,6 +217,7 @@ class CombinedSa {
     if (accept) {
       ++moves_accepted_;
       commit_affected();
+      commit_timing(mode, after - before, t_after - t_before);
       cost_ += delta;
     } else {
       // EdgeMatch bookkeeping must be unwound at the *new* positions before
@@ -280,6 +309,96 @@ class CombinedSa {
     const std::size_t terminals =
         1 + static_cast<std::size_t>(distinct) - (self ? 1 : 0);
     return place::hpwl_cost(xmin, xmax, ymin, ymax, terminals);
+  }
+
+  // ---- timing layer (WireLength engine, timing_tradeoff > 0) ----------------
+  //
+  // The composite objective mirrors the conventional placer's
+  // TimingCostModel: cost = (1-λ)·WL/WL_norm + λ·T/T_norm, where WL is the
+  // merged-net wirelength the engine already maintains per source site and
+  // T = Σ_modes Σ_conns crit·delay with per-mode criticalities from a
+  // pre-route PlaceTimingGraph pass, refreshed once per temperature epoch.
+  // A move swaps one mode's occupants, so only that mode's nets touching
+  // the moved blocks change their timing cost.
+
+  [[nodiscard]] bool timing_enabled() const { return obj_.lambda > 0.0; }
+
+  void bind_timing(const CombinedPlaceOptions& options) {
+    MMFLOW_REQUIRE_MSG(options.timing_tradeoff <= 1.0,
+                       "timing_tradeoff must be in [0, 1]");
+    obj_.lambda = options.timing_tradeoff;
+    obj_.wl_sum = cost_;  // cost_ currently holds the raw wirelength total
+    obj_.t_sum = 0.0;
+    timing_.reserve(netlists_.size());
+    for (std::size_t m = 0; m < netlists_.size(); ++m) {
+      timing_.push_back(ModeTiming{
+          place::PlaceTimingGraph(netlists_[m], options.timing, grid_.spec()),
+          std::vector<double>(netlists_[m].num_nets(), 0.0),
+          std::vector<std::uint64_t>(netlists_[m].num_nets(), 0)});
+      auto& mt = timing_.back();
+      mt.graph.update(msite_[m].data());
+      for (std::uint32_t n = 0; n < netlists_[m].num_nets(); ++n) {
+        mt.net_cost[n] = mt.graph.net_timing_cost(n, msite_[m].data());
+        obj_.t_sum += mt.net_cost[n];
+      }
+    }
+    rebase_timing();
+  }
+
+  /// Re-bases the normalizations on the current raw totals and recomputes
+  /// the composite cost from them.
+  void rebase_timing() {
+    obj_.rebase();
+    cost_ = obj_.cost();
+  }
+
+  /// Raw timing cost of the pending swap's affected nets, *before* the swap
+  /// is applied; stashes the net list for the after pass. The collection
+  /// reuses an epoch-stamped per-net scratch (like the conventional
+  /// placer's mark_nets) — the move loop stays allocation-free.
+  double timing_cost_before(int mode, std::int32_t b1, std::int32_t b2) {
+    if (!timing_enabled()) return 0.0;
+    auto& mt = timing_[static_cast<std::size_t>(mode)];
+    pending_tnets_.clear();
+    const std::uint64_t epoch = ++tnet_epoch_counter_;
+    double before = 0.0;
+    for (const std::int32_t b : {b1, b2}) {
+      if (b < 0) continue;
+      auto [begin, end] =
+          netlists_[mode].nets_of_block(static_cast<std::uint32_t>(b));
+      for (const auto* it = begin; it != end; ++it) {
+        if (mt.net_epoch[*it] != epoch) {
+          mt.net_epoch[*it] = epoch;
+          pending_tnets_.push_back(*it);
+          before += mt.net_cost[*it];
+        }
+      }
+    }
+    return before;
+  }
+
+  /// Raw timing cost of the affected nets *after* the swap.
+  double timing_cost_after(int mode) {
+    if (!timing_enabled()) return 0.0;
+    const auto& mt = timing_[static_cast<std::size_t>(mode)];
+    pending_tcost_.clear();
+    double after = 0.0;
+    for (const auto n : pending_tnets_) {
+      const double c =
+          mt.graph.net_timing_cost(n, msite_[static_cast<std::size_t>(mode)].data());
+      pending_tcost_.push_back(c);
+      after += c;
+    }
+    return after;
+  }
+
+  void commit_timing(int mode, double wl_delta, double t_delta) {
+    if (!timing_enabled()) return;
+    auto& mt = timing_[static_cast<std::size_t>(mode)];
+    for (std::size_t i = 0; i < pending_tnets_.size(); ++i) {
+      mt.net_cost[pending_tnets_[i]] = pending_tcost_[i];
+    }
+    obj_.commit(wl_delta, t_delta);
   }
 
   // ---- EdgeMatch engine --------------------------------------------------------
@@ -459,6 +578,19 @@ class CombinedSa {
   std::uint64_t moves_proposed_ = 0;
   std::uint64_t moves_accepted_ = 0;
   mutable std::uint64_t site_evals_ = 0;
+  std::uint64_t timing_epochs_ = 0;
+
+  // Timing layer state (empty unless WireLength with timing_tradeoff > 0).
+  struct ModeTiming {
+    place::PlaceTimingGraph graph;
+    std::vector<double> net_cost;  ///< raw crit-weighted delay per net
+    std::vector<std::uint64_t> net_epoch;  ///< affected-net dedup scratch
+  };
+  std::vector<ModeTiming> timing_;
+  place::CompositeObjective obj_;
+  std::uint64_t tnet_epoch_counter_ = 0;
+  std::vector<std::uint32_t> pending_tnets_;
+  std::vector<double> pending_tcost_;
 
   // EdgeMatch engine state.
   std::unordered_map<std::uint64_t, ModeSetLocal> match_table_;
@@ -489,8 +621,8 @@ CombinedPlacement combined_place(const std::vector<techmap::LutCircuit>& modes,
     out.placements.push_back(place::random_placement(nl, grid, rng));
   }
 
-  CombinedSa sa(out.netlists, std::move(out.placements), grid,
-                options.cost, rng.fork());
+  CombinedSa sa(out.netlists, std::move(out.placements), grid, options,
+                rng.fork());
 
   const int max_range = std::max(grid.spec().nx, grid.spec().ny) + 2;
   place::AnnealSchedule schedule(options.anneal, sa.total_blocks(), max_range);
@@ -539,6 +671,9 @@ CombinedPlacement combined_place(const std::vector<techmap::LutCircuit>& modes,
       break;
     }
     schedule.step(r);
+    // New temperature: refresh criticalities and normalizations (no-op for
+    // λ=0 and for EdgeMatch).
+    sa.begin_epoch();
   }
 
   local.final_cost = sa.cost();

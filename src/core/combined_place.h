@@ -41,6 +41,16 @@ struct CombinedPlaceOptions {
   CombinedCost cost = CombinedCost::WireLength;
   std::uint64_t seed = 1;
   place::AnnealOptions anneal;
+  /// Timing-driven weight λ in [0, 1] for the WireLength engine: 0 keeps
+  /// the pure merged-wirelength objective (bit-identical per seed to the
+  /// λ-less annealer), larger values blend in a per-mode
+  /// criticality-weighted timing term estimated pre-route by the shared
+  /// delay model (place/cost_model.h). Ignored by EdgeMatch, whose
+  /// objective is placement-geometry-free.
+  double timing_tradeoff = 0.0;
+  /// Delay model for the pre-route estimator (read when timing_tradeoff >
+  /// 0); the same model the post-route report uses.
+  place::TimingModel timing;
 };
 
 struct CombinedPlaceStats {

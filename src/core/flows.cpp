@@ -119,6 +119,10 @@ std::uint64_t hash_flow_options(const FlowOptions& options) {
   fnv.u64(r.seed);
   fnv.i64(options.max_channel_width);
   fnv.byte(options.tplace_from_scratch_for_edgematch ? 1 : 0);
+  // timing_tradeoff is deliberately NOT hashed here: it rides in
+  // FlowKey::variant (whole-experiment entries only), so the λ-independent
+  // MDR artifacts share cache entries across a tradeoff sweep and every
+  // hash is bit-identical to the ones produced before the knob existed.
   return fnv.h;
 }
 
@@ -130,6 +134,7 @@ std::size_t FlowKeyHash::operator()(const FlowKey& key) const noexcept {
   fnv.u64(key.seed);
   fnv.u64(key.engine);
   fnv.i64(key.width);
+  fnv.u64(key.variant);
   return static_cast<std::size_t>(fnv.h);
 }
 
@@ -431,6 +436,7 @@ MultiModeExperiment compute_experiment(
   cp_options.cost = options.cost_engine;
   cp_options.seed = options.seed * 6364136223846793005ULL + 1;
   cp_options.anneal = options.anneal;
+  cp_options.timing_tradeoff = options.timing_tradeoff;
   const CombinedPlacement combined = combined_place(modes, grid, cp_options);
   ExtractedMerge merge = extract_merge(combined, grid);
 
@@ -562,6 +568,7 @@ std::shared_ptr<const MultiModeExperiment> run_experiment_shared(
   }
   FlowKey exp_key = base_key;
   exp_key.engine = 1u + static_cast<std::uint32_t>(options.cost_engine);
+  exp_key.variant = std::bit_cast<std::uint64_t>(options.timing_tradeoff);
   if (cache != nullptr) {
     if (auto hit = cache->find_experiment(exp_key)) return hit;
   }

@@ -100,6 +100,14 @@ struct FlowOptions {
   /// re-placed from scratch by TPlace (the paper's pipeline). WireLength
   /// keeps the combined placement's positions and only quench-polishes.
   bool tplace_from_scratch_for_edgematch = true;
+  /// Timing-driven combined placement: λ in [0, 1] blending the WireLength
+  /// engine's merged-wirelength objective with a criticality-weighted
+  /// pre-route timing term (see place/cost_model.h). Only the DCS side is
+  /// timing-driven — the MDR baseline stays wirelength-driven so
+  /// core::timing_report ratios measure the DCS gain against the paper's
+  /// fixed reference flow. 0 (the default) is bit-identical to the λ-less
+  /// flow, including the cached-flow hash.
+  double timing_tradeoff = 0.0;
 };
 
 /// One mode's MDR implementation.
@@ -152,7 +160,11 @@ struct MultiModeExperiment {
 /// Cache key for one flow artifact. `engine` is `1 + CombinedCost` for
 /// engine-specific entries and 0 for engine-independent ones (the MDR side);
 /// `width` is the channel width for per-width entries and -1 for
-/// width-independent ones.
+/// width-independent ones; `variant` is the bit pattern of
+/// `timing_tradeoff` for λ-dependent entries (whole experiments) and 0 for
+/// λ-independent ones — like `engine`, it lives in the key rather than the
+/// options hash so the MDR bundle, width probes and final MDR routes are
+/// shared across λ values (a tradeoff sweep pays for the baseline once).
 struct FlowKey {
   std::uint64_t netlist = 0;   ///< hash_modes of the input circuits
   std::uint64_t arch = 0;      ///< hash_arch of the base region
@@ -160,6 +172,7 @@ struct FlowKey {
   std::uint64_t seed = 0;      ///< FlowOptions::seed
   std::uint32_t engine = 0;    ///< 0 = engine-independent, else 1+CombinedCost
   std::int32_t width = -1;     ///< -1 = width-independent
+  std::uint64_t variant = 0;   ///< 0 = λ-independent, else timing_tradeoff bits
 
   friend bool operator==(const FlowKey&, const FlowKey&) = default;
 };

@@ -43,8 +43,10 @@ class ConnDelays {
            static_cast<std::uint64_t>(mode);
   }
   [[nodiscard]] double wire_cost(std::size_t wires) const {
-    return 2.0 * model_.pin_delay +
-           model_.wire_delay * static_cast<double>(wires);
+    // The shared formula (place/timing_model.h) evaluated on the *actual*
+    // routed wire count; the placement estimator evaluates the same formula
+    // on the Manhattan distance.
+    return place::connection_delay(model_, wires);
   }
 
   TimingModel model_;
@@ -142,7 +144,7 @@ TimingReport timing_report(const MultiModeExperiment& experiment,
               sink >= 0 ? mapping.lut_block(static_cast<std::uint32_t>(sink))
                         : mapping.po_block(static_cast<std::uint32_t>(~sink));
           const auto it = conn_of.find({place_block(src), sink_block});
-          if (it == conn_of.end()) return 2.0 * model.pin_delay;
+          if (it == conn_of.end()) return place::connection_delay(model, 0);
           return delays.get(it->second.first, it->second.second, 0);
         }));
   }
@@ -184,7 +186,7 @@ TimingReport timing_report(const MultiModeExperiment& experiment,
                           tc.tio_of_po(mode, static_cast<std::uint32_t>(~sink)));
             const auto it = conn_of.find(
                 {endpoint_key(src_tref(src)), endpoint_key(sink_ref)});
-            if (it == conn_of.end()) return 2.0 * model.pin_delay;
+            if (it == conn_of.end()) return place::connection_delay(model, 0);
             return delays.get(it->second.first, it->second.second, mode);
           }));
     }

@@ -13,14 +13,19 @@
 #include <vector>
 
 #include "core/flows.h"
+#include "place/timing_model.h"
 
 namespace mmflow::core {
 
-struct TimingModel {
-  double lut_delay = 1.0;   ///< logic block delay
-  double wire_delay = 0.5;  ///< per wire segment (unit-length)
-  double pin_delay = 0.2;   ///< OPIN/IPIN connection-block delay
-};
+/// The delay constants live in place/timing_model.h — a single definition
+/// shared with the pre-route estimator that drives timing-driven placement,
+/// so the report and the estimator can never drift apart. The estimator
+/// (`connection_delay` on a Manhattan distance, tabulated by `DelayLookup`)
+/// is re-exported here alongside the post-route report that applies the
+/// same formula to routed wire counts.
+using TimingModel = place::TimingModel;
+using place::connection_delay;
+using place::DelayLookup;
 
 /// Critical path (in model delay units) of one mode of a routed
 /// implementation: the longest register-to-register / IO-to-IO path where

@@ -4,7 +4,12 @@
 /// the conventional placer (src/place/placer.cpp) and the paper's combined
 /// multi-mode placement (src/core/combined_place.cpp): the paper states the
 /// combined placement "extended the conventional placement tool", so both
-/// use identical annealing machinery.
+/// use identical annealing machinery. The bounding-box estimator below is
+/// likewise shared: the pluggable cost models (place/cost_model.h) and the
+/// combined annealer's merged-net engine all cost nets with the same
+/// q(fanout)·HPWL formula. Each temperature step is one *epoch*: cost
+/// models refresh per-epoch state (timing criticalities, normalizations)
+/// when the schedule steps, never mid-temperature.
 
 #include <algorithm>
 #include <cmath>

@@ -1,0 +1,413 @@
+#include "place/cost_model.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "place/annealer.h"
+
+namespace mmflow::place {
+
+// ---- PlaceTimingGraph -------------------------------------------------------
+
+PlaceTimingGraph::PlaceTimingGraph(const PlaceNetlist& netlist,
+                                   const TimingModel& model,
+                                   const arch::ArchSpec& spec)
+    : netlist_(netlist), model_(model), delays_(model, spec) {
+  const std::size_t num_blocks = netlist.num_blocks();
+  const std::size_t num_nets = netlist.num_nets();
+
+  is_comb_.assign(num_blocks, 0);
+  std::size_t comb_total = 0;
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    const PlaceBlock& block = netlist.blocks()[b];
+    is_comb_[b] =
+        block.type == PlaceBlock::Type::Clb && !block.registered ? 1 : 0;
+    comb_total += is_comb_[b];
+  }
+
+  // Criticality slots: one per (net, sink), in net/sink-list order.
+  crit_offset_.assign(num_nets + 1, 0);
+  std::size_t slots = 0;
+  for (std::uint32_t n = 0; n < num_nets; ++n) {
+    crit_offset_[n] = static_cast<std::uint32_t>(slots);
+    slots += netlist.nets()[n].sinks.size();
+  }
+  crit_offset_[num_nets] = static_cast<std::uint32_t>(slots);
+  crit_.assign(slots, 0.0);
+
+  // Fanin CSR (incoming connections per block) and driven-net CSR.
+  std::vector<std::uint32_t> fanin_count(num_blocks, 0);
+  std::vector<std::uint32_t> driven_count(num_blocks, 0);
+  for (const auto& net : netlist.nets()) {
+    ++driven_count[net.driver];
+    for (const auto s : net.sinks) ++fanin_count[s];
+  }
+  fanin_offset_.assign(num_blocks + 1, 0);
+  driven_offset_.assign(num_blocks + 1, 0);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    fanin_offset_[b + 1] = fanin_offset_[b] + fanin_count[b];
+    driven_offset_[b + 1] = driven_offset_[b] + driven_count[b];
+  }
+  fanin_.resize(slots);
+  driven_nets_.resize(num_nets);
+  std::vector<std::uint32_t> fanin_cursor(fanin_offset_.begin(),
+                                          fanin_offset_.end() - 1);
+  std::vector<std::uint32_t> driven_cursor(driven_offset_.begin(),
+                                           driven_offset_.end() - 1);
+  for (std::uint32_t n = 0; n < num_nets; ++n) {
+    const PlaceNet& net = netlist.nets()[n];
+    driven_nets_[driven_cursor[net.driver]++] = n;
+    for (std::uint32_t i = 0; i < net.sinks.size(); ++i) {
+      fanin_[fanin_cursor[net.sinks[i]]++] =
+          Fanin{net.driver, crit_offset_[n] + i};
+    }
+  }
+
+  // Combinational evaluation order (Kahn over comb→comb connections; the
+  // worklist is consumed in discovery order, so the order is deterministic).
+  std::vector<std::uint32_t> indegree(num_blocks, 0);
+  for (const auto& net : netlist.nets()) {
+    if (!is_comb_[net.driver]) continue;
+    for (const auto s : net.sinks) {
+      if (is_comb_[s]) ++indegree[s];
+    }
+  }
+  topo_.reserve(comb_total);
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    if (is_comb_[b] && indegree[b] == 0) topo_.push_back(b);
+  }
+  for (std::size_t head = 0; head < topo_.size(); ++head) {
+    const std::uint32_t b = topo_[head];
+    for (std::uint32_t d = driven_offset_[b]; d < driven_offset_[b + 1]; ++d) {
+      for (const auto s : netlist.nets()[driven_nets_[d]].sinks) {
+        if (is_comb_[s] && --indegree[s] == 0) topo_.push_back(s);
+      }
+    }
+  }
+  MMFLOW_REQUIRE_MSG(topo_.size() == comb_total,
+                     "combinational cycle in placement netlist — "
+                     "timing-driven placement needs every loop broken by a "
+                     "registered block");
+
+  arrival_.assign(num_blocks, 0.0);
+  required_.assign(num_blocks, 0.0);
+}
+
+void PlaceTimingGraph::update(const arch::Site* sites) {
+  const std::size_t num_blocks = netlist_.num_blocks();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Latest input arrival of a block under the current positions. Sources
+  // (Io drivers, registered blocks) keep output arrival 0.
+  auto input_arrival = [&](std::uint32_t b) {
+    double latest = 0.0;
+    const arch::Site sb = sites[b];
+    for (std::uint32_t f = fanin_offset_[b]; f < fanin_offset_[b + 1]; ++f) {
+      const Fanin& in = fanin_[f];
+      latest = std::max(
+          latest, arrival_[in.driver] + delays_.delay(sites[in.driver], sb));
+    }
+    return latest;
+  };
+
+  // Forward pass: combinational blocks in topological order, then end-point
+  // capture times (registered blocks capture after their LUT, Io directly).
+  std::fill(arrival_.begin(), arrival_.end(), 0.0);
+  for (const auto b : topo_) {
+    arrival_[b] = input_arrival(b) + model_.lut_delay;
+  }
+  critical_ = 0.0;
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    if (is_comb_[b] || fanin_offset_[b] == fanin_offset_[b + 1]) continue;
+    const double capture = netlist_.blocks()[b].type == PlaceBlock::Type::Clb
+                               ? input_arrival(b) + model_.lut_delay
+                               : input_arrival(b);
+    critical_ = std::max(critical_, capture);
+  }
+
+  // Required time at a sink's *input*: end points by the critical path
+  // (minus the capture LUT for registered blocks), combinational sinks by
+  // their own output requirement minus their LUT delay.
+  auto required_in = [&](std::uint32_t s) {
+    if (is_comb_[s]) return required_[s] - model_.lut_delay;
+    return netlist_.blocks()[s].type == PlaceBlock::Type::Clb
+               ? critical_ - model_.lut_delay
+               : critical_;
+  };
+
+  // Backward pass over combinational blocks (reverse topological order);
+  // blocks driving nothing keep +inf and zero out their fanin criticality.
+  std::fill(required_.begin(), required_.end(), kInf);
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const std::uint32_t b = *it;
+    const arch::Site sb = sites[b];
+    double req = kInf;
+    for (std::uint32_t d = driven_offset_[b]; d < driven_offset_[b + 1]; ++d) {
+      const PlaceNet& net = netlist_.nets()[driven_nets_[d]];
+      for (const auto s : net.sinks) {
+        req = std::min(req, required_in(s) - delays_.delay(sb, sites[s]));
+      }
+    }
+    required_[b] = req;
+  }
+
+  // Criticality of every connection: 1 on the critical path, 0 with a full
+  // critical path of slack (or no downstream end point).
+  if (critical_ <= 0.0) {
+    std::fill(crit_.begin(), crit_.end(), 0.0);
+    return;
+  }
+  for (std::uint32_t n = 0; n < netlist_.num_nets(); ++n) {
+    const PlaceNet& net = netlist_.nets()[n];
+    const arch::Site sd = sites[net.driver];
+    for (std::uint32_t i = 0; i < net.sinks.size(); ++i) {
+      const std::uint32_t s = net.sinks[i];
+      const double slack = required_in(s) - delays_.delay(sd, sites[s]) -
+                           arrival_[net.driver];
+      crit_[crit_offset_[n] + i] =
+          std::clamp(1.0 - slack / critical_, 0.0, 1.0);
+    }
+  }
+}
+
+double PlaceTimingGraph::net_timing_cost(std::uint32_t net,
+                                         const arch::Site* sites) const {
+  const PlaceNet& n = netlist_.nets()[net];
+  const arch::Site sd = sites[n.driver];
+  const double* crit = crit_.data() + crit_offset_[net];
+  double cost = 0.0;
+  for (std::uint32_t i = 0; i < n.sinks.size(); ++i) {
+    cost += crit[i] * delays_.delay(sd, sites[n.sinks[i]]);
+  }
+  return cost;
+}
+
+// ---- cost models ------------------------------------------------------------
+
+namespace {
+
+/// Flattened net terminals (driver first, then sinks in order) shared by
+/// both models: the per-move evaluation walks terminals of a handful of
+/// nets, and chasing each net's sink vector separately dominates it.
+struct NetTerms {
+  explicit NetTerms(const PlaceNetlist& netlist)
+      : term_offset(netlist.num_nets() + 1, 0),
+        net_weight(netlist.num_nets(), 0.0) {
+    for (std::uint32_t n = 0; n < netlist.num_nets(); ++n) {
+      const PlaceNet& net = netlist.nets()[n];
+      term_offset[n] = static_cast<std::uint32_t>(term_ids.size());
+      term_ids.push_back(net.driver);
+      term_ids.insert(term_ids.end(), net.sinks.begin(), net.sinks.end());
+      net_weight[n] = net.weight;
+    }
+    term_offset[netlist.num_nets()] =
+        static_cast<std::uint32_t>(term_ids.size());
+  }
+
+  /// q(fanout)·HPWL of net `n` at `sites` — operation for operation the
+  /// evaluation the pre-cost-model annealer ran inline.
+  [[nodiscard]] double wl_cost(std::uint32_t n, const arch::Site* sites) const {
+    const std::uint32_t* t = term_ids.data() + term_offset[n];
+    const std::uint32_t* tend = term_ids.data() + term_offset[n + 1];
+    const std::size_t terminals = static_cast<std::size_t>(tend - t);
+    const arch::Site& d = sites[*t];  // driver
+    int xmin = d.x, xmax = d.x, ymin = d.y, ymax = d.y;
+    for (++t; t != tend; ++t) {
+      const arch::Site& site = sites[*t];
+      xmin = std::min<int>(xmin, site.x);
+      xmax = std::max<int>(xmax, site.x);
+      ymin = std::min<int>(ymin, site.y);
+      ymax = std::max<int>(ymax, site.y);
+    }
+    return net_weight[n] * hpwl_cost(xmin, xmax, ymin, ymax, terminals);
+  }
+
+  std::vector<std::uint32_t> term_offset;
+  std::vector<std::uint32_t> term_ids;
+  std::vector<double> net_weight;
+};
+
+/// The classic bounding-box wirelength objective; bit-identical per seed to
+/// the pre-cost-model annealer.
+class WirelengthCostModel final : public PlaceCostModel {
+ public:
+  explicit WirelengthCostModel(const PlaceNetlist& netlist)
+      : netlist_(netlist),
+        terms_(netlist),
+        net_cost_(netlist.num_nets(), 0.0) {}
+
+  void bind(const arch::Site* sites) override {
+    cost_ = 0.0;
+    for (std::uint32_t n = 0; n < netlist_.num_nets(); ++n) {
+      net_cost_[n] = terms_.wl_cost(n, sites);
+      cost_ += net_cost_[n];
+    }
+  }
+
+  [[nodiscard]] double cost() const override { return cost_; }
+
+  double eval_move(const std::uint32_t* affected, std::size_t count,
+                   const arch::Site* sites) override {
+    pending_affected_ = affected;
+    pending_count_ = count;
+    double old_cost = 0.0;
+    for (std::size_t i = 0; i < count; ++i) old_cost += net_cost_[affected[i]];
+    new_cost_.clear();
+    double new_cost = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const double c = terms_.wl_cost(affected[i], sites);
+      ++net_evals_;
+      new_cost_.push_back(c);
+      new_cost += c;
+    }
+    pending_delta_ = new_cost - old_cost;
+    return pending_delta_;
+  }
+
+  void commit() override {
+    for (std::size_t i = 0; i < pending_count_; ++i) {
+      net_cost_[pending_affected_[i]] = new_cost_[i];
+    }
+    cost_ += pending_delta_;
+  }
+
+  void begin_epoch(const arch::Site*) override {}
+
+  std::uint64_t take_net_evals() override {
+    const std::uint64_t evals = net_evals_;
+    net_evals_ = 0;
+    return evals;
+  }
+
+ private:
+  const PlaceNetlist& netlist_;
+  NetTerms terms_;
+  std::vector<double> net_cost_;
+  double cost_ = 0.0;
+
+  const std::uint32_t* pending_affected_ = nullptr;
+  std::size_t pending_count_ = 0;
+  std::vector<double> new_cost_;
+  double pending_delta_ = 0.0;
+  std::uint64_t net_evals_ = 0;
+};
+
+/// Criticality-weighted timing-driven objective:
+///   cost = (1-λ)·WL/WL_norm + λ·T/T_norm,
+/// with raw per-net wirelength and timing costs maintained incrementally
+/// and the normalizations re-based every temperature epoch.
+class TimingCostModel final : public PlaceCostModel {
+ public:
+  TimingCostModel(const PlaceNetlist& netlist, const arch::DeviceGrid& grid,
+                  double tradeoff, const TimingModel& timing)
+      : netlist_(netlist),
+        terms_(netlist),
+        graph_(netlist, timing, grid.spec()),
+        wl_cost_(netlist.num_nets(), 0.0),
+        t_cost_(netlist.num_nets(), 0.0) {
+    obj_.lambda = tradeoff;
+  }
+
+  void bind(const arch::Site* sites) override {
+    graph_.update(sites);
+    obj_.wl_sum = 0.0;
+    obj_.t_sum = 0.0;
+    for (std::uint32_t n = 0; n < netlist_.num_nets(); ++n) {
+      wl_cost_[n] = terms_.wl_cost(n, sites);
+      t_cost_[n] = graph_.net_timing_cost(n, sites);
+      obj_.wl_sum += wl_cost_[n];
+      obj_.t_sum += t_cost_[n];
+    }
+    obj_.rebase();
+  }
+
+  [[nodiscard]] double cost() const override { return obj_.cost(); }
+
+  double eval_move(const std::uint32_t* affected, std::size_t count,
+                   const arch::Site* sites) override {
+    pending_affected_ = affected;
+    pending_count_ = count;
+    double old_wl = 0.0;
+    double old_t = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      old_wl += wl_cost_[affected[i]];
+      old_t += t_cost_[affected[i]];
+    }
+    new_wl_.clear();
+    new_t_.clear();
+    double new_wl = 0.0;
+    double new_t = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const double wl = terms_.wl_cost(affected[i], sites);
+      const double t = graph_.net_timing_cost(affected[i], sites);
+      ++net_evals_;
+      new_wl_.push_back(wl);
+      new_t_.push_back(t);
+      new_wl += wl;
+      new_t += t;
+    }
+    pending_dwl_ = new_wl - old_wl;
+    pending_dt_ = new_t - old_t;
+    return obj_.delta(pending_dwl_, pending_dt_);
+  }
+
+  void commit() override {
+    for (std::size_t i = 0; i < pending_count_; ++i) {
+      wl_cost_[pending_affected_[i]] = new_wl_[i];
+      t_cost_[pending_affected_[i]] = new_t_[i];
+    }
+    obj_.commit(pending_dwl_, pending_dt_);
+  }
+
+  void begin_epoch(const arch::Site* sites) override {
+    // Wirelength costs only depend on positions and stay valid; timing
+    // costs depend on the refreshed criticalities and are recomputed.
+    graph_.update(sites);
+    obj_.t_sum = 0.0;
+    for (std::uint32_t n = 0; n < netlist_.num_nets(); ++n) {
+      t_cost_[n] = graph_.net_timing_cost(n, sites);
+      obj_.t_sum += t_cost_[n];
+    }
+    obj_.rebase();
+  }
+
+  std::uint64_t take_net_evals() override {
+    const std::uint64_t evals = net_evals_;
+    net_evals_ = 0;
+    return evals;
+  }
+
+ private:
+  const PlaceNetlist& netlist_;
+  NetTerms terms_;
+  CompositeObjective obj_;
+  PlaceTimingGraph graph_;
+  std::vector<double> wl_cost_;
+  std::vector<double> t_cost_;
+
+  const std::uint32_t* pending_affected_ = nullptr;
+  std::size_t pending_count_ = 0;
+  std::vector<double> new_wl_;
+  std::vector<double> new_t_;
+  double pending_dwl_ = 0.0;
+  double pending_dt_ = 0.0;
+  std::uint64_t net_evals_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PlaceCostModel> make_cost_model(const PlaceNetlist& netlist,
+                                                const arch::DeviceGrid& grid,
+                                                double timing_tradeoff,
+                                                const TimingModel& timing) {
+  MMFLOW_REQUIRE_MSG(timing_tradeoff >= 0.0 && timing_tradeoff <= 1.0,
+                     "timing_tradeoff must be in [0, 1]");
+  if (timing_tradeoff == 0.0) {
+    return std::make_unique<WirelengthCostModel>(netlist);
+  }
+  return std::make_unique<TimingCostModel>(netlist, grid, timing_tradeoff,
+                                           timing);
+}
+
+}  // namespace mmflow::place

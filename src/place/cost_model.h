@@ -1,0 +1,177 @@
+#pragma once
+/// \file cost_model.h
+/// Pluggable placement cost models for the simulated-annealing placers.
+///
+/// The conventional annealer (place/placer.cpp) owns move *proposal*: it
+/// picks blocks and target sites, stages the candidate positions in a flat
+/// block→site mirror, and decides acceptance. What a move *costs* is
+/// delegated to a `PlaceCostModel`:
+///
+///  * `WirelengthCostModel` — the classic VPR bounding-box objective,
+///    q(fanout)·HPWL per net. It reproduces the pre-cost-model annealer's
+///    arithmetic operation for operation, so placements are bit-identical
+///    per seed to the hardwired implementation it replaced (asserted by
+///    tests/test_cost_model.cpp against captured goldens).
+///  * `TimingCostModel` — criticality-weighted timing-driven placement:
+///    cost = (1-λ)·WL/WL_norm + λ·T/T_norm with
+///    T = Σ_conn crit(conn)·delay(conn), conn delays estimated pre-route by
+///    the shared `DelayLookup` (place/timing_model.h) and criticalities
+///    refreshed once per temperature epoch by a `PlaceTimingGraph`
+///    arrival/required pass. The normalizations are re-based at each epoch
+///    (VPR's scheme) so neither term starves the other as magnitudes drift.
+///
+/// Both models evaluate moves against the annealer's *staged* site mirror —
+/// rejected moves never touch a `Placement` — and commit per-net cost
+/// updates only on acceptance, exactly like the fused evaluation they
+/// replace.
+///
+/// Thread-safety: a model instance is owned by one annealing run and is not
+/// thread-safe; concurrent placements each construct their own (the batch
+/// driver's jobs do). `PlaceTimingGraph` and `DelayLookup` are immutable
+/// after construction except for `PlaceTimingGraph::update`.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/arch.h"
+#include "place/placenet.h"
+#include "place/timing_model.h"
+
+namespace mmflow::place {
+
+/// Pre-route static timing over a `PlaceNetlist`: forward arrival and
+/// backward required passes with distance-estimated connection delays,
+/// exposing per-connection criticalities in [0, 1].
+///
+/// Timing start points are Io blocks that drive nets and `registered` Clb
+/// blocks (their output launches at the clock edge); end points are Io
+/// blocks with fanin and the inputs of `registered` Clb blocks (capture
+/// after the block's LUT delay). Combinational Clb blocks propagate
+/// arrival + lut_delay. The evaluation order is fixed at construction; a
+/// combinational cycle (a loop not broken by a `registered` block) is a
+/// precondition violation and throws.
+class PlaceTimingGraph {
+ public:
+  PlaceTimingGraph(const PlaceNetlist& netlist, const TimingModel& model,
+                   const arch::ArchSpec& spec);
+
+  /// Full arrival/required pass over the block→site mirror `sites`;
+  /// refreshes the critical-path estimate and every connection criticality.
+  /// O(blocks + connections).
+  void update(const arch::Site* sites);
+
+  /// Estimated critical path (delay units) as of the last update().
+  [[nodiscard]] double critical_path() const { return critical_; }
+
+  /// Criticality of sink `sink` (position in the net's sink list) of net
+  /// `net`, as of the last update().
+  [[nodiscard]] double criticality(std::uint32_t net,
+                                   std::uint32_t sink) const {
+    return crit_[crit_offset_[net] + sink];
+  }
+
+  /// Criticality-weighted delay of net `net` evaluated at `sites`:
+  /// Σ_sinks crit·delay(driver_site, sink_site).
+  [[nodiscard]] double net_timing_cost(std::uint32_t net,
+                                       const arch::Site* sites) const;
+
+  [[nodiscard]] const DelayLookup& delays() const { return delays_; }
+
+ private:
+  /// One incoming connection of a block: the driving block and the global
+  /// criticality slot of the (net, sink) pair it corresponds to.
+  struct Fanin {
+    std::uint32_t driver = 0;
+    std::uint32_t slot = 0;
+  };
+
+  const PlaceNetlist& netlist_;
+  TimingModel model_;
+  DelayLookup delays_;
+  std::vector<std::uint32_t> topo_;          ///< comb Clb blocks, eval order
+  std::vector<std::uint32_t> fanin_offset_;  ///< per block (CSR)
+  std::vector<Fanin> fanin_;
+  std::vector<std::uint32_t> driven_offset_;  ///< per block (CSR)
+  std::vector<std::uint32_t> driven_nets_;
+  std::vector<std::uint32_t> crit_offset_;   ///< per net → crit_ base
+  std::vector<double> crit_;                 ///< per (net, sink)
+  std::vector<double> arrival_;   ///< block *output* arrival time
+  std::vector<double> required_;  ///< block *output* required time
+  std::vector<std::uint8_t> is_comb_;  ///< Clb && !registered
+  double critical_ = 0.0;
+};
+
+/// The λ-blend bookkeeping of the composite timing objective
+///   cost = (1-λ)·WL/WL_norm + λ·T/T_norm,
+/// shared by `TimingCostModel` and the combined annealer's timing layer so
+/// the blend/normalization semantics cannot drift between the two. Raw
+/// wirelength and timing totals are maintained incrementally by the owner;
+/// `rebase()` runs once per temperature epoch.
+struct CompositeObjective {
+  double lambda = 0.0;
+  double wl_sum = 0.0;
+  double t_sum = 0.0;
+  double wl_norm = 1.0;
+  double t_norm = 1.0;
+
+  /// Re-bases the normalizations on the current raw totals (so neither
+  /// term starves the other as magnitudes drift during the anneal).
+  void rebase() {
+    wl_norm = std::max(wl_sum, 1e-12);
+    t_norm = std::max(t_sum, 1e-12);
+  }
+  [[nodiscard]] double cost() const {
+    return (1.0 - lambda) * wl_sum / wl_norm + lambda * t_sum / t_norm;
+  }
+  /// Composite delta of a move with raw deltas (dwl, dt).
+  [[nodiscard]] double delta(double dwl, double dt) const {
+    return (1.0 - lambda) * dwl / wl_norm + lambda * dt / t_norm;
+  }
+  void commit(double dwl, double dt) {
+    wl_sum += dwl;
+    t_sum += dt;
+  }
+};
+
+/// Cost-evaluation strategy of one annealing run. The annealer proposes a
+/// move, stages it in its site mirror, collects the affected nets and calls
+/// `eval_move`; on acceptance it calls `commit`, otherwise it simply
+/// unstages the mirror (models hold no per-move state that outlives the
+/// next `eval_move`). `begin_epoch` runs once per temperature step.
+class PlaceCostModel {
+ public:
+  virtual ~PlaceCostModel() = default;
+
+  /// Binds the model to the initial block→site mirror and computes the
+  /// starting cost. Called exactly once, before any eval_move.
+  virtual void bind(const arch::Site* sites) = 0;
+
+  /// Current total cost (consistent with the committed deltas).
+  [[nodiscard]] virtual double cost() const = 0;
+
+  /// Evaluates the `count` nets in `affected` against the staged `sites`
+  /// mirror and returns the cost delta of the pending move.
+  virtual double eval_move(const std::uint32_t* affected, std::size_t count,
+                           const arch::Site* sites) = 0;
+
+  /// Commits the most recently evaluated move (per-net costs + total).
+  virtual void commit() = 0;
+
+  /// Temperature-epoch hook: refresh criticalities/normalizations from the
+  /// committed `sites`. Pure-wirelength models do nothing.
+  virtual void begin_epoch(const arch::Site* sites) = 0;
+
+  /// Net evaluations since the last call (perf-counter drain).
+  [[nodiscard]] virtual std::uint64_t take_net_evals() = 0;
+};
+
+/// Builds the model selected by `timing_tradeoff`: 0 yields the
+/// bit-identical wirelength engine, (0, 1] the criticality-weighted timing
+/// engine with that λ.
+[[nodiscard]] std::unique_ptr<PlaceCostModel> make_cost_model(
+    const PlaceNetlist& netlist, const arch::DeviceGrid& grid,
+    double timing_tradeoff, const TimingModel& timing);
+
+}  // namespace mmflow::place

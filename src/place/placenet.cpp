@@ -53,7 +53,8 @@ PlaceNetlist to_place_netlist(const techmap::LutCircuit& circuit,
   PlaceNetlist out;
 
   for (std::uint32_t b = 0; b < circuit.num_blocks(); ++b) {
-    out.add_block(PlaceBlock::Type::Clb, circuit.blocks()[b].name);
+    out.add_block(PlaceBlock::Type::Clb, circuit.blocks()[b].name,
+                  circuit.blocks()[b].has_ff);
   }
   const auto pi_base = static_cast<std::uint32_t>(out.num_blocks());
   for (const auto& name : circuit.pi_names()) {

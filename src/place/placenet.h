@@ -18,6 +18,10 @@ struct PlaceBlock {
   enum class Type : std::uint8_t { Clb, Io };
   Type type = Type::Clb;
   std::string name;
+  /// Clb whose output is the registered (FF) LUT value: a sequential timing
+  /// start/end point for the pre-route analyzer (place/cost_model.h). Io
+  /// blocks are always timing endpoints; the flag is meaningless for them.
+  bool registered = false;
 };
 
 /// A net: one driver block and its sink blocks (deduplicated; a block
@@ -32,8 +36,9 @@ struct PlaceNet {
 
 class PlaceNetlist {
  public:
-  std::uint32_t add_block(PlaceBlock::Type type, std::string name) {
-    blocks_.push_back(PlaceBlock{type, std::move(name)});
+  std::uint32_t add_block(PlaceBlock::Type type, std::string name,
+                          bool registered = false) {
+    blocks_.push_back(PlaceBlock{type, std::move(name), registered});
     return static_cast<std::uint32_t>(blocks_.size() - 1);
   }
   std::uint32_t add_net(PlaceNet net) {

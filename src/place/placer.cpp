@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/log.h"
 #include "common/perf.h"
 #include "common/stats.h"
+#include "place/cost_model.h"
 
 namespace mmflow::place {
 
@@ -130,38 +132,33 @@ Placement random_placement(const PlaceNetlist& netlist,
 
 namespace {
 
-/// Incremental SA engine. Cost is maintained as the sum of per-net costs;
-/// a move evaluates only the nets touching the moved block(s), *before*
-/// mutating the placement: the two candidate positions are staged in a flat
-/// block→site mirror, the affected boxes are recomputed from that mirror
-/// (branch-free), and the placement's occupancy structures are only touched
-/// when the move is accepted — which then commits the already-computed
-/// costs instead of re-evaluating them (the seed paid a second full
-/// evaluation per accepted move). Net fanouts in mapped LUT circuits are
-/// small, so recomputing a net's bounding box from scratch is cheap and,
-/// unlike VPR's incremental bounding boxes, trivially correct; a cached-box
-/// equality shortcut was measured and rejected (the moved block is almost
-/// always a terminal of every affected net, so the box nearly always
-/// changes and the compare plus write-back costs more than the hpwl it
-/// saves).
+/// Incremental SA engine. The engine owns move *proposal* (random block and
+/// target site, staged block→site mirror, occupancy mirrors, acceptance);
+/// what a move *costs* is delegated to the pluggable `PlaceCostModel`
+/// (place/cost_model.h), which maintains the per-net cost decomposition and
+/// evaluates only the nets touching the moved block(s) against the staged
+/// mirror — so rejected moves never touch the placement, and accepted moves
+/// commit the already-computed costs instead of re-evaluating them (the
+/// seed paid a second full evaluation per accepted move). Net fanouts in
+/// mapped LUT circuits are small, so recomputing an affected net from
+/// scratch is cheap and, unlike VPR's incremental bounding boxes, trivially
+/// correct.
 class Sa {
  public:
   Sa(const PlaceNetlist& netlist, const arch::DeviceGrid& grid,
-     Placement placement, Rng rng)
+     const Placement& placement, Rng rng,
+     std::unique_ptr<PlaceCostModel> model)
       : netlist_(netlist),
         grid_(grid),
-        placement_(std::move(placement)),
         rng_(rng),
-        net_cost_(netlist.num_nets(), 0.0),
-        net_weight_(netlist.num_nets(), 0.0),
-        term_offset_(netlist.num_nets() + 1, 0),
+        model_(std::move(model)),
         sites_(netlist.num_blocks()),
         net_epoch_(netlist.num_nets(), 0) {
     netlist_.build_block_nets();
     clb_occ_.assign(static_cast<std::size_t>(grid.num_clb_sites()), -1);
     pad_occ_.assign(static_cast<std::size_t>(grid.num_pad_sites()), -1);
     for (std::uint32_t b = 0; b < netlist_.num_blocks(); ++b) {
-      const arch::Site site = placement_.site_of(b);
+      const arch::Site site = placement.site_of(b);
       sites_[b] = site;
       if (site.type == arch::Site::Type::Clb) {
         clb_occ_[static_cast<std::size_t>(grid_.clb_index(site.x, site.y))] =
@@ -171,26 +168,14 @@ class Sa {
             static_cast<std::int32_t>(b);
       }
     }
-    // Flatten net terminals (driver first, then sinks in order) into one
-    // CSR array: the per-move evaluation walks terminals of a handful of
-    // nets, and chasing each net's sink vector separately dominates it.
-    for (std::uint32_t n = 0; n < netlist_.num_nets(); ++n) {
-      const PlaceNet& net = netlist_.nets()[n];
-      term_offset_[n] = static_cast<std::uint32_t>(term_ids_.size());
-      term_ids_.push_back(net.driver);
-      term_ids_.insert(term_ids_.end(), net.sinks.begin(), net.sinks.end());
-      net_weight_[n] = net.weight;
-    }
-    term_offset_[netlist_.num_nets()] =
-        static_cast<std::uint32_t>(term_ids_.size());
-    cost_ = 0.0;
-    for (std::uint32_t n = 0; n < netlist_.num_nets(); ++n) {
-      net_cost_[n] = net_cost(netlist_.nets()[n], placement_);
-      cost_ += net_cost_[n];
-    }
+    model_->bind(sites_.data());
   }
 
-  [[nodiscard]] double cost() const { return cost_; }
+  [[nodiscard]] double cost() const { return model_->cost(); }
+
+  /// Temperature-epoch hook: lets the cost model refresh epoch state
+  /// (criticalities, normalizations) from the committed positions.
+  void begin_epoch() { model_->begin_epoch(sites_.data()); }
 
   /// Rebuilds the Placement from the annealed site mirror (the annealing
   /// loop never touches the Placement's occupancy bookkeeping).
@@ -266,36 +251,14 @@ class Sa {
     mark_nets(block);
     if (other >= 0) mark_nets(static_cast<std::uint32_t>(other));
 
-    double old_cost = 0.0;
-    for (const auto n : affected_) old_cost += net_cost_[n];
-
     // What-if evaluation: stage the candidate positions in the site mirror
-    // (the placement itself stays untouched until the move is accepted).
+    // (the placement itself stays untouched until the move is accepted) and
+    // let the cost model evaluate the affected nets against it.
     sites_[block] = to;
     if (other >= 0) sites_[static_cast<std::uint32_t>(other)] = from;
 
-    new_cost_.clear();
-    double new_cost = 0.0;
-    for (const auto n : affected_) {
-      const std::uint32_t* t = term_ids_.data() + term_offset_[n];
-      const std::uint32_t* tend = term_ids_.data() + term_offset_[n + 1];
-      const std::size_t terminals = static_cast<std::size_t>(tend - t);
-      const arch::Site& d = sites_[*t];  // driver
-      Bb bb{d.x, d.x, d.y, d.y};
-      for (++t; t != tend; ++t) {
-        const arch::Site& site = sites_[*t];
-        bb.xmin = std::min<int>(bb.xmin, site.x);
-        bb.xmax = std::max<int>(bb.xmax, site.x);
-        bb.ymin = std::min<int>(bb.ymin, site.y);
-        bb.ymax = std::max<int>(bb.ymax, site.y);
-      }
-      const double c = net_weight_[n] *
-          hpwl_cost(bb.xmin, bb.xmax, bb.ymin, bb.ymax, terminals);
-      ++net_evals_;
-      new_cost_.push_back(c);
-      new_cost += c;
-    }
-    const double delta = new_cost - old_cost;
+    const double delta =
+        model_->eval_move(affected_.data(), affected_.size(), sites_.data());
 
     const bool accept =
         delta <= 0.0 ||
@@ -304,10 +267,7 @@ class Sa {
       ++moves_accepted_;
       occ[static_cast<std::size_t>(to_idx)] = static_cast<std::int32_t>(block);
       occ[static_cast<std::size_t>(from_idx)] = other;
-      for (std::size_t i = 0; i < affected_.size(); ++i) {
-        net_cost_[affected_[i]] = new_cost_[i];
-      }
-      cost_ += delta;
+      model_->commit();
     } else {
       // Unstage.
       sites_[block] = from;
@@ -323,33 +283,25 @@ class Sa {
   void flush_perf() {
     MMFLOW_PERF_ADD("place.moves_proposed", moves_proposed_);
     MMFLOW_PERF_ADD("place.moves_accepted", moves_accepted_);
-    MMFLOW_PERF_ADD("place.net_evals", net_evals_);
+    MMFLOW_PERF_ADD("place.net_evals", model_->take_net_evals());
     moves_proposed_ = 0;
     moves_accepted_ = 0;
-    net_evals_ = 0;
   }
 
  private:
   const PlaceNetlist& netlist_;
   const arch::DeviceGrid& grid_;
-  Placement placement_;
   Rng rng_;
-  std::vector<double> net_cost_;
-  std::vector<double> net_weight_;
-  std::vector<std::uint32_t> term_offset_;  ///< net terminals (CSR)
-  std::vector<std::uint32_t> term_ids_;     ///< driver first, then sinks
+  std::unique_ptr<PlaceCostModel> model_;
   std::vector<arch::Site> sites_;  ///< block→site mirror for evaluation
   std::vector<std::int32_t> clb_occ_;  ///< CLB-site occupancy mirror
   std::vector<std::int32_t> pad_occ_;  ///< pad-site occupancy mirror
-  double cost_ = 0.0;
   std::vector<std::uint32_t> affected_;
-  std::vector<double> new_cost_;
   std::vector<std::uint64_t> net_epoch_;
   std::uint64_t epoch_ = 0;
 
   std::uint64_t moves_proposed_ = 0;
   std::uint64_t moves_accepted_ = 0;
-  std::uint64_t net_evals_ = 0;
 };
 
 }  // namespace
@@ -361,7 +313,9 @@ Placement place_from(const PlaceNetlist& netlist, const arch::DeviceGrid& grid,
   MMFLOW_PERF_ADD("place.calls", 1);
   initial.validate(netlist);
   Rng rng(options.seed);
-  Sa sa(netlist, grid, std::move(initial), rng.fork());
+  Sa sa(netlist, grid, initial, rng.fork(),
+        make_cost_model(netlist, grid, options.timing_tradeoff,
+                        options.timing));
 
   const int max_range = std::max(grid.spec().nx, grid.spec().ny) + 2;
   AnnealSchedule schedule(options.anneal, netlist.num_blocks(), max_range);
@@ -422,6 +376,10 @@ Placement place_from(const PlaceNetlist& netlist, const arch::DeviceGrid& grid,
       break;
     }
     schedule.step(r);
+    // New temperature: refresh the cost model's epoch state (criticality
+    // recompute + normalization re-base for the timing model; no-op for
+    // pure wirelength, which keeps the λ=0 path bit-identical).
+    sa.begin_epoch();
   }
 
   local_stats.final_cost = sa.cost();

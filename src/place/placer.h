@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "place/annealer.h"
 #include "place/placenet.h"
+#include "place/timing_model.h"
 
 namespace mmflow::place {
 
@@ -58,6 +59,14 @@ struct PlacerOptions {
   AnnealOptions anneal;
   /// Quench only (skip high-temperature phase); used by TPlace polish runs.
   bool quench_only = false;
+  /// Timing-driven placement weight λ in [0, 1]. 0 selects the pure
+  /// bounding-box wirelength cost model (bit-identical per seed to the
+  /// pre-cost-model annealer); larger values blend in the
+  /// criticality-weighted timing term (see place/cost_model.h).
+  double timing_tradeoff = 0.0;
+  /// Delay model for the pre-route estimator (only read when
+  /// timing_tradeoff > 0). Shared with the post-route report.
+  TimingModel timing;
 };
 
 struct PlacerStats {

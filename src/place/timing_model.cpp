@@ -1,0 +1,16 @@
+#include "place/timing_model.h"
+
+namespace mmflow::place {
+
+DelayLookup::DelayLookup(const TimingModel& model, const arch::ArchSpec& spec) {
+  // Site coordinates span 0..nx+1 and 0..ny+1 (pads sit on the perimeter),
+  // so the largest Manhattan distance on the device is (nx+1) + (ny+1).
+  const int max_dist = (spec.nx + 1) + (spec.ny + 1);
+  table_.resize(static_cast<std::size_t>(max_dist) + 1);
+  for (int d = 0; d <= max_dist; ++d) {
+    table_[static_cast<std::size_t>(d)] =
+        connection_delay(model, static_cast<std::size_t>(d));
+  }
+}
+
+}  // namespace mmflow::place

@@ -1,0 +1,62 @@
+#pragma once
+/// \file timing_model.h
+/// The delay model shared by post-route timing analysis (core/timing) and
+/// the pre-route connection-delay estimator that drives timing-driven
+/// placement (place/cost_model.h).
+///
+/// This is the *single* definition of the delay constants and of the
+/// connection-delay formula. The post-route report evaluates the formula on
+/// the actual routed wire count of a connection; the pre-route estimator
+/// evaluates the same formula on the Manhattan distance between the
+/// endpoint sites (on this architecture every wire segment spans exactly one
+/// logic block, so distance is the wire count of a detour-free route). The
+/// two views can therefore never drift apart: improving an estimated delay
+/// improves the reported one.
+///
+/// The struct lives in mmflow::place — the lowest layer that needs it — and
+/// is re-exported as core::TimingModel by core/timing.h for the public
+/// reporting API.
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/arch.h"
+
+namespace mmflow::place {
+
+/// Unit-delay model of the architecture (see core/timing.h for the
+/// reporting context): one LUT delay per logic block, one wire delay per
+/// routed unit-length segment, one pin delay per connection-block hop.
+struct TimingModel {
+  double lut_delay = 1.0;   ///< logic block delay
+  double wire_delay = 0.5;  ///< per wire segment (unit-length)
+  double pin_delay = 0.2;   ///< OPIN/IPIN connection-block delay
+};
+
+/// Delay of one connection that crosses `wires` wire segments: two
+/// connection-block pin hops plus the segments. Shared by the post-route
+/// report (actual routed wire count) and the pre-route estimator (Manhattan
+/// distance as the wire count).
+[[nodiscard]] inline double connection_delay(const TimingModel& model,
+                                             std::size_t wires) {
+  return 2.0 * model.pin_delay +
+         model.wire_delay * static_cast<double>(wires);
+}
+
+/// Pre-route connection-delay estimator: a distance-indexed lookup table
+/// over `connection_delay`, precomputed once per device so the annealer hot
+/// path pays one subtract/add and one load per delay query.
+class DelayLookup {
+ public:
+  DelayLookup(const TimingModel& model, const arch::ArchSpec& spec);
+
+  /// Estimated delay of a connection from site `a` to site `b`.
+  [[nodiscard]] double delay(const arch::Site& a, const arch::Site& b) const {
+    return table_[static_cast<std::size_t>(arch::DeviceGrid::manhattan(a, b))];
+  }
+
+ private:
+  std::vector<double> table_;  ///< indexed by Manhattan distance
+};
+
+}  // namespace mmflow::place

@@ -78,6 +78,76 @@ TEST(Timing, LongerWiresRaiseDelay) {
   }
 }
 
+TEST(Timing, SingleLutModeHasOneLevelPath) {
+  // Degenerate mode circuits: one LUT between one PI and one PO. The
+  // critical path is PI -> LUT -> PO with routed connection delays.
+  auto single_lut = [](std::uint64_t truth) {
+    techmap::LutCircuit c(2, "single");
+    c.add_pi("x");
+    c.add_block({"l", {techmap::Ref::pi(0)}, truth, false, false});
+    c.add_po("o", techmap::Ref::block(0));
+    return c;
+  };
+  std::vector<techmap::LutCircuit> modes{single_lut(0b01), single_lut(0b10)};
+  core::FlowOptions options;
+  options.anneal.inner_num = 2.0;
+  const auto exp = core::run_experiment(modes, options);
+
+  const core::TimingModel model;
+  const auto report = core::timing_report(exp, modes, model);
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    // At least the LUT plus two pin-only connection delays, and never more
+    // than one LUT level.
+    const double floor =
+        model.lut_delay + 2 * place::connection_delay(model, 0);
+    EXPECT_GE(report.mdr_critical_path[m], floor);
+    EXPECT_GE(report.dcs_critical_path[m], floor);
+    EXPECT_LT(report.mdr_critical_path[m], 2 * model.lut_delay + 100.0);
+  }
+
+  // With zero wire and pin delay the path collapses to exactly one LUT.
+  core::TimingModel logic_only;
+  logic_only.wire_delay = 0.0;
+  logic_only.pin_delay = 0.0;
+  const auto logic_report = core::timing_report(exp, modes, logic_only);
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    EXPECT_DOUBLE_EQ(logic_report.mdr_critical_path[m],
+                     logic_only.lut_delay);
+    EXPECT_DOUBLE_EQ(logic_report.dcs_critical_path[m],
+                     logic_only.lut_delay);
+  }
+}
+
+TEST(Timing, CombinationalLoopGuard) {
+  // An unregistered two-block loop must be rejected by the topological
+  // order every timing pass (post-route report and pre-route estimator
+  // alike) is built on.
+  techmap::LutCircuit cyclic(2, "loop");
+  cyclic.add_pi("x");
+  cyclic.add_block(
+      {"a", {techmap::Ref::block(1), techmap::Ref::pi(0)}, 0b0110, false,
+       false});
+  cyclic.add_block({"b", {techmap::Ref::block(0)}, 0b01, false, false});
+  cyclic.add_po("o", techmap::Ref::block(1));
+  EXPECT_THROW((void)cyclic.comb_topo_order(), InternalError);
+
+  // Registering one block breaks the loop.
+  techmap::LutCircuit broken = cyclic;
+  broken.blocks()[0].has_ff = true;
+  EXPECT_NO_THROW((void)broken.comb_topo_order());
+}
+
+TEST(Timing, SharedDelayModelCannotDrift) {
+  // The report and the pre-route estimator share one TimingModel definition
+  // and one connection-delay formula (place/timing_model.h).
+  static_assert(std::is_same_v<core::TimingModel, place::TimingModel>);
+  core::TimingModel model;
+  model.pin_delay = 0.3;
+  model.wire_delay = 0.7;
+  EXPECT_DOUBLE_EQ(place::connection_delay(model, 0), 0.6);
+  EXPECT_DOUBLE_EQ(place::connection_delay(model, 4), 0.6 + 4 * 0.7);
+}
+
 TEST(Report, DescribeContainsStructure) {
   // Two tiny modes with a parameterized truth bit.
   techmap::LutCircuit a(2, "a");
