@@ -17,6 +17,10 @@
 ///   MMFLOW_INNER  annealing effort (VPR inner_num; default 5, paper-grade 10)
 ///   MMFLOW_SEED   master seed (default 1)
 ///   MMFLOW_JOBS   worker threads for batch-mode benches (default 1)
+///   MMFLOW_ROUTE_JOBS  worker threads for the parallel routing waves inside
+///                      every route call (default 1; 0 = all hardware
+///                      threads). Results are bit-identical for every value
+///                      (docs/ROUTING.md) — the knob trades wall time only
 ///   MMFLOW_TRADEOFF  timing-driven combined-placement weight λ (default 0,
 ///                    pure wirelength — results then bit-match the λ-less
 ///                    flow; bench_ablation_timing sweeps its own λ values)
@@ -49,6 +53,7 @@ struct BenchConfig {
   double inner_num = 5.0;
   std::uint64_t seed = 1;
   int jobs = 1;
+  int route_jobs = 1;
   double timing_tradeoff = 0.0;
 
   [[nodiscard]] static BenchConfig from_env() {
@@ -61,6 +66,9 @@ struct BenchConfig {
       config.seed = std::strtoull(s, nullptr, 10);
     }
     if (const char* j = std::getenv("MMFLOW_JOBS")) config.jobs = std::atoi(j);
+    if (const char* r = std::getenv("MMFLOW_ROUTE_JOBS")) {
+      config.route_jobs = std::atoi(r);
+    }
     if (const char* t = std::getenv("MMFLOW_TRADEOFF")) {
       config.timing_tradeoff = std::atof(t);
     }
@@ -87,6 +95,7 @@ struct BenchConfig {
     options.seed = seed;
     options.anneal.inner_num = inner_num;
     options.timing_tradeoff = tradeoff;
+    options.route_jobs = route_jobs;
     return options;
   }
 };

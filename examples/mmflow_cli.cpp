@@ -16,6 +16,11 @@
 ///                                 QoR plus the best seed
 ///   --jobs=K                      worker threads for --seeds (default 1;
 ///                                 0 = all hardware threads)
+///   --route-jobs=K                worker threads for the parallel routing
+///                                 waves inside every route call (default 1;
+///                                 0 = all hardware threads). Results are
+///                                 bit-identical for every value — see
+///                                 docs/ROUTING.md
 ///   --inner=F                     annealing effort (default 10)
 ///   --timing-tradeoff=F           timing-driven combined placement weight
 ///                                 λ in [0, 1] (default 0 = pure
@@ -46,8 +51,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--cost=wirelength|edgematch] [--seed=N] "
-               "[--seeds=N] [--jobs=K] [--inner=F] [--timing-tradeoff=F] "
-               "[--k=N] [--report] [--report-full] "
+               "[--seeds=N] [--jobs=K] [--route-jobs=K] [--inner=F] "
+               "[--timing-tradeoff=F] [--k=N] [--report] [--report-full] "
                "mode0.blif mode1.blif [...]\n",
                argv0);
 }
@@ -154,6 +159,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--jobs=", 0) == 0) {
       jobs = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--route-jobs=", 0) == 0) {
+      options.route_jobs = std::atoi(arg.c_str() + 13);
+      if (options.route_jobs < 0) {
+        std::fprintf(stderr, "error: --route-jobs must be >= 0\n");
+        return 1;
+      }
     } else if (arg.rfind("--inner=", 0) == 0) {
       options.anneal.inner_num = std::atof(arg.c_str() + 8);
     } else if (arg.rfind("--timing-tradeoff=", 0) == 0) {

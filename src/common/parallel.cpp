@@ -1,0 +1,79 @@
+#include "common/parallel.h"
+
+#include "common/check.h"
+
+namespace mmflow::parallel {
+
+int resolve_jobs(int jobs) {
+  if (jobs >= 1) return jobs;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw >= 1 ? hw : 1;
+}
+
+WorkerPool::WorkerPool(int workers) {
+  MMFLOW_REQUIRE(workers >= 1);
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back(&WorkerPool::worker_main, this, w);
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void WorkerPool::run(std::size_t num_items, const ItemFn& fn) {
+  if (num_items == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  MMFLOW_CHECK(fn_ == nullptr);  // run() is not re-entrant
+  fn_ = &fn;
+  num_items_ = num_items;
+  first_error_ = nullptr;
+  cursor_.store(0, std::memory_order_relaxed);
+  active_ = static_cast<int>(threads_.size());
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+  if (first_error_ != nullptr) std::rethrow_exception(first_error_);
+}
+
+void WorkerPool::worker_main(int id) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::size_t num_items = num_items_;
+    const ItemFn* fn = fn_;
+    lock.unlock();
+
+    std::exception_ptr error;
+    for (;;) {
+      const std::size_t item = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (item >= num_items) break;
+      try {
+        (*fn)(item, id);
+      } catch (...) {
+        error = std::current_exception();
+        break;  // abandon the batch; run() re-throws after the join
+      }
+    }
+
+    lock.lock();
+    if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+    if (error != nullptr) {
+      // Make the remaining items unreachable so sibling workers drain fast.
+      cursor_.store(num_items, std::memory_order_relaxed);
+    }
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace mmflow::parallel

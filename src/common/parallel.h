@@ -1,0 +1,86 @@
+#pragma once
+/// \file parallel.h
+/// Shared deterministic work-queue machinery.
+///
+/// Both parallel subsystems of mmflow — the batch flow driver
+/// (src/core/batch.h) and the parallel routing waves (src/route/router.cpp)
+/// — dispatch an *ordered* list of work items to a fixed set of worker
+/// threads through an atomic cursor, and collect results *by item index*.
+/// That shape is what makes their determinism contracts cheap to state:
+/// scheduling decides only which worker executes an item, never which items
+/// run or where their results land. `WorkerPool` is that shape, factored out
+/// once.
+///
+/// ## Execution model
+///
+/// A pool owns N `std::thread` workers that sleep between batches. `run()`
+/// publishes (num_items, fn), wakes the workers, and blocks until every item
+/// has been executed; items are handed out in index order via an atomic
+/// fetch-add. `run()` may be called any number of times; batches never
+/// overlap (the caller is blocked while one is in flight).
+///
+/// ## Thread-safety & error contract
+///
+/// One thread drives a pool at a time: `run()` is not re-entrant and must
+/// not be called concurrently from two threads. `fn(item, worker)` runs
+/// concurrently on the pool's workers with distinct `worker` ids in
+/// [0, size()) — per-worker scratch indexed by that id needs no locking. If
+/// `fn` throws, the first exception (in completion order) is captured and
+/// re-thrown from `run()` after all workers have gone idle; remaining items
+/// of the batch may be skipped. Pools may be nested (a batch job may route
+/// with its own pool); the pools share nothing.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mmflow::parallel {
+
+/// Resolves a user-facing jobs knob: values >= 1 pass through, 0 (or
+/// negative) means one worker per hardware thread (at least 1).
+[[nodiscard]] int resolve_jobs(int jobs);
+
+/// Fixed pool of worker threads executing ordered item batches (see the
+/// file comment for the execution model and contracts).
+class WorkerPool {
+ public:
+  /// Item callback: `item` is the work index, `worker` the executing
+  /// worker's id in [0, size()).
+  using ItemFn = std::function<void(std::size_t item, int worker)>;
+
+  /// Spawns `workers` threads (>= 1; use resolve_jobs for the 0 = "all
+  /// hardware threads" convention).
+  explicit WorkerPool(int workers);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  /// Executes fn(0..num_items-1, worker) across the pool; blocks until all
+  /// items are done. Re-throws the first exception thrown by `fn`.
+  void run(std::size_t num_items, const ItemFn& fn);
+
+  /// Number of worker threads.
+  [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void worker_main(int id);
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  ///< bumped once per run() batch
+  std::size_t num_items_ = 0;
+  const ItemFn* fn_ = nullptr;
+  std::exception_ptr first_error_;
+  std::atomic<std::size_t> cursor_{0};
+  int active_ = 0;  ///< workers still draining the current batch
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mmflow::parallel

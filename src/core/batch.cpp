@@ -1,11 +1,10 @@
 #include "core/batch.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <exception>
-#include <thread>
 
+#include "common/parallel.h"
 #include "common/perf.h"
 
 namespace mmflow::core {
@@ -94,31 +93,18 @@ std::vector<BatchResult> BatchDriver::run(const std::vector<BatchJob>& jobs) {
                       .count();
   };
 
-  int workers = options_.jobs;
-  if (workers <= 0) {
-    workers = static_cast<int>(std::thread::hardware_concurrency());
-    if (workers <= 0) workers = 1;
-  }
-  workers = std::min<int>(workers, static_cast<int>(jobs.size()));
-
+  const int workers = std::min<int>(parallel::resolve_jobs(options_.jobs),
+                                    static_cast<int>(jobs.size()));
   if (workers == 1) {
     for (std::size_t i = 0; i < jobs.size(); ++i) worker(i);
     return results;
   }
 
-  std::atomic<std::size_t> cursor{0};
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t index = cursor.fetch_add(1);
-        if (index >= jobs.size()) return;
-        worker(index);
-      }
-    });
-  }
-  for (auto& thread : pool) thread.join();
+  // The shared ordered work-queue (common/parallel.h): indices are handed
+  // out in submission order, results land by index — the deterministic
+  // merge. `worker` captures all exceptions itself, so nothing propagates.
+  parallel::WorkerPool pool(workers);
+  pool.run(jobs.size(), [&](std::size_t index, int) { worker(index); });
   return results;
 }
 

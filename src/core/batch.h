@@ -11,10 +11,14 @@
 ///
 /// A `BatchDriver` owns one `FlowCache` + one `RrgCache` and a deterministic
 /// work-queue. `run()` takes an ordered list of `BatchJob`s, executes them
-/// on `BatchOptions::jobs` worker threads (std::thread; an atomic cursor
+/// on `BatchOptions::jobs` worker threads (a `parallel::WorkerPool`, the
+/// shared ordered work-queue of src/common/parallel.h: an atomic cursor
 /// hands out job indices in order) and collects results *by job index*, so
 /// the returned vector is always in submission order regardless of which
-/// worker finished first — the "deterministic merge".
+/// worker finished first — the "deterministic merge". The router's parallel
+/// waves ride the same machinery one layer down; a batch job may itself
+/// route with `FlowOptions::route_jobs` workers (the pools nest and share
+/// nothing).
 ///
 /// ## Determinism contract
 ///
@@ -76,7 +80,7 @@ struct BatchResult {
 
 /// Expands one base configuration into `num_seeds` jobs with seeds
 /// `base.seed, base.seed + 1, ...` — the multi-seed placement-restart sweep.
-/// Names are `<name>/seed<seed>`.
+/// Names are `<name>/seed<seed>`. Pure function; thread-safe.
 [[nodiscard]] std::vector<BatchJob> seed_sweep(
     const std::string& name,
     std::shared_ptr<const std::vector<techmap::LutCircuit>> modes,
@@ -84,6 +88,7 @@ struct BatchResult {
 
 /// Expands one configuration into one job per cost engine (the figure
 /// benches' EdgeMatch-vs-WireLength comparison). Names are `<name>/<engine>`.
+/// Pure function; thread-safe.
 [[nodiscard]] std::vector<BatchJob> engine_sweep(
     const std::string& name,
     std::shared_ptr<const std::vector<techmap::LutCircuit>> modes,
@@ -95,17 +100,24 @@ class BatchDriver {
 
   /// Executes the jobs and returns their results in submission order. See
   /// the file comment for the determinism and error-capture contracts.
+  /// One batch at a time per driver: not re-entrant, call from one thread.
   [[nodiscard]] std::vector<BatchResult> run(const std::vector<BatchJob>& jobs);
 
   /// The context handed to every job (also usable for one-off
-  /// `run_experiment` calls that should share this driver's caches).
+  /// `run_experiment` calls that should share this driver's caches). The
+  /// returned view is valid while the driver lives; safe to hand to
+  /// concurrent flow calls (the caches are mutex-guarded).
   [[nodiscard]] FlowContext context();
 
+  /// Direct cache access, e.g. for size/statistics reporting. The caches
+  /// are themselves thread-safe; the references live as long as the driver.
   [[nodiscard]] FlowCache& cache() { return cache_; }
   [[nodiscard]] RrgCache& rrgs() { return rrgs_; }
+  /// The options the driver was built with. Const; thread-safe.
   [[nodiscard]] const BatchOptions& options() const { return options_; }
 
-  /// Drops all cached artifacts (outstanding results stay valid).
+  /// Drops all cached artifacts (outstanding results stay valid). Do not
+  /// call while a batch is running.
   void clear_caches();
 
  private:

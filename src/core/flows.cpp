@@ -123,6 +123,10 @@ std::uint64_t hash_flow_options(const FlowOptions& options) {
   // FlowKey::variant (whole-experiment entries only), so the λ-independent
   // MDR artifacts share cache entries across a tradeoff sweep and every
   // hash is bit-identical to the ones produced before the knob existed.
+  // route_jobs (and RouterOptions::jobs, which it overrides) is NOT hashed
+  // either — routed results are bit-identical for every jobs value, so a
+  // jobs sweep must share cache entries and keep every FlowKey stable
+  // (asserted by tests/test_route_parallel.cpp).
   return fnv.h;
 }
 
@@ -398,6 +402,12 @@ MultiModeExperiment compute_experiment(
   const DeviceGrid grid(base);
   FlowCache* const cache = context.cache;
 
+  // The flow-level route_jobs knob overrides the router-level one for every
+  // route call below. Results are bit-identical for any value, which is why
+  // neither knob participates in hash_flow_options or the FlowKeys.
+  route::RouterOptions router = options.router;
+  router.jobs = options.route_jobs;
+
   // Shared immutable RRGs when a cache is provided, locally built otherwise.
   auto rrg_for = [&](const ArchSpec& spec) -> std::shared_ptr<const RoutingGraph> {
     if (context.rrgs != nullptr) return context.rrgs->get(spec);
@@ -479,7 +489,7 @@ MultiModeExperiment compute_experiment(
     } else {
       for (const auto& impl : exp.mdr) {
         if (!route::route(rrg(), impl.route_spec.instantiate(rrg()),
-                          options.router)
+                          router)
                  .success) {
           mdr_ok = false;
           break;
@@ -489,7 +499,7 @@ MultiModeExperiment compute_experiment(
     }
     if (!mdr_ok) return false;
     return route::route(rrg(), exp.dcs_route_spec.instantiate(rrg()),
-                        options.router)
+                        router)
         .success;
   };
   {
@@ -517,7 +527,7 @@ MultiModeExperiment compute_experiment(
     for (const auto& impl : exp.mdr) {
       exp.mdr_problems.push_back(impl.route_spec.instantiate(rrg));
       exp.mdr_routing.push_back(
-          route::route(rrg, exp.mdr_problems.back(), options.router));
+          route::route(rrg, exp.mdr_problems.back(), router));
       MMFLOW_CHECK_MSG(exp.mdr_routing.back().success,
                        "MDR mode unroutable at relaxed width");
     }
@@ -527,7 +537,7 @@ MultiModeExperiment compute_experiment(
     }
   }
   exp.dcs_problem = exp.dcs_route_spec.instantiate(rrg);
-  exp.dcs_routing = route::route(rrg, exp.dcs_problem, options.router);
+  exp.dcs_routing = route::route(rrg, exp.dcs_problem, router);
   MMFLOW_CHECK_MSG(exp.dcs_routing.success,
                    "DCS circuit unroutable at relaxed width");
   return exp;

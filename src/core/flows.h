@@ -108,6 +108,15 @@ struct FlowOptions {
   /// fixed reference flow. 0 (the default) is bit-identical to the λ-less
   /// flow, including the cached-flow hash.
   double timing_tradeoff = 0.0;
+  /// Worker threads for the parallel routing waves inside every route call
+  /// of the flow (width probes and final MDR/DCS routes): 1 = sequential
+  /// (the default), 0 = one per hardware thread, K = K workers. The flow
+  /// copies this into `RouterOptions::jobs` (overriding `router.jobs`).
+  /// Routed results are bit-identical for every value (docs/ROUTING.md), so
+  /// the knob is deliberately excluded from `hash_flow_options` and from
+  /// every `FlowKey` — a jobs sweep shares all cache entries, and results
+  /// cached at one jobs level are byte-identical to any other.
+  int route_jobs = 1;
 };
 
 /// One mode's MDR implementation.

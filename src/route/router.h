@@ -24,8 +24,16 @@
 /// re-entrant, and one immutable RRG may be shared by any number of
 /// concurrent `route()` calls (the batch driver in src/core/batch.h relies
 /// on this: one graph per (arch, width), many seeds routing on it at once).
-/// Results are a pure function of (rrg, problem, options) — bit-identical
-/// regardless of sharing or concurrency.
+/// Results are a pure function of (rrg, problem, options *excluding*
+/// `RouterOptions::jobs`) — bit-identical regardless of sharing or
+/// concurrency.
+///
+/// Parallel routing: with `RouterOptions::jobs > 1`, each PathFinder
+/// iteration routes its ripped-up connections in *waves* — speculative
+/// searches on a worker pool, committed in canonical connection order with
+/// deterministic conflict re-routing — and produces results bit-identical
+/// to the sequential router. See docs/ROUTING.md for the wave determinism
+/// contract and src/common/parallel.h for the work-queue machinery.
 
 #include <cstdint>
 #include <functional>
@@ -84,6 +92,12 @@ struct RouterOptions {
   /// for speed).
   double astar_fac = 1.2;
   std::uint64_t seed = 1;
+  /// Worker threads for the parallel routing waves: 1 = sequential (the
+  /// default), 0 = one per hardware thread, K = K workers. Results are
+  /// bit-identical for every value — `jobs` trades wall time only — so it is
+  /// deliberately excluded from `core::hash_flow_options` (a jobs sweep
+  /// shares flow-cache entries; see docs/ROUTING.md).
+  int jobs = 1;
 };
 
 /// One routed connection: the RRG nodes from source to sink, with the edges
@@ -104,20 +118,26 @@ struct RouteResult {
   int iterations = 0;
   std::vector<RoutedConn> conns;
 
-  /// Per-mode configuration of the routing fabric.
+  /// Per-mode configuration of the routing fabric. Const and re-entrant on
+  /// an immutable result; allocates only the returned states.
   [[nodiscard]] std::vector<bitstream::RoutingState> per_mode_states(
       const arch::RoutingGraph& rrg, const RouteProblem& problem) const;
 
   /// Wire segments (CHANX/CHANY nodes) used by connections active in `mode`.
+  /// Const and re-entrant; safe to call concurrently on one result.
   [[nodiscard]] std::size_t wirelength_of_mode(const arch::RoutingGraph& rrg,
                                                const RouteProblem& problem,
                                                int mode) const;
-  /// Total distinct wire segments used by any mode.
+  /// Total distinct wire segments used by any mode. Const and re-entrant.
   [[nodiscard]] std::size_t total_wirelength(const arch::RoutingGraph& rrg) const;
 };
 
 /// Routes a problem; `result.success` is false if congestion could not be
-/// resolved within `options.max_iterations`.
+/// resolved within `options.max_iterations`. Re-entrant: all mutable state
+/// is per-call, `rrg` is only read, and with `options.jobs > 1` the internal
+/// worker pool is owned by this call alone — concurrent `route()` calls
+/// (parallel or not) never interact. The result is a pure function of
+/// (rrg, problem, options minus `jobs`).
 [[nodiscard]] RouteResult route(const arch::RoutingGraph& rrg,
                                 const RouteProblem& problem,
                                 const RouterOptions& options = {});
@@ -126,6 +146,7 @@ struct RouteResult {
 /// probed at most once), scans upward from width 4 by doubling, then
 /// binary-searches the bracketed range. Shared by `min_channel_width` and
 /// the flow-level region sizing. Throws if nothing <= `max_width` routes.
+/// Re-entrant; `routable_at` is invoked from the calling thread only.
 [[nodiscard]] int search_min_width(const std::function<bool(int)>& routable_at,
                                    int max_width);
 
@@ -143,6 +164,9 @@ using RrgProvider = std::function<std::shared_ptr<const arch::RoutingGraph>(
 /// upward then binary-searching. `spec` provides everything but the channel
 /// width. Returns the minimum W; throws if none <= `max_width` works.
 /// A null `rrg_provider` builds each probed width's graph locally.
+/// Re-entrant (concurrent searches may even share one `RrgProvider`); the
+/// probes inherit `options.jobs`, so the width search parallelizes with the
+/// same bit-identical-results guarantee as `route()`.
 [[nodiscard]] int min_channel_width(
     arch::ArchSpec spec, const std::function<RouteProblem(const arch::RoutingGraph&)>& make_problem,
     const RouterOptions& options = {}, int max_width = 128,

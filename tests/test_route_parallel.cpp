@@ -1,0 +1,352 @@
+/// Parallel routing determinism tests: the wave router (RouterOptions::jobs
+/// > 1) must produce results bit-identical to the sequential router — same
+/// routed paths, same QoR, same whole-experiment FlowKey hashes — and the
+/// forced-conflict path must actually exercise the deterministic re-route.
+/// Golden hashes pin the routed results so a future change to either path
+/// cannot silently drift (the PR 1 / PR 3 golden-hash idiom).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "apps/suites.h"
+#include "arch/rrg.h"
+#include "common/parallel.h"
+#include "common/perf.h"
+#include "common/rng.h"
+#include "core/flows.h"
+#include "core/metrics.h"
+#include "route/router.h"
+
+namespace mmflow::route {
+namespace {
+
+arch::ArchSpec spec_with(int n, int w) {
+  arch::ArchSpec spec;
+  spec.nx = n;
+  spec.ny = n;
+  spec.channel_width = w;
+  return spec;
+}
+
+/// Random multi-mode problem, same shape as bench_perf_route's generator.
+RouteProblem random_problem(const arch::RoutingGraph& rrg, int nets,
+                            int num_modes, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto& spec = rrg.spec();
+  RouteProblem problem;
+  problem.num_modes = num_modes;
+  std::set<std::pair<int, int>> used_sources;
+  for (int n = 0; n < nets; ++n) {
+    RouteNet net;
+    net.name = "n" + std::to_string(n);
+    const int sx = static_cast<int>(rng.next_int(1, spec.nx));
+    const int sy = static_cast<int>(rng.next_int(1, spec.ny));
+    if (!used_sources.emplace(sx, sy).second) continue;
+    net.source_node = rrg.clb_source(sx, sy);
+    const int fanout = 1 + static_cast<int>(rng.next_below(3));
+    for (int f = 0; f < fanout; ++f) {
+      int tx = static_cast<int>(rng.next_int(1, spec.nx));
+      int ty = static_cast<int>(rng.next_int(1, spec.ny));
+      if (tx == sx && ty == sy) tx = (tx % spec.nx) + 1;
+      const ModeMask mask =
+          num_modes == 1 ? 1u
+                         : static_cast<ModeMask>(
+                               1u + rng.next_below((1u << num_modes) - 1));
+      net.conns.push_back(RouteConn{rrg.clb_sink(tx, ty), mask});
+    }
+    problem.nets.push_back(std::move(net));
+  }
+  return problem;
+}
+
+/// FNV-1a over everything QoR-relevant in a route result. Two results hash
+/// equal iff they are bit-identical for the router's purposes.
+std::uint64_t hash_result(const RouteResult& result) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint8_t>(v >> (8 * i));
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(result.success ? 1 : 0);
+  mix(static_cast<std::uint64_t>(result.iterations));
+  mix(result.conns.size());
+  for (const RoutedConn& rc : result.conns) {
+    mix(rc.net);
+    mix(rc.conn);
+    mix(rc.modes);
+    mix(rc.nodes.size());
+    for (const auto n : rc.nodes) mix(n);
+    for (const auto e : rc.edges) mix(e);
+  }
+  return h;
+}
+
+void expect_same_result(const RouteResult& a, const RouteResult& b) {
+  ASSERT_EQ(a.success, b.success);
+  EXPECT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.conns.size(), b.conns.size());
+  for (std::size_t i = 0; i < a.conns.size(); ++i) {
+    EXPECT_EQ(a.conns[i].net, b.conns[i].net) << "conn " << i;
+    EXPECT_EQ(a.conns[i].conn, b.conns[i].conn) << "conn " << i;
+    EXPECT_EQ(a.conns[i].modes, b.conns[i].modes) << "conn " << i;
+    EXPECT_EQ(a.conns[i].nodes, b.conns[i].nodes) << "conn " << i;
+    EXPECT_EQ(a.conns[i].edges, b.conns[i].edges) << "conn " << i;
+  }
+  EXPECT_EQ(hash_result(a), hash_result(b));
+}
+
+/// jobs in {1, 2, 4} (and 0 = all hardware threads) must be bit-identical
+/// across single-mode, multi-mode and congested problems.
+TEST(RouteParallel, BitIdenticalToSequentialAcrossJobLevels) {
+  struct Case {
+    int n, w, nets, modes;
+    std::uint64_t seed;
+  };
+  const Case cases[] = {
+      {8, 4, 30, 1, 3},    // single-mode PathFinder, mildly congested
+      {10, 6, 40, 4, 7},   // the TRoute regime
+      {12, 8, 60, 8, 11},  // many modes, wide masks
+  };
+  for (const Case& c : cases) {
+    const arch::RoutingGraph rrg(spec_with(c.n, c.w));
+    const auto problem = random_problem(rrg, c.nets, c.modes, c.seed);
+
+    RouterOptions sequential;
+    const RouteResult reference = route(rrg, problem, sequential);
+    ASSERT_TRUE(reference.success);
+
+    for (const int jobs : {2, 4, 0}) {
+      RouterOptions opt;
+      opt.jobs = jobs;
+      const RouteResult parallel = route(rrg, problem, opt);
+      SCOPED_TRACE("n=" + std::to_string(c.n) + " modes=" +
+                   std::to_string(c.modes) + " jobs=" + std::to_string(jobs));
+      expect_same_result(reference, parallel);
+    }
+  }
+}
+
+/// Golden pin for the routed result above (the PR 1 / PR 3 idiom: hash
+/// captured from the pre-parallel sequential router). A failure here means
+/// routed results drifted — which would also invalidate every cached flow
+/// artifact — not merely that a test expectation aged.
+constexpr std::uint64_t kGoldenHash = 0xb6acab08c334b479ULL;
+
+TEST(RouteParallel, GoldenHashMatchesPreParallelRouter) {
+  const arch::RoutingGraph rrg(spec_with(10, 6));
+  const auto problem = random_problem(rrg, 40, 4, 7);
+  for (const int jobs : {1, 4}) {
+    RouterOptions opt;
+    opt.jobs = jobs;
+    EXPECT_EQ(hash_result(route(rrg, problem, opt)), kGoldenHash)
+        << "jobs=" << jobs;
+  }
+}
+
+/// The split escape hatch (merged connections forced apart) must survive
+/// parallel routing bit-identically too.
+TEST(RouteParallel, SplitEscapeHatchIsJobsInvariant) {
+  const int n = 4;
+  const arch::RoutingGraph rrg(spec_with(n, 1));
+  RouteProblem problem;
+  problem.num_modes = 3;
+  RouteNet merged;
+  merged.name = "merged";
+  merged.source_node = rrg.clb_source(1, 1);
+  merged.conns.push_back(RouteConn{rrg.clb_sink(n, n), 0b111});
+  problem.nets.push_back(merged);
+  for (int m = 0; m < 3; ++m) {
+    for (int y = 2; y <= n; ++y) {
+      RouteNet h;
+      h.name = "h" + std::to_string(m) + "_" + std::to_string(y);
+      h.source_node = rrg.clb_source(2, y);
+      h.conns.push_back(RouteConn{rrg.clb_sink(n, (y % n) + 1),
+                                  static_cast<ModeMask>(1u << m)});
+      problem.nets.push_back(h);
+    }
+  }
+  RouterOptions opt;
+  opt.split_conflicted_after = 4;
+  const RouteResult reference = route(rrg, problem, opt);
+  ASSERT_TRUE(reference.success);
+  opt.jobs = 4;
+  expect_same_result(reference, route(rrg, problem, opt));
+}
+
+/// A congested fabric forces overlapping speculations: the deterministic
+/// re-route path must actually fire (conflict counters > 0) and still end
+/// bit-identical to the sequential route.
+TEST(RouteParallel, ForcedConflictsRerouteDeterministically) {
+  const arch::RoutingGraph rrg(spec_with(6, 3));
+  RouteProblem problem;
+  // Every net crosses the same horizontal channels: speculative paths all
+  // compete for the same wires, so later-ordered commits must observe
+  // earlier ones.
+  for (int y = 1; y <= 6; ++y) {
+    for (int x = 1; x <= 2; ++x) {
+      RouteNet net;
+      net.name = "c" + std::to_string(y) + "_" + std::to_string(x);
+      net.source_node = rrg.clb_source(x, y);
+      net.conns.push_back(RouteConn{rrg.clb_sink(7 - x, (y % 6) + 1), 1});
+      problem.nets.push_back(net);
+    }
+  }
+  const RouteResult reference = route(rrg, problem);
+  ASSERT_TRUE(reference.success);
+
+  perf::reset();
+  RouterOptions opt;
+  opt.jobs = 4;
+  const RouteResult parallel = route(rrg, problem, opt);
+  expect_same_result(reference, parallel);
+
+  EXPECT_GT(perf::counter_value("route.parallel_waves"), 0u);
+  EXPECT_GT(perf::counter_value("route.parallel_wave_conns"), 0u);
+  // The congestion makes speculation conflicts near-certain; if this ever
+  // flakes the problem below is not congested enough to test the re-route.
+  EXPECT_GT(perf::counter_value("route.parallel_conflicts"), 0u);
+  // Every conflict re-routes; failed speculations (re-routes that are not
+  // conflicts) need a disconnected overlay view and cannot happen here.
+  EXPECT_EQ(perf::counter_value("route.parallel_reroutes"),
+            perf::counter_value("route.parallel_conflicts"));
+}
+
+/// min_channel_width inherits jobs and must find the same width.
+TEST(RouteParallel, MinChannelWidthIsJobsInvariant) {
+  arch::ArchSpec spec = spec_with(6, 1);
+  auto make_problem = [](const arch::RoutingGraph& rrg) {
+    return random_problem(rrg, 20, 2, 13);
+  };
+  const int sequential = min_channel_width(spec, make_problem);
+  RouterOptions opt;
+  opt.jobs = 4;
+  EXPECT_EQ(sequential, min_channel_width(spec, make_problem, opt));
+}
+
+}  // namespace
+}  // namespace mmflow::route
+
+namespace mmflow::core {
+namespace {
+
+FlowOptions fast_options(std::uint64_t seed, int route_jobs) {
+  FlowOptions options;
+  options.seed = seed;
+  options.anneal.inner_num = 2.0;  // keep tests quick
+  options.route_jobs = route_jobs;
+  return options;
+}
+
+void expect_same_routing(const route::RouteResult& a,
+                         const route::RouteResult& b) {
+  ASSERT_EQ(a.success, b.success);
+  ASSERT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.conns.size(), b.conns.size());
+  for (std::size_t c = 0; c < a.conns.size(); ++c) {
+    EXPECT_EQ(a.conns[c].modes, b.conns[c].modes);
+    EXPECT_EQ(a.conns[c].nodes, b.conns[c].nodes);
+    EXPECT_EQ(a.conns[c].edges, b.conns[c].edges);
+  }
+}
+
+/// The acceptance criterion: whole experiments on suite circuits are
+/// bit-identical between route_jobs=1 and route_jobs=4 — routed paths, QoR
+/// width, and every FlowKey ingredient (so cached artifacts are shared).
+TEST(RouteParallelFlow, ExperimentsBitIdenticalAcrossRouteJobs) {
+  apps::SuiteOptions suite;
+  suite.limit_pairs = 1;
+  std::vector<apps::MultiModeBenchmark> circuits;
+  for (auto& b : apps::regexp_suite(suite)) circuits.push_back(std::move(b));
+  for (auto& b : apps::fir_suite(suite)) circuits.push_back(std::move(b));
+  ASSERT_GE(circuits.size(), 2u);
+
+  for (const auto& circuit : circuits) {
+    SCOPED_TRACE(circuit.name);
+    const auto sequential =
+        run_experiment(circuit.modes, fast_options(1, 1));
+    const auto parallel = run_experiment(circuit.modes, fast_options(1, 4));
+
+    // FlowKey ingredients: identical options hash (route_jobs excluded)...
+    EXPECT_EQ(hash_flow_options(fast_options(1, 1)),
+              hash_flow_options(fast_options(1, 4)));
+    // ... and identical results, so any cache entry is interchangeable.
+    EXPECT_EQ(sequential.min_width, parallel.min_width);
+    EXPECT_EQ(sequential.region.channel_width, parallel.region.channel_width);
+    ASSERT_EQ(sequential.mdr_routing.size(), parallel.mdr_routing.size());
+    for (std::size_t m = 0; m < sequential.mdr_routing.size(); ++m) {
+      expect_same_routing(sequential.mdr_routing[m], parallel.mdr_routing[m]);
+    }
+    expect_same_routing(sequential.dcs_routing, parallel.dcs_routing);
+    EXPECT_EQ(sequential.merged_connections, parallel.merged_connections);
+
+    const auto qor_a = reconfig_metrics(sequential, bitstream::MuxEncoding::Binary);
+    const auto qor_b = reconfig_metrics(parallel, bitstream::MuxEncoding::Binary);
+    EXPECT_EQ(qor_a.mdr_bits, qor_b.mdr_bits);
+    EXPECT_EQ(qor_a.dcs_bits, qor_b.dcs_bits);
+  }
+}
+
+TEST(RouteParallelFlow, RouteJobsNeverEntersFlowHashes) {
+  const FlowOptions base{};
+  for (const int jobs : {0, 2, 4, 16}) {
+    FlowOptions tweaked;
+    tweaked.route_jobs = jobs;
+    tweaked.router.jobs = jobs;  // the router-level knob is excluded too
+    EXPECT_EQ(hash_flow_options(base), hash_flow_options(tweaked));
+  }
+  // Sanity: the hash still reacts to knobs that do change results.
+  FlowOptions other;
+  other.router.astar_fac += 0.1;
+  EXPECT_NE(hash_flow_options(base), hash_flow_options(other));
+}
+
+}  // namespace
+}  // namespace mmflow::core
+
+namespace mmflow::parallel {
+namespace {
+
+TEST(WorkerPool, ExecutesEveryItemWithValidWorkerIds) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run(hits.size(), [&](std::size_t item, int worker) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 3);
+    hits[item].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  // Pools are reusable across batches.
+  std::atomic<int> total{0};
+  pool.run(7, [&](std::size_t, int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 7);
+}
+
+TEST(WorkerPool, PropagatesTheFirstException) {
+  WorkerPool pool(2);
+  EXPECT_THROW(
+      pool.run(50,
+               [&](std::size_t item, int) {
+                 if (item == 10) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int> total{0};
+  pool.run(5, [&](std::size_t, int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 5);
+}
+
+TEST(WorkerPool, ResolveJobsConvention) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+  EXPECT_GE(resolve_jobs(0), 1);  // 0 = all hardware threads
+}
+
+}  // namespace
+}  // namespace mmflow::parallel
