@@ -28,6 +28,7 @@ int main() {
   constexpr int kNumSeeds = 5;
   core::BatchOptions batch_options;
   batch_options.jobs = config.jobs;
+  batch_options.cache_dir = config.cache_dir;  // MMFLOW_CACHE_DIR, if set
   core::BatchDriver driver(batch_options);
   auto base = config.flow_options(core::CombinedCost::WireLength);
   base.seed = config.seed;

@@ -24,14 +24,27 @@
 ///   MMFLOW_TRADEOFF  timing-driven combined-placement weight λ (default 0,
 ///                    pure wirelength — results then bit-match the λ-less
 ///                    flow; bench_ablation_timing sweeps its own λ values)
+///   MMFLOW_CACHE_DIR  persistent flow-cache directory (default unset = no
+///                     persistence): attaches a core::ArtifactStore to the
+///                     shared context, so a rerun in a fresh process replays
+///                     cached experiments bit-identically as disk hits —
+///                     `flowcache.disk_*` counters land in the bench JSON
+///                     (docs/CACHING.md)
 ///   MMFLOW_BENCH_JSON  output path of the JSON report (default
 ///                      <bench name>.json in cwd)
+///
+/// Numeric knobs are parsed with the checked parsers of common/strings.h: a
+/// malformed value (e.g. MMFLOW_JOBS=abc, which std::atoi would silently
+/// read as 0 workers) prints the offending knob and exits instead of
+/// running with a garbage configuration.
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,6 +53,7 @@
 #include "common/log.h"
 #include "common/perf.h"
 #include "common/stats.h"
+#include "core/artifact_store.h"
 #include "core/batch.h"
 #include "core/flows.h"
 #include "common/strings.h"
@@ -48,6 +62,34 @@
 
 namespace mmflow::bench {
 
+/// Checked environment knob reads: a malformed value names the knob on
+/// stderr and exits with status 2 (exit, not throw — every bench main
+/// would otherwise need its own try/catch just to report a typo in an env
+/// var). `parse` is one of the common/strings.h checked parsers.
+template <typename T, typename Parse>
+T env_knob(const char* name, T fallback, const Parse& parse) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  try {
+    return parse(value, name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+inline int env_int(const char* name, int fallback) {
+  return env_knob(name, fallback, parse_int);
+}
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  return env_knob(name, fallback, parse_u64);
+}
+
+inline double env_double(const char* name, double fallback) {
+  return env_knob(name, fallback, parse_double);
+}
+
 struct BenchConfig {
   int pairs = 3;
   double inner_num = 5.0;
@@ -55,22 +97,19 @@ struct BenchConfig {
   int jobs = 1;
   int route_jobs = 1;
   double timing_tradeoff = 0.0;
+  std::string cache_dir;  ///< empty = no persistent flow cache
 
   [[nodiscard]] static BenchConfig from_env() {
     BenchConfig config;
-    if (const char* p = std::getenv("MMFLOW_PAIRS")) config.pairs = std::atoi(p);
-    if (const char* i = std::getenv("MMFLOW_INNER")) {
-      config.inner_num = std::atof(i);
-    }
-    if (const char* s = std::getenv("MMFLOW_SEED")) {
-      config.seed = std::strtoull(s, nullptr, 10);
-    }
-    if (const char* j = std::getenv("MMFLOW_JOBS")) config.jobs = std::atoi(j);
-    if (const char* r = std::getenv("MMFLOW_ROUTE_JOBS")) {
-      config.route_jobs = std::atoi(r);
-    }
-    if (const char* t = std::getenv("MMFLOW_TRADEOFF")) {
-      config.timing_tradeoff = std::atof(t);
+    config.pairs = env_int("MMFLOW_PAIRS", config.pairs);
+    config.inner_num = env_double("MMFLOW_INNER", config.inner_num);
+    config.seed = env_u64("MMFLOW_SEED", config.seed);
+    config.jobs = env_int("MMFLOW_JOBS", config.jobs);
+    config.route_jobs = env_int("MMFLOW_ROUTE_JOBS", config.route_jobs);
+    config.timing_tradeoff =
+        env_double("MMFLOW_TRADEOFF", config.timing_tradeoff);
+    if (const char* dir = std::getenv("MMFLOW_CACHE_DIR")) {
+      config.cache_dir = dir;
     }
     return config;
   }
@@ -102,10 +141,20 @@ struct BenchConfig {
 
 /// Process-wide flow caches shared by every run_one / run_batch call in a
 /// bench binary. Engine comparisons and repeated configurations then hit
-/// the flow cache; per-width routing graphs are built once.
+/// the flow cache; per-width routing graphs are built once. With
+/// MMFLOW_CACHE_DIR set, the cache persists to a core::ArtifactStore — a
+/// rerun in a fresh process replays the cached experiments as disk hits
+/// with bit-identical QoR (the CI persistent-cache smoke asserts this).
 inline core::FlowContext shared_context() {
   static core::FlowCache cache;
   static core::RrgCache rrgs;
+  [[maybe_unused]] static const bool attached = [] {
+    if (const char* dir = std::getenv("MMFLOW_CACHE_DIR"); dir != nullptr &&
+                                                           *dir != '\0') {
+      cache.attach_store(std::make_shared<core::ArtifactStore>(dir));
+    }
+    return true;
+  }();
   return core::FlowContext{&cache, &rrgs};
 }
 

@@ -27,6 +27,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <functional>
 #include <limits>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "common/perf.h"
+#include "common/strings.h"
 
 namespace mmflow::bench {
 
@@ -49,7 +51,12 @@ class PerfBench {
  public:
   explicit PerfBench(std::string name) : name_(std::move(name)) {
     if (const char* r = std::getenv("MMFLOW_BENCH_REPS")) {
-      reps_override_ = std::atoi(r);
+      try {
+        reps_override_ = parse_int(r, "MMFLOW_BENCH_REPS");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+      }
     }
   }
 

@@ -14,6 +14,7 @@
 #include "apps/fir/fir.h"
 #include "apps/suites.h"
 #include "common/log.h"
+#include "common/strings.h"
 #include "core/flows.h"
 #include "core/metrics.h"
 #include "techmap/mapper.h"
@@ -22,7 +23,15 @@ using namespace mmflow;
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::Warning);
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  std::uint64_t seed = 1;
+  if (argc > 1) {
+    try {
+      seed = parse_u64(argv[1], "seed");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\nusage: %s [seed]\n", e.what(), argv[0]);
+      return 1;
+    }
+  }
 
   const apps::fir::FirSpec spec = apps::suite_fir_spec();
   const auto lp = apps::fir::random_coefficients(

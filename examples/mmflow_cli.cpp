@@ -26,11 +26,22 @@
 ///                                 λ in [0, 1] (default 0 = pure
 ///                                 wirelength, bit-identical to before the
 ///                                 knob existed)
+///   --cache-dir=PATH              persistent flow cache: artifacts are
+///                                 written to (and replayed from) a
+///                                 core::ArtifactStore in PATH, so a rerun
+///                                 in a fresh process skips the cached work
+///                                 with bit-identical QoR (docs/CACHING.md).
+///                                 Defaults to $MMFLOW_CACHE_DIR if set
 ///   --k=N                         LUT size (default 4)
 ///   --report                      dump the parameterized configuration
 ///   --report-full                 ... including static resources
+///
+/// Numeric flags are parsed with the checked parsers of common/strings.h:
+/// garbage or trailing junk ("--jobs=abc") is a usage error, never a silent
+/// zero.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -38,6 +49,9 @@
 
 #include "apps/mcnc/mcnc.h"
 #include "common/log.h"
+#include "common/perf.h"
+#include "common/strings.h"
+#include "core/artifact_store.h"
 #include "core/batch.h"
 #include "core/flows.h"
 #include "core/metrics.h"
@@ -52,9 +66,27 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--cost=wirelength|edgematch] [--seed=N] "
                "[--seeds=N] [--jobs=K] [--route-jobs=K] [--inner=F] "
-               "[--timing-tradeoff=F] [--k=N] [--report] [--report-full] "
-               "mode0.blif mode1.blif [...]\n",
+               "[--timing-tradeoff=F] [--cache-dir=PATH] [--k=N] [--report] "
+               "[--report-full] mode0.blif mode1.blif [...]\n",
                argv0);
+}
+
+/// Prints the persistent-cache effectiveness line (only when a cache dir is
+/// active; the counters are process-wide perf counters).
+void print_cache_stats(const std::string& cache_dir) {
+  if (cache_dir.empty()) return;
+  std::printf(
+      "\npersistent cache %s: %llu disk hits, %llu misses, %llu writes, "
+      "%llu invalid\n",
+      cache_dir.c_str(),
+      static_cast<unsigned long long>(
+          perf::counter_value("flowcache.disk_hits")),
+      static_cast<unsigned long long>(
+          perf::counter_value("flowcache.disk_misses")),
+      static_cast<unsigned long long>(
+          perf::counter_value("flowcache.disk_writes")),
+      static_cast<unsigned long long>(
+          perf::counter_value("flowcache.disk_invalid")));
 }
 
 /// Batch mode (--seeds=N): multi-seed placement restarts through the batch
@@ -63,9 +95,11 @@ void usage(const char* argv0) {
 /// dumps the best seed's parameterized configuration.
 int run_seed_batch(const std::vector<techmap::LutCircuit>& modes,
                    const core::FlowOptions& options, int num_seeds, int jobs,
-                   bool report, bool report_full) {
+                   const std::string& cache_dir, bool report,
+                   bool report_full) {
   core::BatchOptions batch_options;
   batch_options.jobs = jobs;
+  batch_options.cache_dir = cache_dir;
   core::BatchDriver driver(batch_options);
   const auto batch_jobs = core::seed_sweep(
       "cli", std::make_shared<const std::vector<techmap::LutCircuit>>(modes),
@@ -112,6 +146,7 @@ int run_seed_batch(const std::vector<techmap::LutCircuit>& modes,
               best_metrics.dcs_speedup());
   std::printf("shared RRGs built once per width: %zu; flow-cache entries: %zu\n",
               driver.rrgs().size(), driver.cache().size());
+  print_cache_stats(cache_dir);
   if (report && best->experiment->tunable.has_value()) {
     tunable::ReportOptions ropt;
     ropt.parameterized_only = !report_full;
@@ -133,62 +168,77 @@ int main(int argc, char** argv) {
   int k = 4;
   int seeds = 1;
   int jobs = 1;
+  std::string cache_dir;
+  if (const char* dir = std::getenv("MMFLOW_CACHE_DIR")) cache_dir = dir;
   bool report = false;
   bool report_full = false;
   std::vector<std::string> paths;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--cost=", 0) == 0) {
-      const std::string value = arg.substr(7);
-      if (value == "wirelength") {
-        options.cost_engine = core::CombinedCost::WireLength;
-      } else if (value == "edgematch") {
-        options.cost_engine = core::CombinedCost::EdgeMatch;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--cost=", 0) == 0) {
+        const std::string value = arg.substr(7);
+        if (value == "wirelength") {
+          options.cost_engine = core::CombinedCost::WireLength;
+        } else if (value == "edgematch") {
+          options.cost_engine = core::CombinedCost::EdgeMatch;
+        } else {
+          usage(argv[0]);
+          return 1;
+        }
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        options.seed = parse_u64(arg.substr(7), "--seed");
+      } else if (arg.rfind("--seeds=", 0) == 0) {
+        seeds = parse_int(arg.substr(8), "--seeds");
+        if (seeds < 1) {
+          std::fprintf(stderr, "error: --seeds must be >= 1\n");
+          return 1;
+        }
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        jobs = parse_int(arg.substr(7), "--jobs");
+        if (jobs < 0) {
+          std::fprintf(stderr, "error: --jobs must be >= 0\n");
+          return 1;
+        }
+      } else if (arg.rfind("--route-jobs=", 0) == 0) {
+        options.route_jobs = parse_int(arg.substr(13), "--route-jobs");
+        if (options.route_jobs < 0) {
+          std::fprintf(stderr, "error: --route-jobs must be >= 0\n");
+          return 1;
+        }
+      } else if (arg.rfind("--inner=", 0) == 0) {
+        options.anneal.inner_num = parse_double(arg.substr(8), "--inner");
+      } else if (arg.rfind("--timing-tradeoff=", 0) == 0) {
+        options.timing_tradeoff =
+            parse_double(arg.substr(18), "--timing-tradeoff");
+        if (options.timing_tradeoff < 0.0 || options.timing_tradeoff > 1.0) {
+          std::fprintf(stderr, "error: --timing-tradeoff must be in [0, 1]\n");
+          return 1;
+        }
+      } else if (arg.rfind("--cache-dir=", 0) == 0) {
+        cache_dir = arg.substr(12);
+      } else if (arg.rfind("--k=", 0) == 0) {
+        k = parse_int(arg.substr(4), "--k");
+      } else if (arg == "--report") {
+        report = true;
+      } else if (arg == "--report-full") {
+        report = true;
+        report_full = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+        return 0;
+      } else if (arg.rfind("--", 0) == 0) {
+        usage(argv[0]);
+        return 1;
       } else {
-        usage(argv[0]);
-        return 1;
+        paths.push_back(arg);
       }
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
-    } else if (arg.rfind("--seeds=", 0) == 0) {
-      seeds = std::atoi(arg.c_str() + 8);
-      if (seeds < 1) {
-        usage(argv[0]);
-        return 1;
-      }
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      jobs = std::atoi(arg.c_str() + 7);
-    } else if (arg.rfind("--route-jobs=", 0) == 0) {
-      options.route_jobs = std::atoi(arg.c_str() + 13);
-      if (options.route_jobs < 0) {
-        std::fprintf(stderr, "error: --route-jobs must be >= 0\n");
-        return 1;
-      }
-    } else if (arg.rfind("--inner=", 0) == 0) {
-      options.anneal.inner_num = std::atof(arg.c_str() + 8);
-    } else if (arg.rfind("--timing-tradeoff=", 0) == 0) {
-      options.timing_tradeoff = std::atof(arg.c_str() + 18);
-      if (options.timing_tradeoff < 0.0 || options.timing_tradeoff > 1.0) {
-        std::fprintf(stderr, "error: --timing-tradeoff must be in [0, 1]\n");
-        return 1;
-      }
-    } else if (arg.rfind("--k=", 0) == 0) {
-      k = std::atoi(arg.c_str() + 4);
-    } else if (arg == "--report") {
-      report = true;
-    } else if (arg == "--report-full") {
-      report = true;
-      report_full = true;
-    } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
-      return 0;
-    } else if (arg.rfind("--", 0) == 0) {
-      usage(argv[0]);
-      return 1;
-    } else {
-      paths.push_back(arg);
     }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    usage(argv[0]);
+    return 1;
   }
   if (paths.size() < 2) {
     usage(argv[0]);
@@ -205,10 +255,22 @@ int main(int argc, char** argv) {
     }
 
     if (seeds > 1) {
-      return run_seed_batch(modes, options, seeds, jobs, report, report_full);
+      return run_seed_batch(modes, options, seeds, jobs, cache_dir, report,
+                            report_full);
     }
 
-    const auto experiment = core::run_experiment(modes, options);
+    // Single-run mode: with a cache dir, route the run through a (local)
+    // flow cache backed by the persistent store so repeated invocations
+    // skip the cached work.
+    core::FlowCache flow_cache;
+    core::RrgCache rrg_cache;
+    core::FlowContext context;
+    if (!cache_dir.empty()) {
+      flow_cache.attach_store(std::make_shared<core::ArtifactStore>(cache_dir));
+      context.cache = &flow_cache;
+      context.rrgs = &rrg_cache;
+    }
+    const auto experiment = core::run_experiment(modes, options, context);
     const auto metrics =
         core::reconfig_metrics(experiment, options.encoding);
     const auto wl = core::wirelength_metrics(experiment);
@@ -247,6 +309,7 @@ int main(int argc, char** argv) {
       ropt.limit = report_full ? 0 : 32;
       std::printf("\n%s\n", tunable::describe(*experiment.tunable, ropt).c_str());
     }
+    print_cache_stats(cache_dir);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,7 +1,11 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
+
+#include "common/check.h"
 
 namespace mmflow {
 
@@ -65,6 +69,46 @@ std::string with_thousands(long long value) {
   }
   if (negative) out.push_back('-');
   return std::string(out.rbegin(), out.rend());
+}
+
+namespace {
+
+/// from_chars over the trimmed text; the whole remainder must be consumed.
+template <typename T>
+T parse_whole(std::string_view text, std::string_view what, const char* kind) {
+  const std::string_view t = trim(text);
+  T value{};
+  const auto* begin = t.data();
+  const auto* end = t.data() + t.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (t.empty() || ec == std::errc::invalid_argument || ptr != end) {
+    throw PreconditionError(std::string(what) + ": expected " + kind +
+                            ", got \"" + std::string(text) + "\"");
+  }
+  if (ec == std::errc::result_out_of_range) {
+    throw PreconditionError(std::string(what) + ": value \"" +
+                            std::string(text) + "\" is out of range");
+  }
+  return value;
+}
+
+}  // namespace
+
+int parse_int(std::string_view text, std::string_view what) {
+  return parse_whole<int>(text, what, "an integer");
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  return parse_whole<std::uint64_t>(text, what, "an unsigned integer");
+}
+
+double parse_double(std::string_view text, std::string_view what) {
+  const double value = parse_whole<double>(text, what, "a number");
+  if (!std::isfinite(value)) {
+    throw PreconditionError(std::string(what) + ": value \"" +
+                            std::string(text) + "\" is not finite");
+  }
+  return value;
 }
 
 }  // namespace mmflow

@@ -1,8 +1,9 @@
 #pragma once
 /// \file strings.h
-/// String helpers shared by the BLIF parser, the regex front-end and the
-/// reporting code.
+/// String helpers shared by the BLIF parser, the regex front-end, the
+/// reporting code, and the CLI/env knob parsers.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,5 +28,26 @@ namespace mmflow {
 
 /// Renders e.g. 1234567 as "1,234,567" for table output.
 [[nodiscard]] std::string with_thousands(long long value);
+
+// ---- checked numeric parsing ------------------------------------------------
+//
+// Every CLI flag and MMFLOW_* environment knob goes through these instead of
+// std::atoi/std::atof/std::strtoull: the whole (whitespace-trimmed) string
+// must parse, so garbage or trailing junk ("abc", "4x", "1.5" for an int)
+// throws a PreconditionError naming the offending knob instead of silently
+// becoming 0 — `--jobs=abc` used to mean 0 workers. All throw on empty
+// input, partial parses and out-of-range values; parse_double additionally
+// rejects NaN and infinities (no knob has a meaningful non-finite value).
+
+/// Parses all of `text` as a decimal int. `what` names the knob in errors,
+/// e.g. "--jobs" or "MMFLOW_PAIRS".
+[[nodiscard]] int parse_int(std::string_view text, std::string_view what);
+
+/// Parses all of `text` as a decimal unsigned 64-bit value (seeds).
+[[nodiscard]] std::uint64_t parse_u64(std::string_view text,
+                                      std::string_view what);
+
+/// Parses all of `text` as a finite double.
+[[nodiscard]] double parse_double(std::string_view text, std::string_view what);
 
 }  // namespace mmflow

@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "common/perf.h"
+#include "core/artifact_store.h"
 
 namespace mmflow::core {
 
@@ -46,7 +47,11 @@ std::vector<BatchJob> engine_sweep(
   return jobs;
 }
 
-BatchDriver::BatchDriver(const BatchOptions& options) : options_(options) {}
+BatchDriver::BatchDriver(const BatchOptions& options) : options_(options) {
+  if (options_.use_cache && !options_.cache_dir.empty()) {
+    cache_.attach_store(std::make_shared<ArtifactStore>(options_.cache_dir));
+  }
+}
 
 FlowContext BatchDriver::context() {
   FlowContext ctx;

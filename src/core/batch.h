@@ -65,6 +65,13 @@ struct BatchOptions {
   bool share_rrg = true;
   /// Memoize flow artifacts across jobs (see core/flows.h for granularity).
   bool use_cache = true;
+  /// Non-empty: persist the flow cache across processes by attaching a
+  /// `core::ArtifactStore` rooted at this directory (requires `use_cache`).
+  /// All workers share the one store; its commit path serializes writes, so
+  /// parallel batches stay deterministic and a later batch process — or a
+  /// shard on another machine sharing the directory — starts warm. See
+  /// docs/CACHING.md.
+  std::string cache_dir;
 };
 
 /// Result slot for one job, in submission order.
@@ -116,8 +123,10 @@ class BatchDriver {
   /// The options the driver was built with. Const; thread-safe.
   [[nodiscard]] const BatchOptions& options() const { return options_; }
 
-  /// Drops all cached artifacts (outstanding results stay valid). Do not
-  /// call while a batch is running.
+  /// Drops all cached artifacts (outstanding results stay valid). Memory
+  /// only: an on-disk store attached via `BatchOptions::cache_dir` keeps
+  /// its entries — later lookups read them back. Do not call while a batch
+  /// is running.
   void clear_caches();
 
  private:

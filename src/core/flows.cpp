@@ -4,8 +4,10 @@
 #include <bit>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/log.h"
 #include "common/perf.h"
+#include "core/artifact_store.h"
 
 namespace mmflow::core {
 
@@ -48,7 +50,7 @@ struct Fnv {
     for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
   }
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(canonical_f64_bits(v)); }
   void str(const std::string& s) {
     u64(s.size());
     for (const char c : s) byte(static_cast<std::uint8_t>(c));
@@ -56,6 +58,14 @@ struct Fnv {
 };
 
 }  // namespace
+
+std::uint64_t canonical_f64_bits(double value) {
+  MMFLOW_REQUIRE_MSG(!std::isnan(value),
+                     "NaN cannot enter a flow cache key (it compares unequal "
+                     "to itself, so the entry could never be found again)");
+  if (value == 0.0) value = 0.0;  // collapse -0.0: the two compare equal
+  return std::bit_cast<std::uint64_t>(value);
+}
 
 std::uint64_t hash_modes(const std::vector<techmap::LutCircuit>& modes) {
   Fnv fnv;
@@ -144,24 +154,54 @@ std::size_t FlowKeyHash::operator()(const FlowKey& key) const noexcept {
 
 // ---- FlowCache --------------------------------------------------------------
 
+void FlowCache::attach_store(std::shared_ptr<ArtifactStore> store) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  store_ = std::move(store);
+}
+
+std::shared_ptr<ArtifactStore> FlowCache::store() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_;
+}
+
 std::shared_ptr<const MultiModeExperiment> FlowCache::find_experiment(
     const FlowKey& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = experiments_.find(key);
-  if (it == experiments_.end()) {
+  std::shared_ptr<ArtifactStore> store;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = experiments_.find(key);
+    if (it != experiments_.end()) {
+      MMFLOW_PERF_ADD("flowcache.experiment_hits", 1);
+      return it->second;
+    }
     MMFLOW_PERF_ADD("flowcache.experiment_misses", 1);
-    return nullptr;
+    store = store_;
   }
-  MMFLOW_PERF_ADD("flowcache.experiment_hits", 1);
-  return it->second;
+  if (store == nullptr) return nullptr;
+  // Disk read-through outside the lock (I/O + deserialization must not
+  // serialize other keys' lookups); concurrent loads of the same key race
+  // benignly — identical bytes, first promotion into memory wins.
+  auto loaded = store->load_experiment(key);
+  if (!loaded.has_value()) return nullptr;
+  auto value = std::make_shared<const MultiModeExperiment>(std::move(*loaded));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return experiments_.try_emplace(key, std::move(value)).first->second;
 }
 
 std::shared_ptr<const MultiModeExperiment> FlowCache::store_experiment(
     const FlowKey& key, MultiModeExperiment experiment) {
   auto value =
       std::make_shared<const MultiModeExperiment>(std::move(experiment));
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return experiments_.try_emplace(key, std::move(value)).first->second;
+  std::shared_ptr<ArtifactStore> store;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = experiments_.try_emplace(key, value);
+    if (!inserted) return it->second;  // already cached (and persisted)
+    store = store_;
+  }
+  // Write-behind: only the canonical first writer persists the entry.
+  if (store != nullptr) store->save_experiment(key, *value);
+  return value;
 }
 
 std::shared_ptr<const std::vector<ModeImpl>> FlowCache::mdr_or_compute(
@@ -169,6 +209,7 @@ std::shared_ptr<const std::vector<ModeImpl>> FlowCache::mdr_or_compute(
     const std::function<std::vector<ModeImpl>()>& compute) {
   std::shared_future<std::shared_ptr<const std::vector<ModeImpl>>> waiting;
   std::promise<std::shared_ptr<const std::vector<ModeImpl>>> promise;
+  std::shared_ptr<ArtifactStore> store;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = mdr_.find(key);
@@ -182,6 +223,7 @@ std::shared_ptr<const std::vector<ModeImpl>> FlowCache::mdr_or_compute(
     } else {
       MMFLOW_PERF_ADD("flowcache.mdr_misses", 1);
       mdr_inflight_.emplace(key, promise.get_future().share());
+      store = store_;
     }
   }
   if (waiting.valid()) {
@@ -192,7 +234,18 @@ std::shared_ptr<const std::vector<ModeImpl>> FlowCache::mdr_or_compute(
   }
   std::shared_ptr<const std::vector<ModeImpl>> value;
   try {
-    value = std::make_shared<const std::vector<ModeImpl>>(compute());
+    // Disk read-through before computing; the in-flight registration above
+    // already makes this thread the single loader/computer/writer for the
+    // key, so store reads and the write-behind are naturally serialized.
+    std::optional<std::vector<ModeImpl>> loaded;
+    if (store != nullptr) loaded = store->load_mdr(key);
+    if (loaded.has_value()) {
+      value =
+          std::make_shared<const std::vector<ModeImpl>>(std::move(*loaded));
+    } else {
+      value = std::make_shared<const std::vector<ModeImpl>>(compute());
+      if (store != nullptr) store->save_mdr(key, *value);
+    }
   } catch (...) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -211,38 +264,72 @@ std::shared_ptr<const std::vector<ModeImpl>> FlowCache::mdr_or_compute(
 }
 
 std::optional<bool> FlowCache::find_probe(const FlowKey& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = probes_.find(key);
-  if (it == probes_.end()) {
+  std::shared_ptr<ArtifactStore> store;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = probes_.find(key);
+    if (it != probes_.end()) {
+      MMFLOW_PERF_ADD("flowcache.probe_hits", 1);
+      return it->second;
+    }
     MMFLOW_PERF_ADD("flowcache.probe_misses", 1);
-    return std::nullopt;
+    store = store_;
   }
-  MMFLOW_PERF_ADD("flowcache.probe_hits", 1);
-  return it->second;
+  if (store == nullptr) return std::nullopt;
+  const auto loaded = store->load_probe(key);
+  if (!loaded.has_value()) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return probes_.try_emplace(key, *loaded).first->second;
 }
 
 bool FlowCache::store_probe(const FlowKey& key, bool routable) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return probes_.try_emplace(key, routable).first->second;
+  std::shared_ptr<ArtifactStore> store;
+  bool stored = routable;
+  bool inserted = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, fresh] = probes_.try_emplace(key, routable);
+    stored = it->second;
+    inserted = fresh;
+    store = store_;
+  }
+  if (inserted && store != nullptr) store->save_probe(key, stored);
+  return stored;
 }
 
 std::shared_ptr<const MdrFinalRoutes> FlowCache::find_mdr_routes(
     const FlowKey& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = mdr_routes_.find(key);
-  if (it == mdr_routes_.end()) {
+  std::shared_ptr<ArtifactStore> store;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = mdr_routes_.find(key);
+    if (it != mdr_routes_.end()) {
+      MMFLOW_PERF_ADD("flowcache.final_route_hits", 1);
+      return it->second;
+    }
     MMFLOW_PERF_ADD("flowcache.final_route_misses", 1);
-    return nullptr;
+    store = store_;
   }
-  MMFLOW_PERF_ADD("flowcache.final_route_hits", 1);
-  return it->second;
+  if (store == nullptr) return nullptr;
+  auto loaded = store->load_mdr_routes(key);
+  if (!loaded.has_value()) return nullptr;
+  auto value = std::make_shared<const MdrFinalRoutes>(std::move(*loaded));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return mdr_routes_.try_emplace(key, std::move(value)).first->second;
 }
 
 std::shared_ptr<const MdrFinalRoutes> FlowCache::store_mdr_routes(
     const FlowKey& key, MdrFinalRoutes routes) {
   auto value = std::make_shared<const MdrFinalRoutes>(std::move(routes));
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return mdr_routes_.try_emplace(key, std::move(value)).first->second;
+  std::shared_ptr<ArtifactStore> store;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = mdr_routes_.try_emplace(key, value);
+    if (!inserted) return it->second;
+    store = store_;
+  }
+  if (store != nullptr) store->save_mdr_routes(key, *value);
+  return value;
 }
 
 std::size_t FlowCache::size() const {
@@ -578,7 +665,9 @@ std::shared_ptr<const MultiModeExperiment> run_experiment_shared(
   }
   FlowKey exp_key = base_key;
   exp_key.engine = 1u + static_cast<std::uint32_t>(options.cost_engine);
-  exp_key.variant = std::bit_cast<std::uint64_t>(options.timing_tradeoff);
+  // Canonical bits, not raw bits: λ = -0.0 must address the λ = 0.0 entry
+  // (they run the identical flow), on disk as much as in memory.
+  exp_key.variant = canonical_f64_bits(options.timing_tradeoff);
   if (cache != nullptr) {
     if (auto hit = cache->find_experiment(exp_key)) return hit;
   }

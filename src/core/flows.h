@@ -35,6 +35,13 @@
 ///    of seed restarts probes the same widths over and over; the graph is
 ///    built once per width.
 ///
+/// Since PR 5 a `FlowCache` can additionally persist across processes: an
+/// attached `core::ArtifactStore` (see core/artifact_store.h and
+/// docs/CACHING.md) makes memory misses read through to content-addressed
+/// on-disk entries and writes freshly computed artifacts behind, so a warm
+/// second process reproduces a cold first process's QoR bit-identically
+/// while skipping the cached work.
+///
 /// **Determinism contract**: every cached value is the output of a
 /// deterministic function of its key, so a cache hit returns exactly the
 /// bytes a recomputation would produce. Batched/parallel runs therefore
@@ -67,6 +74,8 @@
 #include "tunable/tunable_circuit.h"
 
 namespace mmflow::core {
+
+class ArtifactStore;  // core/artifact_store.h — on-disk persistence layer
 
 /// Channel-width-independent routing problem (sink/source sites instead of
 /// RRG node ids), instantiated per candidate W during the search.
@@ -164,7 +173,17 @@ struct MultiModeExperiment {
 /// Stable hash of the flow knobs that influence results, *excluding* the
 /// seed and the cost engine — those are separate `FlowKey` fields so that
 /// engine-independent artifacts can share entries across engines.
+/// Floating-point knobs are hashed through `canonical_f64_bits`, so
+/// semantically equal options always hash equal (a hard requirement once
+/// keys address on-disk entries); NaN knobs are rejected.
 [[nodiscard]] std::uint64_t hash_flow_options(const FlowOptions& options);
+
+/// Canonical IEEE-754 bit pattern used wherever a double enters a cache key
+/// (`hash_flow_options` fields, `FlowKey::variant`): -0.0 normalizes to
+/// +0.0 — the two compare equal, so they must never address distinct
+/// on-disk entries — and NaN throws (no flow knob has a meaningful NaN
+/// value, and NaN != NaN would make the key unusable).
+[[nodiscard]] std::uint64_t canonical_f64_bits(double value);
 
 /// Cache key for one flow artifact. `engine` is `1 + CombinedCost` for
 /// engine-specific entries and 0 for engine-independent ones (the MDR side);
@@ -199,8 +218,21 @@ struct MdrFinalRoutes {
 /// Memoizes flow artifacts (see the file comment for the determinism,
 /// ownership and thread-safety contracts). Every lookup bumps a
 /// `flowcache.<kind>_hits` / `flowcache.<kind>_misses` perf counter.
+///
+/// With an `ArtifactStore` attached (see `attach_store`), the cache becomes
+/// a two-level hierarchy: memory misses read through to the on-disk store
+/// (`flowcache.disk_hits`; loaded entries are promoted into memory), and
+/// every `store_*` of a freshly computed artifact writes behind to disk
+/// (`flowcache.disk_writes`) — so a later process starts warm. All disk
+/// failure modes degrade to misses; see core/artifact_store.h.
 class FlowCache {
  public:
+  /// Attaches (or, with nullptr, detaches) the persistence layer. Not
+  /// thread-safe against concurrent lookups — attach before handing the
+  /// cache to flow jobs. The store may be shared by several caches.
+  void attach_store(std::shared_ptr<ArtifactStore> store);
+  [[nodiscard]] std::shared_ptr<ArtifactStore> store() const;
+
   std::shared_ptr<const MultiModeExperiment> find_experiment(
       const FlowKey& key);
   /// Insert-if-absent; returns the canonical stored entry.
@@ -249,6 +281,9 @@ class FlowCache {
   std::unordered_map<FlowKey, std::shared_ptr<const MdrFinalRoutes>,
                      FlowKeyHash>
       mdr_routes_;
+  /// Optional on-disk second level (core/artifact_store.h); null = memory
+  /// only, the pre-PR 5 behaviour.
+  std::shared_ptr<ArtifactStore> store_;
 };
 
 /// Shares immutable routing resource graphs across runs, keyed by the full

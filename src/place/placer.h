@@ -27,6 +27,11 @@ class Placement {
  public:
   Placement(const arch::DeviceGrid& grid, std::size_t num_blocks);
 
+  /// The device grid this placement was built against (the serialization
+  /// layer in src/core/artifact_store.cpp persists its ArchSpec so a
+  /// reloaded Placement is self-contained, like a freshly computed one).
+  [[nodiscard]] const arch::DeviceGrid& grid() const { return grid_; }
+
   [[nodiscard]] const arch::Site& site_of(std::uint32_t block) const {
     return site_of_block_[block];
   }

@@ -284,7 +284,9 @@ TEST(Batch, JobFailureIsCapturedNotPropagated) {
   jobs.push_back(BatchJob{"bad", shared, bad});
   jobs.push_back(BatchJob{"good", shared, good});
 
-  BatchDriver driver(BatchOptions{.jobs = 2});
+  BatchOptions batch_options;
+  batch_options.jobs = 2;
+  BatchDriver driver(batch_options);
   const auto results = driver.run(jobs);
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(results[0].experiment, nullptr);

@@ -129,6 +129,54 @@ TEST(Strings, FormatHelpers) {
   EXPECT_EQ(with_thousands(12), "12");
 }
 
+TEST(Strings, ParseIntAcceptsWholeNumbers) {
+  EXPECT_EQ(parse_int("42", "knob"), 42);
+  EXPECT_EQ(parse_int("-7", "knob"), -7);
+  EXPECT_EQ(parse_int("  13  ", "knob"), 13);  // surrounding whitespace ok
+  EXPECT_EQ(parse_int("0", "knob"), 0);
+}
+
+TEST(Strings, ParseIntRejectsGarbageAndTrailingJunk) {
+  // The regression that motivated the checked parsers: std::atoi silently
+  // read all of these as 0 (--jobs=abc meant zero workers).
+  EXPECT_THROW(parse_int("abc", "--jobs"), PreconditionError);
+  EXPECT_THROW(parse_int("4x", "--jobs"), PreconditionError);
+  EXPECT_THROW(parse_int("1.5", "--jobs"), PreconditionError);
+  EXPECT_THROW(parse_int("", "--jobs"), PreconditionError);
+  EXPECT_THROW(parse_int("   ", "--jobs"), PreconditionError);
+  EXPECT_THROW(parse_int("999999999999999999999", "--jobs"),
+               PreconditionError);  // out of range
+  // The error names the offending knob.
+  try {
+    parse_int("abc", "--jobs");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+  }
+}
+
+TEST(Strings, ParseU64) {
+  EXPECT_EQ(parse_u64("0", "seed"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615", "seed"),
+            18446744073709551615ULL);
+  EXPECT_THROW(parse_u64("-1", "seed"), PreconditionError);
+  EXPECT_THROW(parse_u64("18446744073709551616", "seed"), PreconditionError);
+  EXPECT_THROW(parse_u64("12three", "seed"), PreconditionError);
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("1.5", "lambda"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("-0.25", "lambda"), -0.25);
+  EXPECT_DOUBLE_EQ(parse_double("2e3", "lambda"), 2000.0);
+  EXPECT_THROW(parse_double("x", "lambda"), PreconditionError);
+  EXPECT_THROW(parse_double("1.5q", "lambda"), PreconditionError);
+  EXPECT_THROW(parse_double("", "lambda"), PreconditionError);
+  // Non-finite knob values are meaningless everywhere they are used.
+  EXPECT_THROW(parse_double("nan", "lambda"), PreconditionError);
+  EXPECT_THROW(parse_double("inf", "lambda"), PreconditionError);
+}
+
 TEST(Check, ThrowsExpectedTypes) {
   EXPECT_THROW(MMFLOW_CHECK(false), InternalError);
   EXPECT_THROW(MMFLOW_REQUIRE(false), PreconditionError);
