@@ -10,6 +10,11 @@
 /// bit-identical to sequential runs (the batch determinism contract), and
 /// each seed's QoR streams into the JSON report as its own row together
 /// with the cache counters — this is the CI batch smoke bench.
+///
+/// It is also the CI *chaos* smoke vehicle: with MMFLOW_FAULTS armed and
+/// MMFLOW_JOB_RETRIES > 0 the injected failures are retried, and the QoR
+/// rows must be bit-identical to a fault-free run (docs/ROBUSTNESS.md) —
+/// only the `outcome`/`retries` fields and wall time may differ.
 
 #include "bench_common.h"
 
@@ -29,6 +34,8 @@ int main() {
   core::BatchOptions batch_options;
   batch_options.jobs = config.jobs;
   batch_options.cache_dir = config.cache_dir;  // MMFLOW_CACHE_DIR, if set
+  batch_options.max_retries = config.job_retries;
+  batch_options.job_timeout_ms = config.job_timeout_ms;
   core::BatchDriver driver(batch_options);
   auto base = config.flow_options(core::CombinedCost::WireLength);
   base.seed = config.seed;
@@ -47,7 +54,8 @@ int main() {
   std::vector<bench::JsonRow> rows;
   for (const auto& result : results) {
     if (!result.experiment) {
-      std::fprintf(stderr, "job %s failed: %s\n", result.name.c_str(),
+      std::fprintf(stderr, "job %s %s: %s\n", result.name.c_str(),
+                   core::to_string(result.outcome.status),
                    result.error.c_str());
       return 1;
     }
@@ -69,6 +77,11 @@ int main() {
         {"total_conns", static_cast<double>(record.total_conns)},
         {"channel_width", static_cast<double>(record.channel_width)},
         {"wall_ms", result.wall_ms},
+        // Fault-tolerance fields (docs/ROBUSTNESS.md): 0/ok in clean runs;
+        // under MMFLOW_FAULTS the chaos smoke asserts the QoR fields above
+        // stay bit-identical while only these may change.
+        {"retries", static_cast<double>(result.outcome.retries)},
+        {"outcome_ok", result.outcome.status == core::JobStatus::Ok ? 1.0 : 0.0},
     };
     rows.push_back(std::move(row));
   }

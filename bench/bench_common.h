@@ -32,6 +32,14 @@
 ///                     (docs/CACHING.md)
 ///   MMFLOW_BENCH_JSON  output path of the JSON report (default
 ///                      <bench name>.json in cwd)
+///   MMFLOW_FAULTS  deterministic fault-injection spec (common/faults.h),
+///                  e.g. "store.read@2,batch.job~0.25/7" — the chaos smoke:
+///                  with retries armed the QoR rows must be bit-identical
+///                  to a fault-free run (docs/ROBUSTNESS.md)
+///   MMFLOW_JOB_RETRIES  batch mode: re-run failed/timed-out jobs up to N
+///                       extra times (default 0)
+///   MMFLOW_JOB_TIMEOUT_MS  batch mode: per-job cooperative wall-clock
+///                          deadline in ms (default 0 = none)
 ///
 /// Numeric knobs are parsed with the checked parsers of common/strings.h: a
 /// malformed value (e.g. MMFLOW_JOBS=abc, which std::atoi would silently
@@ -50,6 +58,7 @@
 #include <vector>
 
 #include "apps/suites.h"
+#include "common/faults.h"
 #include "common/log.h"
 #include "common/perf.h"
 #include "common/stats.h"
@@ -90,6 +99,18 @@ inline double env_double(const char* name, double fallback) {
   return env_knob(name, fallback, parse_double);
 }
 
+/// Registers the fault-tolerance counters up front so every bench JSON
+/// carries the same perf keys whether or not a fault ever fired — the chaos
+/// smoke diffs a clean run against a faulted one and needs stable schemas.
+inline void register_robustness_counters() {
+  for (const char* name :
+       {"faults.injected", "batch.retries", "batch.timeouts",
+        "batch.cancelled", "batch.manifest_skips",
+        "flowcache.disk_write_errors"}) {
+    perf::counter(name);
+  }
+}
+
 struct BenchConfig {
   int pairs = 3;
   double inner_num = 5.0;
@@ -98,6 +119,8 @@ struct BenchConfig {
   int route_jobs = 1;
   double timing_tradeoff = 0.0;
   std::string cache_dir;  ///< empty = no persistent flow cache
+  int job_retries = 0;     ///< batch mode: extra attempts per failed job
+  int job_timeout_ms = 0;  ///< batch mode: per-job deadline (0 = none)
 
   [[nodiscard]] static BenchConfig from_env() {
     BenchConfig config;
@@ -110,6 +133,18 @@ struct BenchConfig {
         env_double("MMFLOW_TRADEOFF", config.timing_tradeoff);
     if (const char* dir = std::getenv("MMFLOW_CACHE_DIR")) {
       config.cache_dir = dir;
+    }
+    config.job_retries = env_int("MMFLOW_JOB_RETRIES", config.job_retries);
+    config.job_timeout_ms =
+        env_int("MMFLOW_JOB_TIMEOUT_MS", config.job_timeout_ms);
+    register_robustness_counters();
+    // Arm chaos mode if MMFLOW_FAULTS is set; a malformed spec is reported
+    // like any other bad knob.
+    try {
+      faults::install_from_env();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(2);
     }
     return config;
   }

@@ -32,6 +32,22 @@
 ///                                 in a fresh process skips the cached work
 ///                                 with bit-identical QoR (docs/CACHING.md).
 ///                                 Defaults to $MMFLOW_CACHE_DIR if set
+///   --resume                      batch mode: consult the run manifest in
+///                                 --cache-dir and recompute only the seeds
+///                                 a previous (killed) sweep never finished;
+///                                 completed seeds replay from the store as
+///                                 disk hits and the final table matches an
+///                                 uninterrupted run (docs/ROBUSTNESS.md)
+///   --job-timeout-ms=N            batch mode: per-seed wall-clock deadline;
+///                                 an over-deadline seed is reported as
+///                                 timed_out instead of hanging the sweep
+///   --retries=N                   batch mode: re-run failed/timed-out seeds
+///                                 up to N extra times (bit-identical heal)
+///   --retry-backoff-ms=N          sleep N << (k-1) ms before retry k
+///   --faults=SPEC                 arm deterministic fault injection (also
+///                                 via $MMFLOW_FAULTS; --faults wins), e.g.
+///                                 store.read@2,batch.job~0.1/7 — see
+///                                 common/faults.h for grammar and sites
 ///   --k=N                         LUT size (default 4)
 ///   --report                      dump the parameterized configuration
 ///   --report-full                 ... including static resources
@@ -48,12 +64,14 @@
 #include <vector>
 
 #include "apps/mcnc/mcnc.h"
+#include "common/faults.h"
 #include "common/log.h"
 #include "common/perf.h"
 #include "common/strings.h"
 #include "core/artifact_store.h"
 #include "core/batch.h"
 #include "core/flows.h"
+#include "core/manifest.h"
 #include "core/metrics.h"
 #include "core/timing.h"
 #include "tunable/report.h"
@@ -66,7 +84,9 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--cost=wirelength|edgematch] [--seed=N] "
                "[--seeds=N] [--jobs=K] [--route-jobs=K] [--inner=F] "
-               "[--timing-tradeoff=F] [--cache-dir=PATH] [--k=N] [--report] "
+               "[--timing-tradeoff=F] [--cache-dir=PATH] [--resume] "
+               "[--job-timeout-ms=N] [--retries=N] [--retry-backoff-ms=N] "
+               "[--faults=SPEC] [--k=N] [--report] "
                "[--report-full] mode0.blif mode1.blif [...]\n",
                argv0);
 }
@@ -77,7 +97,7 @@ void print_cache_stats(const std::string& cache_dir) {
   if (cache_dir.empty()) return;
   std::printf(
       "\npersistent cache %s: %llu disk hits, %llu misses, %llu writes, "
-      "%llu invalid\n",
+      "%llu invalid, %llu write errors\n",
       cache_dir.c_str(),
       static_cast<unsigned long long>(
           perf::counter_value("flowcache.disk_hits")),
@@ -86,7 +106,29 @@ void print_cache_stats(const std::string& cache_dir) {
       static_cast<unsigned long long>(
           perf::counter_value("flowcache.disk_writes")),
       static_cast<unsigned long long>(
-          perf::counter_value("flowcache.disk_invalid")));
+          perf::counter_value("flowcache.disk_invalid")),
+      static_cast<unsigned long long>(
+          perf::counter_value("flowcache.disk_write_errors")));
+}
+
+/// Prints the fault-tolerance counters (docs/ROBUSTNESS.md) whenever any of
+/// them is non-zero or fault injection is armed — quiet runs stay quiet.
+void print_robustness_stats() {
+  const auto value = [](const char* name) {
+    return static_cast<unsigned long long>(perf::counter_value(name));
+  };
+  const unsigned long long injected = value("faults.injected");
+  const unsigned long long retries = value("batch.retries");
+  const unsigned long long timeouts = value("batch.timeouts");
+  const unsigned long long cancelled = value("batch.cancelled");
+  const unsigned long long skips = value("batch.manifest_skips");
+  if (!faults::enabled() && injected + retries + timeouts + cancelled + skips == 0) {
+    return;
+  }
+  std::printf(
+      "robustness: %llu faults injected, %llu retries, %llu timeouts, "
+      "%llu cancelled, %llu manifest skips\n",
+      injected, retries, timeouts, cancelled, skips);
 }
 
 /// Batch mode (--seeds=N): multi-seed placement restarts through the batch
@@ -94,30 +136,33 @@ void print_cache_stats(const std::string& cache_dir) {
 /// per seed and the best seed by DCS reconfiguration cost; --report[-full]
 /// dumps the best seed's parameterized configuration.
 int run_seed_batch(const std::vector<techmap::LutCircuit>& modes,
-                   const core::FlowOptions& options, int num_seeds, int jobs,
-                   const std::string& cache_dir, bool report,
+                   const core::FlowOptions& options, int num_seeds,
+                   const core::BatchOptions& batch_options, bool report,
                    bool report_full) {
-  core::BatchOptions batch_options;
-  batch_options.jobs = jobs;
-  batch_options.cache_dir = cache_dir;
   core::BatchDriver driver(batch_options);
   const auto batch_jobs = core::seed_sweep(
       "cli", std::make_shared<const std::vector<techmap::LutCircuit>>(modes),
       options, num_seeds);
   const auto results = driver.run(batch_jobs);
 
-  std::printf("\n%-6s | %-5s | %-12s | %-12s | %-12s | %-10s | %s\n", "seed",
-              "W", "DCS bits", "speed-up", "wires vs MDR", "CP vs MDR",
-              "wall ms");
+  std::printf("\n%-6s | %-9s | %-2s | %-5s | %-12s | %-12s | %-12s | %-10s | %s\n",
+              "seed", "status", "rt", "W", "DCS bits", "speed-up",
+              "wires vs MDR", "CP vs MDR", "wall ms");
   std::printf(
-      "-------+-------+--------------+--------------+--------------+"
-      "------------+--------\n");
+      "-------+-----------+----+-------+--------------+--------------+"
+      "--------------+------------+--------\n");
   const core::BatchResult* best = nullptr;
   core::ReconfigMetrics best_metrics;
   for (const auto& result : results) {
     if (!result.experiment) {
-      std::fprintf(stderr, "seed %llu failed: %s\n",
+      std::printf("%-6llu | %-9s | %2d | %s\n",
+                  static_cast<unsigned long long>(result.seed),
+                  core::to_string(result.outcome.status),
+                  result.outcome.retries,
+                  result.outcome.error_kind.c_str());
+      std::fprintf(stderr, "seed %llu %s: %s\n",
                    static_cast<unsigned long long>(result.seed),
+                   core::to_string(result.outcome.status),
                    result.error.c_str());
       continue;
     }
@@ -125,12 +170,15 @@ int run_seed_batch(const std::vector<techmap::LutCircuit>& modes,
         core::reconfig_metrics(*result.experiment, options.encoding);
     const auto wl = core::wirelength_metrics(*result.experiment);
     const auto timing = core::timing_report(*result.experiment, modes);
-    std::printf("%-6llu | %5d | %12llu | %11.2fx | %12.2f | %10.2f | %7.0f\n",
-                static_cast<unsigned long long>(result.seed),
-                result.experiment->region.channel_width,
-                static_cast<unsigned long long>(metrics.dcs_bits),
-                metrics.dcs_speedup(), wl.mean_ratio(), timing.mean_ratio(),
-                result.wall_ms);
+    std::printf(
+        "%-6llu | %-9s | %2d | %5d | %12llu | %11.2fx | %12.2f | %10.2f | "
+        "%7.0f\n",
+        static_cast<unsigned long long>(result.seed),
+        core::to_string(result.outcome.status), result.outcome.retries,
+        result.experiment->region.channel_width,
+        static_cast<unsigned long long>(metrics.dcs_bits),
+        metrics.dcs_speedup(), wl.mean_ratio(), timing.mean_ratio(),
+        result.wall_ms);
     if (best == nullptr || metrics.dcs_bits < best_metrics.dcs_bits) {
       best = &result;
       best_metrics = metrics;
@@ -146,7 +194,18 @@ int run_seed_batch(const std::vector<techmap::LutCircuit>& modes,
               best_metrics.dcs_speedup());
   std::printf("shared RRGs built once per width: %zu; flow-cache entries: %zu\n",
               driver.rrgs().size(), driver.cache().size());
-  print_cache_stats(cache_dir);
+  if (batch_options.resume) {
+    std::size_t skipped = 0;
+    for (const auto& result : results) {
+      if (result.outcome.manifest_skip) ++skipped;
+    }
+    std::printf("resume: %zu of %zu seeds already in run manifest (%s)\n",
+                skipped, results.size(),
+                core::RunManifest::default_path(batch_options.cache_dir)
+                    .c_str());
+  }
+  print_cache_stats(batch_options.cache_dir);
+  print_robustness_stats();
   if (report && best->experiment->tunable.has_value()) {
     tunable::ReportOptions ropt;
     ropt.parameterized_only = !report_full;
@@ -170,6 +229,11 @@ int main(int argc, char** argv) {
   int jobs = 1;
   std::string cache_dir;
   if (const char* dir = std::getenv("MMFLOW_CACHE_DIR")) cache_dir = dir;
+  int job_timeout_ms = 0;
+  int retries = 0;
+  int retry_backoff_ms = 0;
+  bool resume = false;
+  std::string fault_spec;  // --faults; overrides $MMFLOW_FAULTS
   bool report = false;
   bool report_full = false;
   std::vector<std::string> paths;
@@ -218,6 +282,28 @@ int main(int argc, char** argv) {
         }
       } else if (arg.rfind("--cache-dir=", 0) == 0) {
         cache_dir = arg.substr(12);
+      } else if (arg == "--resume") {
+        resume = true;
+      } else if (arg.rfind("--job-timeout-ms=", 0) == 0) {
+        job_timeout_ms = parse_int(arg.substr(17), "--job-timeout-ms");
+        if (job_timeout_ms < 0) {
+          std::fprintf(stderr, "error: --job-timeout-ms must be >= 0\n");
+          return 1;
+        }
+      } else if (arg.rfind("--retries=", 0) == 0) {
+        retries = parse_int(arg.substr(10), "--retries");
+        if (retries < 0) {
+          std::fprintf(stderr, "error: --retries must be >= 0\n");
+          return 1;
+        }
+      } else if (arg.rfind("--retry-backoff-ms=", 0) == 0) {
+        retry_backoff_ms = parse_int(arg.substr(19), "--retry-backoff-ms");
+        if (retry_backoff_ms < 0) {
+          std::fprintf(stderr, "error: --retry-backoff-ms must be >= 0\n");
+          return 1;
+        }
+      } else if (arg.rfind("--faults=", 0) == 0) {
+        fault_spec = arg.substr(9);
       } else if (arg.rfind("--k=", 0) == 0) {
         k = parse_int(arg.substr(4), "--k");
       } else if (arg == "--report") {
@@ -244,6 +330,25 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 1;
   }
+  if (resume && cache_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --resume needs a run manifest; pass --cache-dir "
+                 "(or set MMFLOW_CACHE_DIR)\n");
+    return 1;
+  }
+
+  try {
+    // Arm fault injection before any flow work so hit counting starts at
+    // the first injection site. The explicit flag wins over the env var.
+    if (!fault_spec.empty()) {
+      faults::install(fault_spec, "--faults");
+    } else {
+      faults::install_from_env();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   try {
     // Front end: BLIF -> synthesis -> mapping, per mode.
@@ -254,8 +359,15 @@ int main(int argc, char** argv) {
                   modes[m].num_pis(), modes[m].num_pos());
     }
 
-    if (seeds > 1) {
-      return run_seed_batch(modes, options, seeds, jobs, cache_dir, report,
+    if (seeds > 1 || resume || job_timeout_ms > 0 || retries > 0) {
+      core::BatchOptions batch_options;
+      batch_options.jobs = jobs;
+      batch_options.cache_dir = cache_dir;
+      batch_options.job_timeout_ms = job_timeout_ms;
+      batch_options.max_retries = retries;
+      batch_options.retry_backoff_ms = retry_backoff_ms;
+      batch_options.resume = resume;
+      return run_seed_batch(modes, options, seeds, batch_options, report,
                             report_full);
     }
 
@@ -310,6 +422,7 @@ int main(int argc, char** argv) {
       std::printf("\n%s\n", tunable::describe(*experiment.tunable, ropt).c_str());
     }
     print_cache_stats(cache_dir);
+    print_robustness_stats();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

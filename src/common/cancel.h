@@ -1,0 +1,106 @@
+#pragma once
+/// \file cancel.h
+/// Cooperative cancellation and wall-clock deadlines.
+///
+/// mmflow has no watchdog threads and never kills work preemptively: long
+/// computations (the annealers' temperature loops, the PathFinder iteration
+/// loop) *poll* a `CancelToken` at their natural epoch boundaries and unwind
+/// with an exception when it has tripped. Polling is cheap (two relaxed
+/// atomic loads plus, when a deadline is set, one steady_clock read) and
+/// infrequent (once per annealing epoch / routing iteration), so a token
+/// costs nothing measurable on the happy path.
+///
+/// Determinism: cancellation only decides *whether* a result is produced,
+/// never which result — a flow that runs to completion computes bits
+/// independent of any token, and a cancelled flow produces no partial
+/// artifacts (the flow caches are populated only from completed stages).
+///
+/// Tokens chain: a per-job deadline token created by the batch driver points
+/// at the batch-wide token, so one `cancel()` on the batch token stops every
+/// in-flight job at its next poll. Thread-safety: `cancel()` may be called
+/// from any thread while workers poll concurrently; deadlines are set before
+/// the job starts and not mutated while polled.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+namespace mmflow {
+
+/// Thrown by CancelToken::poll() when the token was cancelled explicitly.
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by CancelToken::poll() when the token's wall-clock deadline has
+/// passed.
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// A child token also trips when `parent` does (deadline or cancel).
+  /// The parent must outlive the child; neither is owned.
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation; every subsequent poll() (here and in children)
+  /// throws CancelledError. Idempotent, callable from any thread.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Sets an absolute wall-clock deadline; poll() throws TimeoutError once
+  /// it has passed. Call before handing the token to workers.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Convenience: deadline = now + timeout.
+  void set_timeout(std::chrono::milliseconds timeout) {
+    set_deadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->cancelled();
+  }
+
+  [[nodiscard]] bool expired() const {
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >=
+            deadline) {
+      return true;
+    }
+    return parent_ != nullptr && parent_->expired();
+  }
+
+  /// Throws CancelledError / TimeoutError if the token (or an ancestor) has
+  /// tripped; otherwise returns immediately. Cancellation wins over timeout
+  /// when both apply (an explicit stop is the stronger signal).
+  void poll() const {
+    if (cancelled()) throw CancelledError("operation cancelled");
+    if (expired()) throw TimeoutError("wall-clock deadline exceeded");
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// steady_clock deadline in ns-since-epoch; 0 = no deadline.
+  std::atomic<std::int64_t> deadline_ns_{0};
+  const CancelToken* parent_ = nullptr;
+};
+
+/// Polls `token` if non-null; the universal call-site idiom for optional
+/// tokens plumbed through options structs.
+inline void poll_cancel(const CancelToken* token) {
+  if (token != nullptr) token->poll();
+}
+
+}  // namespace mmflow

@@ -1,8 +1,26 @@
 #include "common/parallel.h"
 
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
 #include "common/check.h"
 
 namespace mmflow::parallel {
+
+namespace {
+
+std::string describe(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
 
 int resolve_jobs(int jobs) {
   if (jobs >= 1) return jobs;
@@ -33,14 +51,34 @@ void WorkerPool::run(std::size_t num_items, const ItemFn& fn) {
   MMFLOW_CHECK(fn_ == nullptr);  // run() is not re-entrant
   fn_ = &fn;
   num_items_ = num_items;
-  first_error_ = nullptr;
+  errors_.clear();
   cursor_.store(0, std::memory_order_relaxed);
   active_ = static_cast<int>(threads_.size());
   ++generation_;
   start_cv_.notify_all();
   done_cv_.wait(lock, [&] { return active_ == 0; });
   fn_ = nullptr;
-  if (first_error_ != nullptr) std::rethrow_exception(first_error_);
+  if (errors_.empty()) return;
+  // Item order, not completion order: the thrown error is a deterministic
+  // function of which items failed, independent of worker scheduling.
+  std::vector<ItemError> errors = std::move(errors_);
+  errors_.clear();
+  lock.unlock();
+  std::sort(errors.begin(), errors.end(),
+            [](const ItemError& a, const ItemError& b) {
+              return a.item < b.item;
+            });
+  if (errors.size() == 1) std::rethrow_exception(errors.front().error);
+  std::vector<AggregateError::Failure> failures;
+  failures.reserve(errors.size());
+  std::ostringstream what;
+  what << errors.size() << " of " << num_items << " items failed:";
+  for (const auto& e : errors) {
+    AggregateError::Failure f{e.item, describe(e.error)};
+    what << "\n  item " << f.item << ": " << f.message;
+    failures.push_back(std::move(f));
+  }
+  throw AggregateError(what.str(), std::move(failures));
 }
 
 void WorkerPool::worker_main(int id) {
@@ -54,24 +92,21 @@ void WorkerPool::worker_main(int id) {
     const ItemFn* fn = fn_;
     lock.unlock();
 
-    std::exception_ptr error;
+    // A throwing item is recorded and the worker moves on: every item of the
+    // batch executes, so run() can report all failures (see parallel.h).
+    std::vector<ItemError> errors;
     for (;;) {
       const std::size_t item = cursor_.fetch_add(1, std::memory_order_relaxed);
       if (item >= num_items) break;
       try {
         (*fn)(item, id);
       } catch (...) {
-        error = std::current_exception();
-        break;  // abandon the batch; run() re-throws after the join
+        errors.push_back(ItemError{item, std::current_exception()});
       }
     }
 
     lock.lock();
-    if (error != nullptr && first_error_ == nullptr) first_error_ = error;
-    if (error != nullptr) {
-      // Make the remaining items unreachable so sibling workers drain fast.
-      cursor_.store(num_items, std::memory_order_relaxed);
-    }
+    for (auto& e : errors) errors_.push_back(std::move(e));
     if (--active_ == 0) done_cv_.notify_all();
   }
 }

@@ -3,12 +3,46 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <thread>
 
+#include "common/check.h"
+#include "common/faults.h"
 #include "common/parallel.h"
 #include "common/perf.h"
 #include "core/artifact_store.h"
+#include "core/manifest.h"
 
 namespace mmflow::core {
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::Ok: return "ok";
+    case JobStatus::Failed: return "failed";
+    case JobStatus::TimedOut: return "timed_out";
+    case JobStatus::Cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Maps an attempt's exception to the JobOutcome::error_kind vocabulary.
+/// Order matters only for documentation; the types are disjoint.
+const char* classify_error(const std::exception& e) {
+  if (dynamic_cast<const CancelledError*>(&e) != nullptr) return "cancelled";
+  if (dynamic_cast<const TimeoutError*>(&e) != nullptr) return "timeout";
+  if (dynamic_cast<const faults::FaultInjected*>(&e) != nullptr) {
+    return "fault_injected";
+  }
+  if (dynamic_cast<const ParseError*>(&e) != nullptr) return "parse";
+  if (dynamic_cast<const PreconditionError*>(&e) != nullptr) {
+    return "precondition";
+  }
+  if (dynamic_cast<const InternalError*>(&e) != nullptr) return "internal";
+  return "runtime";
+}
+
+}  // namespace
 
 std::vector<BatchJob> seed_sweep(
     const std::string& name,
@@ -50,6 +84,8 @@ std::vector<BatchJob> engine_sweep(
 BatchDriver::BatchDriver(const BatchOptions& options) : options_(options) {
   if (options_.use_cache && !options_.cache_dir.empty()) {
     cache_.attach_store(std::make_shared<ArtifactStore>(options_.cache_dir));
+    manifest_ = std::make_shared<RunManifest>(
+        RunManifest::default_path(options_.cache_dir));
   }
 }
 
@@ -83,14 +119,69 @@ std::vector<BatchResult> BatchDriver::run(const std::vector<BatchJob>& jobs) {
     out.seed = job.options.seed;
     out.engine = job.options.cost_engine;
     const auto start = std::chrono::steady_clock::now();
-    try {
-      MMFLOW_REQUIRE_MSG(job.modes != nullptr,
-                         "batch job '" << job.name << "' has no modes");
-      // Zero-copy: the result *is* the cache's immutable entry.
-      out.experiment = run_experiment_shared(*job.modes, job.options, ctx);
-    } catch (const std::exception& e) {
-      out.error = e.what();
-      MMFLOW_PERF_ADD("batch.job_failures", 1);
+
+    // The whole-experiment key is how the run manifest addresses this job;
+    // only needed when a manifest exists (i.e. a cache_dir was set).
+    std::optional<FlowKey> key;
+    if (manifest_ != nullptr && job.modes != nullptr) {
+      key = experiment_key(*job.modes, job.options);
+      if (options_.resume && manifest_->contains(*key)) {
+        // A previous run completed this job: its result replays from the
+        // artifact store below (a disk hit), never a recompute.
+        out.outcome.manifest_skip = true;
+        MMFLOW_PERF_ADD("batch.manifest_skips", 1);
+      }
+    }
+
+    for (int attempt = 0;; ++attempt) {
+      try {
+        MMFLOW_REQUIRE_MSG(job.modes != nullptr,
+                           "batch job '" << job.name << "' has no modes");
+        // Per-attempt deadline token, chained to the batch-wide cancel: one
+        // cancel() stops every job; a deadline trips only this attempt.
+        CancelToken token(options_.cancel);
+        if (options_.job_timeout_ms > 0) {
+          token.set_timeout(std::chrono::milliseconds(options_.job_timeout_ms));
+        }
+        FlowOptions opts = job.options;
+        opts.cancel = &token;
+        faults::maybe_throw("batch.job");
+        // Zero-copy: the result *is* the cache's immutable entry.
+        out.experiment = run_experiment_shared(*job.modes, opts, ctx);
+        out.error.clear();
+        out.outcome.status = JobStatus::Ok;
+        out.outcome.error_kind.clear();
+        if (manifest_ != nullptr && key.has_value()) manifest_->record(*key);
+        break;
+      } catch (const std::exception& e) {
+        out.error = e.what();
+        out.outcome.error_kind = classify_error(e);
+        MMFLOW_PERF_ADD("batch.job_failures", 1);
+        const bool cancelled = out.outcome.error_kind == "cancelled";
+        if (cancelled) {
+          // An explicit stop is final: retrying would defeat the cancel.
+          out.outcome.status = JobStatus::Cancelled;
+          MMFLOW_PERF_ADD("batch.cancelled", 1);
+          break;
+        }
+        if (out.outcome.error_kind == "timeout") {
+          MMFLOW_PERF_ADD("batch.timeouts", 1);
+        }
+        if (attempt >= options_.max_retries) {
+          out.outcome.status = out.outcome.error_kind == "timeout"
+                                   ? JobStatus::TimedOut
+                                   : JobStatus::Failed;
+          break;
+        }
+        // Purity makes the retry safe: a healed attempt recomputes the
+        // exact bytes the failed one would have produced.
+        out.outcome.retries = attempt + 1;
+        MMFLOW_PERF_ADD("batch.retries", 1);
+        if (options_.retry_backoff_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              options_.retry_backoff_ms << std::min(attempt, 20)));
+        }
+      }
     }
     out.wall_ms = std::chrono::duration_cast<
                       std::chrono::duration<double, std::milli>>(

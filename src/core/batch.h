@@ -28,8 +28,25 @@
 /// caching at all (asserted by tests/test_batch.cpp). Scheduling can only
 /// change which worker pays for a cache miss — i.e. the hit/miss perf
 /// counter split and wall time, never any result bit. Exceptions thrown by
-/// a job are captured into its result slot (`error`), not propagated, so
-/// one unroutable circuit cannot tear down a sweep.
+/// a job are captured into its result slot (`error` + `outcome`), not
+/// propagated, so one unroutable circuit cannot tear down a sweep.
+///
+/// ## Fault tolerance (PR 6)
+///
+/// The same purity makes recovery trivial: re-running a failed job is
+/// guaranteed to produce the bytes the failed attempt would have — so
+/// `max_retries` heals transient faults (injected or real) with zero QoR
+/// drift, a per-job `job_timeout_ms` deadline turns a wedged search into a
+/// reported `JobStatus::TimedOut` row instead of a hung sweep, and a
+/// batch-wide `CancelToken` stops every in-flight job at its next annealer
+/// epoch / PathFinder iteration. All of it is cooperative — no thread is
+/// ever killed, and a job unwinds by exception *before* any cache or store
+/// write, so an aborted attempt leaves no partial artifacts. With a
+/// `cache_dir`, every completed job's `FlowKey` is appended to a run
+/// manifest (core/manifest.h) next to the store; `resume = true` consults
+/// it so a restarted sweep recomputes only the keys the dead process never
+/// finished (the completed ones replay as disk hits). See
+/// docs/ROBUSTNESS.md.
 ///
 /// ## Ownership & thread-safety
 ///
@@ -46,9 +63,12 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/flows.h"
 
 namespace mmflow::core {
+
+class RunManifest;  // core/manifest.h — completed-key log for --resume
 
 /// One unit of batch work: a full two-flow experiment on one (modes,
 /// options) point. `modes` is shared and never mutated.
@@ -70,8 +90,58 @@ struct BatchOptions {
   /// All workers share the one store; its commit path serializes writes, so
   /// parallel batches stay deterministic and a later batch process — or a
   /// shard on another machine sharing the directory — starts warm. See
-  /// docs/CACHING.md.
+  /// docs/CACHING.md. Also enables the run manifest (core/manifest.h): every
+  /// completed job's FlowKey is logged next to the store.
   std::string cache_dir;
+  /// Per-job wall-clock deadline in milliseconds; 0 = none. Cooperative:
+  /// the driver plants a deadline `CancelToken` in the job's FlowOptions,
+  /// polled at annealer-epoch and PathFinder-iteration boundaries, so an
+  /// over-deadline job unwinds cleanly (no partial cache writes) and lands
+  /// as a `JobStatus::TimedOut` row without disturbing its siblings.
+  int job_timeout_ms = 0;
+  /// Failed or timed-out attempts are re-run up to this many extra times.
+  /// Results are a pure function of (modes, options), so a retry that
+  /// succeeds is bit-identical to a first-attempt success — retries heal
+  /// transient faults with zero QoR drift. Cancelled jobs never retry.
+  int max_retries = 0;
+  /// Sleep before retry k (1-based) is `retry_backoff_ms << (k - 1)`;
+  /// 0 disables the backoff sleep.
+  int retry_backoff_ms = 0;
+  /// Optional batch-wide cancellation: trip it from any thread and every
+  /// in-flight job unwinds at its next poll as `JobStatus::Cancelled`;
+  /// queued jobs fail fast the same way. Not owned; may be null.
+  const CancelToken* cancel = nullptr;
+  /// Consult the run manifest (requires `cache_dir`): jobs whose FlowKey a
+  /// previous run completed are counted as `batch.manifest_skips` and served
+  /// from the store (disk hits) instead of recomputed — the restarted sweep
+  /// emits the same table as an uninterrupted run.
+  bool resume = false;
+};
+
+/// Terminal state of one job after all attempts.
+enum class JobStatus : std::uint8_t {
+  Ok,         ///< experiment produced (possibly after retries)
+  Failed,     ///< every attempt threw a non-timeout, non-cancel error
+  TimedOut,   ///< last attempt exceeded `job_timeout_ms`
+  Cancelled,  ///< batch-wide cancel tripped during the job
+};
+
+/// Diagnostic name for table/JSON output ("ok", "failed", "timed_out",
+/// "cancelled").
+[[nodiscard]] const char* to_string(JobStatus status);
+
+/// Structured account of how a job's attempts went; `BatchResult::error`
+/// carries the last attempt's message when `status != Ok`.
+struct JobOutcome {
+  JobStatus status = JobStatus::Ok;
+  int retries = 0;  ///< re-runs consumed (0 = first attempt decided)
+  /// Classification of the last error: "timeout", "cancelled",
+  /// "fault_injected", "parse", "precondition", "internal" or "runtime";
+  /// empty when the job succeeded.
+  std::string error_kind;
+  /// True when `BatchOptions::resume` found this job's key in the run
+  /// manifest (its result then replays from the artifact store).
+  bool manifest_skip = false;
 };
 
 /// Result slot for one job, in submission order.
@@ -79,9 +149,10 @@ struct BatchResult {
   std::string name;
   std::uint64_t seed = 0;
   CombinedCost engine = CombinedCost::WireLength;
-  /// Null iff the job threw; then `error` holds the exception message.
+  /// Null iff the job failed; then `error` holds the exception message.
   std::shared_ptr<const MultiModeExperiment> experiment;
   std::string error;
+  JobOutcome outcome;
   double wall_ms = 0.0;
 };
 
@@ -129,10 +200,15 @@ class BatchDriver {
   /// is running.
   void clear_caches();
 
+  /// The run manifest (null unless `cache_dir` was set). Exposed for
+  /// reporting — e.g. the CLI's resume summary.
+  [[nodiscard]] const RunManifest* manifest() const { return manifest_.get(); }
+
  private:
   BatchOptions options_;
   FlowCache cache_;
   RrgCache rrgs_;
+  std::shared_ptr<RunManifest> manifest_;
 };
 
 }  // namespace mmflow::core

@@ -646,6 +646,7 @@ CombinedPlacement combined_place(const std::vector<techmap::LutCircuit>& modes,
   for (const auto& nl : out.netlists) num_nets += nl.num_nets();
 
   while (true) {
+    poll_cancel(options.cancel);
     std::int64_t accepted = 0;
     const std::int64_t moves = schedule.moves_per_temperature();
     for (std::int64_t i = 0; i < moves; ++i) {

@@ -51,6 +51,10 @@ struct CombinedPlaceOptions {
   /// Delay model for the pre-route estimator (read when timing_tradeoff >
   /// 0); the same model the post-route report uses.
   place::TimingModel timing;
+  /// Optional cooperative cancellation, polled once per temperature epoch.
+  /// Execution-only — never changes the result of a completed run, so it is
+  /// excluded from core::hash_flow_options. Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 struct CombinedPlaceStats {

@@ -430,6 +430,7 @@ SiteRouteSpec dcs_route_spec_from(const tunable::TunableCircuit& tc,
 void tplace_from_scratch(const tunable::TunableCircuit& tc,
                          const DeviceGrid& grid, std::uint64_t seed,
                          const place::AnnealOptions& anneal,
+                         const CancelToken* cancel,
                          std::vector<Site>* tlut_site,
                          std::vector<Site>* tio_site) {
   // Lower the Tunable circuit to a PlaceNetlist: TLUTs are logic blocks,
@@ -460,6 +461,7 @@ void tplace_from_scratch(const tunable::TunableCircuit& tc,
   place::PlacerOptions options;
   options.seed = seed;
   options.anneal = anneal;
+  options.cancel = cancel;
   const place::Placement placed = place::place(pn, grid, options);
 
   tlut_site->resize(tc.num_tluts());
@@ -494,6 +496,9 @@ MultiModeExperiment compute_experiment(
   // neither knob participates in hash_flow_options or the FlowKeys.
   route::RouterOptions router = options.router;
   router.jobs = options.route_jobs;
+  // The cancel token rides the same way: execution-only, so it reaches every
+  // long loop (annealers below, PathFinder here) without touching any key.
+  router.cancel = options.cancel;
 
   // Shared immutable RRGs when a cache is provided, locally built otherwise.
   auto rrg_for = [&](const ArchSpec& spec) -> std::shared_ptr<const RoutingGraph> {
@@ -515,6 +520,7 @@ MultiModeExperiment compute_experiment(
         place::PlacerOptions popt;
         popt.seed = options.seed * 1000003u + static_cast<std::uint64_t>(m);
         popt.anneal = options.anneal;
+        popt.cancel = options.cancel;
         impl.placement = place::place(impl.netlist, grid, popt);
         impl.route_spec = mdr_route_spec(impl.netlist, impl.placement);
         mdr.push_back(std::move(impl));
@@ -534,6 +540,7 @@ MultiModeExperiment compute_experiment(
   cp_options.seed = options.seed * 6364136223846793005ULL + 1;
   cp_options.anneal = options.anneal;
   cp_options.timing_tradeoff = options.timing_tradeoff;
+  cp_options.cancel = options.cancel;
   const CombinedPlacement combined = combined_place(modes, grid, cp_options);
   ExtractedMerge merge = extract_merge(combined, grid);
 
@@ -548,7 +555,8 @@ MultiModeExperiment compute_experiment(
     MMFLOW_PERF_SCOPE("flow.tplace");
     tplace_from_scratch(*exp.tunable, grid,
                         options.seed * 2862933555777941757ULL + 3,
-                        options.anneal, &exp.tlut_site, &exp.tio_site);
+                        options.anneal, options.cancel, &exp.tlut_site,
+                        &exp.tio_site);
   }
   exp.dcs_route_spec =
       dcs_route_spec_from(*exp.tunable, exp.tlut_site, exp.tio_site);
@@ -645,7 +653,31 @@ ArchSpec base_region(const std::vector<techmap::LutCircuit>& modes,
                            modes[0].k());
 }
 
+/// Whole-experiment key against a precomputed base region; the single point
+/// of truth the public `experiment_key` and `run_experiment_shared` share
+/// (a manifest entry written from one must match a lookup from the other).
+FlowKey experiment_key_for(const ArchSpec& base,
+                           const std::vector<techmap::LutCircuit>& modes,
+                           const FlowOptions& options) {
+  FlowKey key;
+  key.netlist = hash_modes(modes);
+  key.arch = hash_arch(base);
+  key.options = hash_flow_options(options);
+  key.seed = options.seed;
+  key.engine = 1u + static_cast<std::uint32_t>(options.cost_engine);
+  // Canonical bits, not raw bits: λ = -0.0 must address the λ = 0.0 entry
+  // (they run the identical flow), on disk as much as in memory.
+  key.variant = canonical_f64_bits(options.timing_tradeoff);
+  return key;
+}
+
 }  // namespace
+
+FlowKey experiment_key(const std::vector<techmap::LutCircuit>& modes,
+                       const FlowOptions& options) {
+  MMFLOW_REQUIRE(!modes.empty() && modes.size() <= 32);
+  return experiment_key_for(base_region(modes, options), modes, options);
+}
 
 std::shared_ptr<const MultiModeExperiment> run_experiment_shared(
     const std::vector<techmap::LutCircuit>& modes, const FlowOptions& options,
@@ -654,20 +686,17 @@ std::shared_ptr<const MultiModeExperiment> run_experiment_shared(
   const ArchSpec base = base_region(modes, options);
 
   // `base_key` identifies the engine-independent MDR artifacts; `exp_key`
-  // adds the cost engine and identifies the whole experiment.
+  // adds the cost engine (and λ variant) and identifies the whole
+  // experiment.
   FlowCache* const cache = context.cache;
   FlowKey base_key;
+  FlowKey exp_key;
   if (cache != nullptr) {
-    base_key.netlist = hash_modes(modes);
-    base_key.arch = hash_arch(base);
-    base_key.options = hash_flow_options(options);
-    base_key.seed = options.seed;
+    exp_key = experiment_key_for(base, modes, options);
+    base_key = exp_key;
+    base_key.engine = 0;
+    base_key.variant = 0;
   }
-  FlowKey exp_key = base_key;
-  exp_key.engine = 1u + static_cast<std::uint32_t>(options.cost_engine);
-  // Canonical bits, not raw bits: λ = -0.0 must address the λ = 0.0 entry
-  // (they run the identical flow), on disk as much as in memory.
-  exp_key.variant = canonical_f64_bits(options.timing_tradeoff);
   if (cache != nullptr) {
     if (auto hit = cache->find_experiment(exp_key)) return hit;
   }

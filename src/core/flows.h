@@ -126,6 +126,14 @@ struct FlowOptions {
   /// every `FlowKey` — a jobs sweep shares all cache entries, and results
   /// cached at one jobs level are byte-identical to any other.
   int route_jobs = 1;
+  /// Optional cooperative cancellation/deadline token, polled at annealer
+  /// temperature epochs and PathFinder iterations throughout the flow (the
+  /// batch driver plants per-job deadline tokens here — see core/batch.h).
+  /// Execution-only like `route_jobs`: a token never changes the bits a
+  /// *completed* flow produces, and a tripped token unwinds by exception
+  /// before any cache/store write, so it is excluded from
+  /// `hash_flow_options` and every `FlowKey`. Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// One mode's MDR implementation.
@@ -208,6 +216,14 @@ struct FlowKey {
 struct FlowKeyHash {
   [[nodiscard]] std::size_t operator()(const FlowKey& key) const noexcept;
 };
+
+/// The whole-experiment `FlowKey` that `run_experiment_shared` files
+/// `(modes, options)` under — exposed so sweep drivers can address results
+/// without running the flow (the batch driver's run manifest and `--resume`
+/// are built on it; see core/manifest.h). Dominated by `hash_modes`, so
+/// hoist it out of per-seed loops where possible.
+[[nodiscard]] FlowKey experiment_key(
+    const std::vector<techmap::LutCircuit>& modes, const FlowOptions& options);
 
 /// The final-width MDR routings (problems + results), cached as one unit.
 struct MdrFinalRoutes {

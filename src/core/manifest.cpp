@@ -1,0 +1,104 @@
+#include "core/manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/log.h"
+#include "common/perf.h"
+
+namespace mmflow::core {
+
+namespace {
+
+/// One line per key. The leading tag versions the record format; a line
+/// whose tag or field count doesn't match is skipped on load (torn or
+/// future-format records degrade to "not completed", never to a crash).
+constexpr char kRecordTag[] = "mmflow-run-v1";
+
+std::string format_record(const FlowKey& key) {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "%s %016" PRIx64 " %016" PRIx64 " %016" PRIx64 " %016" PRIx64
+                " %08" PRIx32 " %d %016" PRIx64,
+                kRecordTag, key.netlist, key.arch, key.options, key.seed,
+                key.engine, key.width, key.variant);
+  return buf;
+}
+
+bool parse_record(const std::string& line, FlowKey* key) {
+  char tag[32] = {0};
+  int consumed = 0;
+  const int fields = std::sscanf(
+      line.c_str(),
+      "%31s %16" SCNx64 " %16" SCNx64 " %16" SCNx64 " %16" SCNx64 " %8" SCNx32
+      " %d %16" SCNx64 "%n",
+      tag, &key->netlist, &key->arch, &key->options, &key->seed, &key->engine,
+      &key->width, &key->variant, &consumed);
+  if (fields != 8 || std::string(tag) != kRecordTag) return false;
+  // Trailing junk after a well-formed prefix marks a torn/garbled line.
+  return line.find_first_not_of(" \t\r", static_cast<std::size_t>(consumed)) ==
+         std::string::npos;
+}
+
+}  // namespace
+
+RunManifest::RunManifest(std::filesystem::path path) : path_(std::move(path)) {
+  std::ifstream is(path_);
+  if (!is) return;  // no manifest yet: empty, by contract
+  std::string line;
+  std::size_t skipped = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    FlowKey key;
+    if (parse_record(line, &key)) {
+      keys_.insert(key);
+    } else {
+      ++skipped;
+      // A record torn by a kill has no trailing newline; anything appended
+      // after it would fuse onto the torn line and be lost on the next
+      // load. Re-terminate the file once so later appends start clean.
+      if (!is.eof()) continue;  // mid-file garbage is already line-terminated
+      std::ofstream os(path_, std::ios::app);
+      os << '\n';
+    }
+  }
+  if (skipped != 0) {
+    MMFLOW_WARN("run manifest: skipped " << skipped << " corrupt line(s) in "
+                                         << path_.string());
+  }
+}
+
+bool RunManifest::contains(const FlowKey& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return keys_.contains(key);
+}
+
+void RunManifest::record(const FlowKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!keys_.insert(key).second) return;  // already on disk
+  // Open-append-close per record: the line is durably handed to the OS
+  // before record() returns, so a killed process loses at most the record
+  // being written — which resume simply recomputes.
+  std::ofstream os(path_, std::ios::app);
+  os << format_record(key) << '\n';
+  os.flush();
+  if (!os) {
+    MMFLOW_PERF_ADD("manifest.write_errors", 1);
+    MMFLOW_WARN("run manifest: cannot append to " << path_.string());
+  }
+}
+
+std::size_t RunManifest::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return keys_.size();
+}
+
+std::filesystem::path RunManifest::default_path(
+    const std::filesystem::path& cache_dir) {
+  return cache_dir / "manifest.log";
+}
+
+}  // namespace mmflow::core

@@ -1,0 +1,63 @@
+#pragma once
+/// \file manifest.h
+/// Append-only run manifest: which whole-experiment FlowKeys a sweep has
+/// completed, persisted next to the ArtifactStore.
+///
+/// The artifact store answers "is this result on disk?" only by paying for a
+/// load; the manifest answers "did a previous run finish this job?" from one
+/// line per completed key. A killed sweep restarted with `--resume` consults
+/// it to skip straight to the missing keys (their results then come from the
+/// store as ordinary disk hits), recomputing only what the dead process
+/// never finished.
+///
+/// Robustness contract (matches the store's): the manifest is advisory and
+/// self-healing. A missing or unreadable file means "nothing completed";
+/// corrupt lines (a record torn by the kill) are skipped, never fatal; a
+/// failed append is warned and counted, and costs at most one redundant
+/// recompute on the next resume — which, by the determinism contract,
+/// produces the identical bytes. Records are appended line-at-a-time with an
+/// immediate flush so a kill loses at most the in-flight line.
+///
+/// Thread-safety: all methods are mutex-guarded; concurrent batch workers
+/// may record() freely.
+
+#include <cstddef>
+#include <filesystem>
+#include <mutex>
+#include <unordered_set>
+
+#include "core/flows.h"
+
+namespace mmflow::core {
+
+class RunManifest {
+ public:
+  /// Opens (and loads) the manifest at `path`; a missing file is an empty
+  /// manifest. Never throws on I/O trouble — see the robustness contract.
+  explicit RunManifest(std::filesystem::path path);
+
+  /// True iff `key` was recorded by this or a previous run.
+  [[nodiscard]] bool contains(const FlowKey& key) const;
+
+  /// Records `key` as completed: appends one line (flushed before
+  /// returning) unless already present. A failed append degrades to a
+  /// warning plus `manifest.write_errors`.
+  void record(const FlowKey& key);
+
+  /// Keys known completed.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// The conventional manifest location for a sweep using `cache_dir` as its
+  /// artifact-store root.
+  [[nodiscard]] static std::filesystem::path default_path(
+      const std::filesystem::path& cache_dir);
+
+ private:
+  std::filesystem::path path_;
+  mutable std::mutex mutex_;
+  std::unordered_set<FlowKey, FlowKeyHash> keys_;
+};
+
+}  // namespace mmflow::core

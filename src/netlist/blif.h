@@ -9,14 +9,41 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/check.h"
 #include "netlist/netlist.h"
 
 namespace mmflow::netlist {
 
-/// Parses a BLIF model from a string. Throws ParseError on malformed input.
+/// The BLIF reader's error: a ParseError (so every existing handler keeps
+/// working) that additionally carries the source name and 1-based line the
+/// problem was located at — what() reads "<source>:<line>: <message>".
+/// Line 0 means "whole file" (e.g. a missing .model).
+///
+/// Robustness contract: *every* malformed input escapes `parse_blif` /
+/// `read_blif_file` as this type. No precondition/invariant check inside the
+/// netlist builder is reachable from file content — the parser pre-validates
+/// (duplicate definitions, cube syntax, dangling references) and re-wraps
+/// anything unexpected, so user input can never present as an mmflow bug.
+class BlifParseError : public ParseError {
+ public:
+  BlifParseError(std::string source, int line, const std::string& message);
+
+  [[nodiscard]] const std::string& source() const { return source_; }
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  std::string source_;
+  int line_ = 0;
+};
+
+/// Parses a BLIF model from a string. Throws BlifParseError on malformed
+/// input; `source_name` labels the input in errors (a path, "<string>", ...).
+[[nodiscard]] Netlist parse_blif(const std::string& text,
+                                 const std::string& source_name);
 [[nodiscard]] Netlist parse_blif(const std::string& text);
 
-/// Reads a BLIF file from disk.
+/// Reads a BLIF file from disk. Throws BlifParseError (naming `path`) on
+/// unreadable files and malformed content.
 [[nodiscard]] Netlist read_blif_file(const std::string& path);
 
 /// Serializes a netlist to BLIF (inverse of parse_blif up to signal naming).

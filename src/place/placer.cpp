@@ -350,6 +350,7 @@ Placement place_from(const PlaceNetlist& netlist, const arch::DeviceGrid& grid,
 
   // Main annealing loop.
   while (true) {
+    poll_cancel(options.cancel);
     std::int64_t accepted = 0;
     const std::int64_t moves = schedule.moves_per_temperature();
     for (std::int64_t i = 0; i < moves; ++i) {

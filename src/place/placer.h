@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "arch/arch.h"
+#include "common/cancel.h"
 #include "common/rng.h"
 #include "place/annealer.h"
 #include "place/placenet.h"
@@ -72,6 +73,11 @@ struct PlacerOptions {
   /// Delay model for the pre-route estimator (only read when
   /// timing_tradeoff > 0). Shared with the post-route report.
   TimingModel timing;
+  /// Optional cooperative cancellation, polled once per temperature epoch.
+  /// Execution-only (like RouterOptions::jobs): a token never changes the
+  /// placement a completed run produces, so it is excluded from
+  /// core::hash_flow_options. Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 struct PlacerStats {

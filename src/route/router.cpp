@@ -851,6 +851,7 @@ RouteResult route(const RoutingGraph& rrg, const RouteProblem& problem,
 
   std::vector<std::size_t> to_route;
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    poll_cancel(options.cancel);
     // Feasibility escape hatch: a merged connection constrains all its modes
     // to one physical path; with >= 3 modes that joint constraint can be
     // unsatisfiable. Split still-conflicted merged connections into

@@ -43,6 +43,7 @@
 
 #include "arch/rrg.h"
 #include "bitstream/config_model.h"
+#include "common/cancel.h"
 #include "common/rng.h"
 
 namespace mmflow::route {
@@ -98,6 +99,11 @@ struct RouterOptions {
   /// deliberately excluded from `core::hash_flow_options` (a jobs sweep
   /// shares flow-cache entries; see docs/ROUTING.md).
   int jobs = 1;
+  /// Optional cooperative cancellation, polled once per PathFinder
+  /// iteration. Execution-only like `jobs` (a completed route is unaffected
+  /// by the token), so also excluded from `core::hash_flow_options`.
+  /// Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// One routed connection: the RRG nodes from source to sink, with the edges

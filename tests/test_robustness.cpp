@@ -1,0 +1,667 @@
+/// Fault-tolerance tests (docs/ROBUSTNESS.md): the deterministic fault
+/// registry itself, cooperative cancellation/timeouts, retry healing to
+/// bit-identical QoR, artifact-store degradation under injected I/O faults,
+/// resumable sweeps via the run manifest, WorkerPool failure aggregation,
+/// and BLIF front-end robustness against corrupted input.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "aig/bridge.h"
+#include "apps/mcnc/mcnc.h"
+#include "common/cancel.h"
+#include "common/check.h"
+#include "common/faults.h"
+#include "common/parallel.h"
+#include "common/perf.h"
+#include "common/rng.h"
+#include "core/artifact_store.h"
+#include "core/batch.h"
+#include "core/manifest.h"
+#include "core/metrics.h"
+#include "netlist/blif.h"
+#include "techmap/mapper.h"
+
+namespace mmflow {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Every test that arms faults must disarm them — the registry is process
+/// global and a leaked spec would fail unrelated tests downstream.
+struct FaultsGuard {
+  FaultsGuard() { faults::clear(); }
+  ~FaultsGuard() { faults::clear(); }
+};
+
+/// Unique scratch directory, removed on destruction.
+struct TempDir {
+  fs::path path;
+
+  TempDir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("mmflow_robust_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+std::uint64_t counter(const char* name) { return perf::counter_value(name); }
+
+/// Small structurally similar mode pair (same recipe as test_batch.cpp).
+std::vector<techmap::LutCircuit> similar_mode_pair(int num_gates,
+                                                   std::uint64_t seed) {
+  Rng rng(seed);
+  auto build = [&](bool variant, std::uint64_t vseed) {
+    Rng vrng(vseed);
+    netlist::Netlist nl(variant ? "modeB" : "modeA");
+    std::vector<netlist::SignalId> pool;
+    for (int i = 0; i < 6; ++i) {
+      pool.push_back(nl.add_input("i" + std::to_string(i)));
+    }
+    Rng shared(seed * 7919);
+    for (int g = 0; g < num_gates; ++g) {
+      Rng& r = (g < num_gates * 3 / 4) ? shared : vrng;
+      const auto a = pool[r.next_below(pool.size())];
+      const auto b = pool[r.next_below(pool.size())];
+      netlist::SignalId s = 0;
+      switch (r.next_below(4)) {
+        case 0: s = nl.add_and(a, b); break;
+        case 1: s = nl.add_or(a, b); break;
+        case 2: s = nl.add_xor(a, b); break;
+        case 3: s = nl.add_nand(a, b); break;
+      }
+      pool.push_back(s);
+    }
+    for (int i = 0; i < 4; ++i) {
+      nl.add_output("o" + std::to_string(i), pool[pool.size() - 1 - i]);
+    }
+    auto mapped = techmap::map_to_luts(aig::aig_from_netlist(nl));
+    mapped.set_name(nl.name());
+    return mapped;
+  };
+  std::vector<techmap::LutCircuit> modes;
+  modes.push_back(build(false, rng()));
+  modes.push_back(build(true, rng()));
+  return modes;
+}
+
+core::FlowOptions fast_options(std::uint64_t seed) {
+  core::FlowOptions options;
+  options.cost_engine = core::CombinedCost::WireLength;
+  options.seed = seed;
+  options.anneal.inner_num = 2.0;  // keep tests quick
+  return options;
+}
+
+/// Bit-level QoR equality: region, placements, routing and reconfiguration
+/// metrics (the fields the chaos determinism criterion is stated over).
+void expect_same_experiment(const core::MultiModeExperiment& a,
+                            const core::MultiModeExperiment& b) {
+  EXPECT_EQ(a.region.nx, b.region.nx);
+  EXPECT_EQ(a.region.ny, b.region.ny);
+  EXPECT_EQ(a.region.channel_width, b.region.channel_width);
+  EXPECT_EQ(a.min_width, b.min_width);
+  ASSERT_EQ(a.mdr.size(), b.mdr.size());
+  for (std::size_t m = 0; m < a.mdr.size(); ++m) {
+    ASSERT_EQ(a.mdr[m].placement.num_blocks(), b.mdr[m].placement.num_blocks());
+    for (std::uint32_t blk = 0; blk < a.mdr[m].placement.num_blocks(); ++blk) {
+      EXPECT_EQ(a.mdr[m].placement.site_of(blk),
+                b.mdr[m].placement.site_of(blk));
+    }
+  }
+  EXPECT_EQ(a.merged_connections, b.merged_connections);
+  EXPECT_EQ(a.total_mode_connections, b.total_mode_connections);
+  const auto ma = core::reconfig_metrics(a, bitstream::MuxEncoding::Binary);
+  const auto mb = core::reconfig_metrics(b, bitstream::MuxEncoding::Binary);
+  EXPECT_EQ(ma.mdr_bits, mb.mdr_bits);
+  EXPECT_EQ(ma.dcs_bits, mb.dcs_bits);
+  EXPECT_EQ(ma.diff_bits, mb.diff_bits);
+}
+
+/// Fires `site` `n` times and returns which hits threw.
+std::vector<bool> fire_pattern(const char* site, int n) {
+  std::vector<bool> fired;
+  fired.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    try {
+      faults::maybe_throw(site);
+      fired.push_back(false);
+    } catch (const faults::FaultInjected&) {
+      fired.push_back(true);
+    }
+  }
+  return fired;
+}
+
+// ---------------------------------------------------------------- faults --
+
+TEST(Faults, DisabledIsInvisible) {
+  FaultsGuard guard;
+  EXPECT_FALSE(faults::enabled());
+  for (int i = 0; i < 100; ++i) faults::maybe_throw("store.read");
+  EXPECT_EQ(faults::hits("store.read"), 0u);  // not even counted
+}
+
+TEST(Faults, NthHitFiresExactlyOnce) {
+  FaultsGuard guard;
+  faults::install("x@3");
+  EXPECT_TRUE(faults::enabled());
+  const auto fired = fire_pattern("x", 6);
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(faults::hits("x"), 6u);
+  // Unarmed sites pass through untouched.
+  EXPECT_NO_THROW(faults::maybe_throw("y"));
+}
+
+TEST(Faults, FromNthFiresForever) {
+  FaultsGuard guard;
+  faults::install("x@2*");
+  const auto fired = fire_pattern("x", 5);
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, true, true, true}));
+}
+
+TEST(Faults, ProbabilityFormIsDeterministic) {
+  FaultsGuard guard;
+  faults::install("x~0.3/42");
+  const auto first = fire_pattern("x", 200);
+  faults::install("x~0.3/42");  // reinstall resets hit counters
+  const auto second = fire_pattern("x", 200);
+  EXPECT_EQ(first, second);  // same seed, same site, same hits -> same coins
+  const auto fired = std::count(first.begin(), first.end(), true);
+  EXPECT_GT(fired, 0);    // P(0 of 200 at p=0.3) ~ 1e-31
+  EXPECT_LT(fired, 200);
+
+  faults::install("x~0/1");
+  const auto never = fire_pattern("x", 50);
+  EXPECT_EQ(std::count(never.begin(), never.end(), true), 0);
+  faults::install("x~1/1");
+  const auto always = fire_pattern("x", 10);
+  EXPECT_EQ(std::count(always.begin(), always.end(), true), 10);
+}
+
+TEST(Faults, MultiTermSpecsAndClear) {
+  FaultsGuard guard;
+  faults::install(" a@1 , b~0.5/9 ");
+  EXPECT_THROW(faults::maybe_throw("a"), faults::FaultInjected);
+  EXPECT_NO_THROW(faults::maybe_throw("c"));
+  (void)fire_pattern("b", 3);
+  EXPECT_EQ(faults::hits("b"), 3u);  // armed sites count every hit
+  faults::clear();
+  EXPECT_FALSE(faults::enabled());
+  EXPECT_NO_THROW(faults::maybe_throw("a"));
+}
+
+TEST(Faults, MalformedSpecsAreRejected) {
+  FaultsGuard guard;
+  EXPECT_THROW(faults::install("x"), PreconditionError);       // no trigger
+  EXPECT_THROW(faults::install("x@0"), PreconditionError);     // 1-based
+  EXPECT_THROW(faults::install("x@abc"), PreconditionError);   // not a number
+  EXPECT_THROW(faults::install("x~0.5"), PreconditionError);   // missing /SEED
+  EXPECT_THROW(faults::install("x~2/1"), PreconditionError);   // P > 1
+  EXPECT_THROW(faults::install("@1"), PreconditionError);      // empty site
+  EXPECT_FALSE(faults::enabled());  // a rejected spec arms nothing
+}
+
+// ---------------------------------------------------------------- cancel --
+
+TEST(Cancel, TokenLifecycle) {
+  CancelToken token;
+  EXPECT_NO_THROW(token.poll());
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.poll(), CancelledError);
+
+  CancelToken timed;
+  timed.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  EXPECT_TRUE(timed.expired());
+  EXPECT_THROW(timed.poll(), TimeoutError);
+
+  // Cancellation wins when both apply.
+  timed.cancel();
+  EXPECT_THROW(timed.poll(), CancelledError);
+
+  // Null-token idiom used at every injection point.
+  EXPECT_NO_THROW(poll_cancel(nullptr));
+}
+
+TEST(Cancel, ChildSeesParentTrip) {
+  CancelToken parent;
+  CancelToken child(&parent);
+  EXPECT_NO_THROW(child.poll());
+  parent.cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_THROW(child.poll(), CancelledError);
+
+  CancelToken parent2;
+  CancelToken child2(&parent2);
+  parent2.set_deadline(std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1));
+  EXPECT_THROW(child2.poll(), TimeoutError);
+}
+
+// ----------------------------------------------------- store degradation --
+
+/// A read fault on a warm persistent cache degrades to a counted invalid
+/// miss — the flow recomputes and the QoR is bit-identical.
+TEST(Robustness, StoreReadFaultHealsBitIdentically) {
+  FaultsGuard guard;
+  TempDir dir;
+  const auto modes = similar_mode_pair(40, 11);
+  const auto options = fast_options(3);
+
+  core::FlowCache cold_cache;
+  cold_cache.attach_store(std::make_shared<core::ArtifactStore>(dir.path));
+  core::FlowContext cold_ctx;
+  cold_ctx.cache = &cold_cache;
+  const auto cold = core::run_experiment(modes, options, cold_ctx);
+
+  // Fresh "process": every load goes to disk, and every load fails.
+  faults::install("store.read@1*");
+  core::FlowCache warm_cache;
+  warm_cache.attach_store(std::make_shared<core::ArtifactStore>(dir.path));
+  core::FlowContext warm_ctx;
+  warm_ctx.cache = &warm_cache;
+  const auto invalid_before = counter("flowcache.disk_invalid");
+  const auto warm = core::run_experiment(modes, options, warm_ctx);
+  EXPECT_GT(counter("flowcache.disk_invalid"), invalid_before);
+  EXPECT_GT(counter("faults.injected"), 0u);
+  expect_same_experiment(cold, warm);
+}
+
+/// Write faults never escape the store: commits report failure, the counter
+/// records them, and the flow's result is unaffected.
+TEST(Robustness, StoreWriteFaultDegradesToCounter) {
+  FaultsGuard guard;
+  TempDir dir;
+  const auto modes = similar_mode_pair(40, 13);
+  const auto options = fast_options(5);
+
+  const auto clean = core::run_experiment(modes, options);
+
+  faults::install("store.write@1*");
+  core::FlowCache cache;
+  cache.attach_store(std::make_shared<core::ArtifactStore>(dir.path));
+  core::FlowContext ctx;
+  ctx.cache = &cache;
+  const auto errors_before = counter("flowcache.disk_write_errors");
+  const auto faulted = core::run_experiment(modes, options, ctx);
+  EXPECT_GT(counter("flowcache.disk_write_errors"), errors_before);
+  expect_same_experiment(clean, faulted);
+
+  // Nothing landed on disk: a fresh store over the directory sees no
+  // partial entries (only, at most, the subdirectory skeleton).
+  core::ArtifactStore store(dir.path);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// --------------------------------------------------------- batch healing --
+
+TEST(Robustness, RetryHealsInjectedFaultBitIdentically) {
+  FaultsGuard guard;
+  const auto modes = similar_mode_pair(40, 17);
+  const auto options = fast_options(7);
+  const auto clean = core::run_experiment(modes, options);
+
+  faults::install("batch.job@1");  // first attempt dies, retry heals
+  core::BatchOptions batch_options;
+  batch_options.max_retries = 1;
+  core::BatchDriver driver(batch_options);
+  const auto retries_before = counter("batch.retries");
+  const auto results = driver.run(core::seed_sweep(
+      "heal", std::make_shared<const std::vector<techmap::LutCircuit>>(modes),
+      options, 1));
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].experiment != nullptr) << results[0].error;
+  EXPECT_EQ(results[0].outcome.status, core::JobStatus::Ok);
+  EXPECT_EQ(results[0].outcome.retries, 1);
+  EXPECT_EQ(counter("batch.retries"), retries_before + 1);
+  expect_same_experiment(clean, *results[0].experiment);
+}
+
+TEST(Robustness, RetriesExhaustedReportsFailureKind) {
+  FaultsGuard guard;
+  faults::install("batch.job@1*");  // every attempt dies
+  const auto modes = similar_mode_pair(40, 19);
+  core::BatchOptions batch_options;
+  batch_options.max_retries = 2;
+  core::BatchDriver driver(batch_options);
+  const auto results = driver.run(core::seed_sweep(
+      "dead", std::make_shared<const std::vector<techmap::LutCircuit>>(modes),
+      fast_options(1), 1));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].experiment, nullptr);
+  EXPECT_EQ(results[0].outcome.status, core::JobStatus::Failed);
+  EXPECT_EQ(results[0].outcome.error_kind, "fault_injected");
+  EXPECT_EQ(results[0].outcome.retries, 2);
+  EXPECT_FALSE(results[0].error.empty());
+}
+
+/// A per-job deadline lands as a reported TimedOut outcome; the batch still
+/// returns a slot for every job instead of aborting the sweep.
+TEST(Robustness, JobTimeoutIsReportedNotFatal) {
+  const auto modes = similar_mode_pair(60, 23);
+  core::BatchOptions batch_options;
+  batch_options.job_timeout_ms = 1;  // annealing takes far longer than 1 ms
+  core::BatchDriver driver(batch_options);
+  const auto timeouts_before = counter("batch.timeouts");
+  const auto results = driver.run(core::seed_sweep(
+      "slow", std::make_shared<const std::vector<techmap::LutCircuit>>(modes),
+      fast_options(1), 2));
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.experiment, nullptr);
+    EXPECT_EQ(result.outcome.status, core::JobStatus::TimedOut);
+    EXPECT_EQ(result.outcome.error_kind, "timeout");
+  }
+  EXPECT_GE(counter("batch.timeouts"), timeouts_before + 2);
+}
+
+/// A pre-tripped batch-wide token cancels every job at its first poll;
+/// cancelled jobs never retry and nothing is written to the store.
+TEST(Robustness, CancellationLeavesNoPartialCacheWrites) {
+  TempDir dir;
+  const auto modes = similar_mode_pair(40, 29);
+  CancelToken stop;
+  stop.cancel();
+  core::BatchOptions batch_options;
+  batch_options.cancel = &stop;
+  batch_options.max_retries = 3;  // must be ignored for cancellation
+  batch_options.cache_dir = dir.path.string();
+  core::BatchDriver driver(batch_options);
+  const auto writes_before = counter("flowcache.disk_writes");
+  const auto cancelled_before = counter("batch.cancelled");
+  const auto results = driver.run(core::seed_sweep(
+      "stop", std::make_shared<const std::vector<techmap::LutCircuit>>(modes),
+      fast_options(1), 2));
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.experiment, nullptr);
+    EXPECT_EQ(result.outcome.status, core::JobStatus::Cancelled);
+    EXPECT_EQ(result.outcome.error_kind, "cancelled");
+    EXPECT_EQ(result.outcome.retries, 0);
+  }
+  EXPECT_EQ(counter("batch.cancelled"), cancelled_before + 2);
+  EXPECT_EQ(counter("flowcache.disk_writes"), writes_before);
+  core::ArtifactStore store(dir.path);
+  EXPECT_EQ(store.size(), 0u);  // no partial artifacts
+  core::RunManifest manifest(core::RunManifest::default_path(dir.path));
+  EXPECT_EQ(manifest.size(), 0u);  // no completion records either
+}
+
+/// Broken cache directory (path occupied by a file): the sweep completes
+/// with correct results, write failures land in the counter.
+TEST(Robustness, BrokenCacheDirDegradesGracefully) {
+  TempDir dir;
+  const fs::path bogus = dir.path / "not_a_directory";
+  std::ofstream(bogus) << "occupied";
+
+  const auto modes = similar_mode_pair(40, 31);
+  const auto options = fast_options(9);
+  const auto clean = core::run_experiment(modes, options);
+
+  core::BatchOptions batch_options;
+  batch_options.cache_dir = bogus.string();
+  core::BatchDriver driver(batch_options);
+  const auto errors_before = counter("flowcache.disk_write_errors");
+  const auto results = driver.run(core::seed_sweep(
+      "broken",
+      std::make_shared<const std::vector<techmap::LutCircuit>>(modes), options,
+      1));
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].experiment != nullptr) << results[0].error;
+  EXPECT_EQ(results[0].outcome.status, core::JobStatus::Ok);
+  EXPECT_GT(counter("flowcache.disk_write_errors"), errors_before);
+  expect_same_experiment(clean, *results[0].experiment);
+}
+
+// ---------------------------------------------------------------- resume --
+
+TEST(Robustness, ResumeSkipsManifestKeysAndMatchesUninterruptedRun) {
+  TempDir dir;
+  const auto modes = similar_mode_pair(40, 37);
+  const auto shared =
+      std::make_shared<const std::vector<techmap::LutCircuit>>(modes);
+  const auto base = fast_options(1);
+
+  // Reference: an uninterrupted 4-seed sweep with no cache at all.
+  core::BatchDriver plain;
+  const auto reference = plain.run(core::seed_sweep("r", shared, base, 4));
+
+  // "First process": completes only the first two seeds, then dies.
+  {
+    core::BatchOptions batch_options;
+    batch_options.cache_dir = dir.path.string();
+    core::BatchDriver driver(batch_options);
+    const auto partial = driver.run(core::seed_sweep("r", shared, base, 2));
+    ASSERT_TRUE(partial[0].experiment && partial[1].experiment);
+    ASSERT_NE(driver.manifest(), nullptr);
+    EXPECT_EQ(driver.manifest()->size(), 2u);
+  }
+
+  // "Second process": resumes the full 4-seed sweep over the same dir.
+  core::BatchOptions batch_options;
+  batch_options.cache_dir = dir.path.string();
+  batch_options.resume = true;
+  core::BatchDriver driver(batch_options);
+  const auto skips_before = counter("batch.manifest_skips");
+  const auto hits_before = counter("flowcache.disk_hits");
+  const auto results = driver.run(core::seed_sweep("r", shared, base, 4));
+
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(results[s].experiment != nullptr) << results[s].error;
+    EXPECT_EQ(results[s].outcome.status, core::JobStatus::Ok);
+    EXPECT_EQ(results[s].outcome.manifest_skip, s < 2);  // only seeds 1, 2
+    expect_same_experiment(*reference[s].experiment, *results[s].experiment);
+  }
+  EXPECT_EQ(counter("batch.manifest_skips"), skips_before + 2);
+  EXPECT_GT(counter("flowcache.disk_hits"), hits_before);  // replayed, not
+                                                           // recomputed
+  EXPECT_EQ(driver.manifest()->size(), 4u);  // now everything is recorded
+}
+
+TEST(Manifest, RecordsPersistAndTornLinesAreSkipped) {
+  TempDir dir;
+  const auto path = core::RunManifest::default_path(dir.path);
+  core::FlowKey key;
+  key.netlist = 0x1111;
+  key.arch = 0x2222;
+  key.options = 0x3333;
+  key.seed = 42;
+  key.engine = 2;
+  key.variant = 0x4444;
+  core::FlowKey other = key;
+  other.seed = 43;
+  {
+    core::RunManifest manifest(path);
+    EXPECT_EQ(manifest.size(), 0u);
+    EXPECT_FALSE(manifest.contains(key));
+    manifest.record(key);
+    manifest.record(key);  // idempotent
+    EXPECT_TRUE(manifest.contains(key));
+    EXPECT_EQ(manifest.size(), 1u);
+  }
+  // Simulate a record torn by a kill plus unrelated garbage.
+  {
+    std::ofstream os(path, std::ios::app);
+    os << "mmflow-run-v1 00000000000";  // truncated mid-field, no newline
+  }
+  {
+    core::RunManifest reloaded(path);
+    EXPECT_TRUE(reloaded.contains(key));
+    EXPECT_FALSE(reloaded.contains(other));
+    EXPECT_EQ(reloaded.size(), 1u);
+    reloaded.record(other);  // appending after garbage still works
+  }
+  core::RunManifest final_state(path);
+  EXPECT_TRUE(final_state.contains(key));
+  EXPECT_TRUE(final_state.contains(other));
+  EXPECT_EQ(final_state.size(), 2u);
+}
+
+// ------------------------------------------------------------ workerpool --
+
+TEST(WorkerPoolAggregation, AllItemsRunAndAllFailuresAreCollected) {
+  parallel::WorkerPool pool(3);
+  std::atomic<int> executed{0};
+  try {
+    pool.run(8, [&](std::size_t item, int) {
+      executed.fetch_add(1);
+      if (item == 1) throw std::runtime_error("boom one");
+      if (item == 4) throw std::invalid_argument("boom four");
+      if (item == 6) throw std::runtime_error("boom six");
+    });
+    FAIL() << "expected AggregateError";
+  } catch (const parallel::AggregateError& e) {
+    ASSERT_EQ(e.failures().size(), 3u);
+    EXPECT_EQ(e.failures()[0].item, 1u);  // sorted by item index
+    EXPECT_EQ(e.failures()[1].item, 4u);
+    EXPECT_EQ(e.failures()[2].item, 6u);
+    EXPECT_NE(e.failures()[1].message.find("boom four"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("3 of 8 items failed"),
+              std::string::npos);
+  }
+  // The batch still ran *every* item, including those after the failures.
+  EXPECT_EQ(executed.load(), 8);
+}
+
+TEST(WorkerPoolAggregation, SingleFailureRethrowsOriginalType) {
+  parallel::WorkerPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.run(5,
+                        [&](std::size_t item, int) {
+                          executed.fetch_add(1);
+                          if (item == 2) throw std::invalid_argument("only");
+                        }),
+               std::invalid_argument);
+  EXPECT_EQ(executed.load(), 5);
+}
+
+// ------------------------------------------------------------------ blif --
+
+TEST(BlifRobustness, ErrorsCarrySourceAndLine) {
+  const std::string text =
+      ".model top\n"
+      ".inputs a b\n"
+      ".outputs y\n"
+      ".names a b y\n"
+      "11 2\n"  // '2' is not a valid output bit
+      ".end\n";
+  try {
+    (void)netlist::parse_blif(text, "top.blif");
+    FAIL() << "expected BlifParseError";
+  } catch (const netlist::BlifParseError& e) {
+    EXPECT_EQ(e.source(), "top.blif");
+    EXPECT_EQ(e.line(), 5);
+    EXPECT_NE(std::string(e.what()).find("top.blif:5:"), std::string::npos);
+  }
+}
+
+TEST(BlifRobustness, DuplicateDefinitionIsLocatedParseError) {
+  const std::string text =
+      ".model top\n"
+      ".inputs a b\n"
+      ".outputs y z\n"
+      ".names a b y\n"
+      "11 1\n"
+      ".names a y\n"  // redefines input 'a'
+      "1 1\n"
+      ".names b z\n"
+      "1 1\n"
+      ".end\n";
+  try {
+    (void)netlist::parse_blif(text);
+    FAIL() << "expected BlifParseError";
+  } catch (const netlist::BlifParseError& e) {
+    EXPECT_EQ(e.line(), 6);
+    EXPECT_NE(std::string(e.what()).find("already defined"), std::string::npos);
+  }
+}
+
+TEST(BlifRobustness, UnreadableFileIsParseErrorNamingThePath) {
+  try {
+    (void)netlist::read_blif_file("/nonexistent/nope.blif");
+    FAIL() << "expected BlifParseError";
+  } catch (const netlist::BlifParseError& e) {
+    EXPECT_EQ(e.source(), "/nonexistent/nope.blif");
+    EXPECT_EQ(e.line(), 0);  // whole-file problem
+  }
+}
+
+TEST(BlifRobustness, InjectedIngestionFaultSurfacesAtReadTime) {
+  FaultsGuard guard;
+  TempDir dir;
+  const fs::path path = dir.path / "ok.blif";
+  std::ofstream(path) << ".model m\n.inputs a\n.outputs y\n"
+                         ".names a y\n1 1\n.end\n";
+  faults::install("blif.parse@1");
+  EXPECT_THROW((void)netlist::read_blif_file(path.string()),
+               faults::FaultInjected);
+  faults::clear();
+  EXPECT_NO_THROW((void)netlist::read_blif_file(path.string()));
+}
+
+/// Corruption sweep: no truncation or byte garbling of a valid BLIF may
+/// escape the parser as anything but a (located) ParseError — in particular
+/// never a precondition/invariant abort from the netlist builder.
+TEST(BlifRobustness, CorruptedInputsNeverEscapeAsNonParseErrors) {
+  apps::mcnc::SyntheticSpec spec;
+  spec.num_gates = 60;
+  spec.num_registers = 4;
+  spec.seed = 3;
+  const std::string good = netlist::write_blif(apps::mcnc::synthetic_circuit(spec));
+  ASSERT_NO_THROW((void)netlist::parse_blif(good));
+
+  auto expect_parse_or_ok = [](const std::string& text, const char* label) {
+    try {
+      (void)netlist::parse_blif(text, label);
+    } catch (const ParseError&) {
+      // expected failure mode (BlifParseError is a ParseError)
+    } catch (const std::exception& e) {
+      FAIL() << label << ": leaked non-ParseError: " << e.what();
+    }
+  };
+
+  // Truncations at every 7th byte (covers mid-token, mid-line, mid-cube).
+  for (std::size_t cut = 0; cut < good.size(); cut += 7) {
+    expect_parse_or_ok(good.substr(0, cut),
+                       ("truncate@" + std::to_string(cut)).c_str());
+  }
+  // Byte garbling: overwrite one byte with hostile characters.
+  Rng rng(99);
+  for (const char evil : {'\0', '2', '~', '.', ' ', '\\'}) {
+    for (int i = 0; i < 40; ++i) {
+      std::string bad = good;
+      bad[rng.next_below(bad.size())] = evil;
+      expect_parse_or_ok(bad, "garble");
+    }
+  }
+  // Structured corruption: duplicated and deleted logical lines.
+  const auto nl_pos = good.find('\n', good.find(".names"));
+  ASSERT_NE(nl_pos, std::string::npos);
+  std::string doubled = good;
+  doubled.insert(nl_pos + 1, good.substr(good.find(".names"),
+                                         nl_pos + 1 - good.find(".names")));
+  expect_parse_or_ok(doubled, "doubled-names");
+}
+
+}  // namespace
+}  // namespace mmflow
