@@ -51,6 +51,21 @@
 ///   --k=N                         LUT size (default 4)
 ///   --report                      dump the parameterized configuration
 ///   --report-full                 ... including static resources
+///   --verify-modes                after the flow, prove each mode of the
+///                                 merged tunable circuit equivalent to its
+///                                 input LUT circuit (SAT miter per output
+///                                 cone, exhaustive simulation below the
+///                                 cutoff) and print a PROVEN/FAILED table
+///                                 plus the verify.* counters; a FAILED
+///                                 verdict makes the exit status nonzero.
+///                                 Spec: docs/VERIFICATION.md
+///   --verify-cutoff=N             support-size cutoff for the exhaustive
+///                                 simulation fallback (default 8)
+///   --suite=regexp|fir|mcnc|all   run the named built-in app suite(s)
+///                                 instead of BLIF modes (mainly for the
+///                                 verify-modes CI gate)
+///   --pairs=N                     with --suite: only the first N pairs per
+///                                 suite (0 = full)
 ///
 /// Numeric flags are parsed with the checked parsers of common/strings.h:
 /// garbage or trailing junk ("--jobs=abc") is a usage error, never a silent
@@ -64,6 +79,7 @@
 #include <vector>
 
 #include "apps/mcnc/mcnc.h"
+#include "apps/suites.h"
 #include "common/faults.h"
 #include "common/log.h"
 #include "common/perf.h"
@@ -75,6 +91,7 @@
 #include "core/metrics.h"
 #include "core/timing.h"
 #include "tunable/report.h"
+#include "verify/verify.h"
 
 using namespace mmflow;
 
@@ -86,8 +103,10 @@ void usage(const char* argv0) {
                "[--seeds=N] [--jobs=K] [--route-jobs=K] [--inner=F] "
                "[--timing-tradeoff=F] [--cache-dir=PATH] [--resume] "
                "[--job-timeout-ms=N] [--retries=N] [--retry-backoff-ms=N] "
-               "[--faults=SPEC] [--k=N] [--report] "
-               "[--report-full] mode0.blif mode1.blif [...]\n",
+               "[--faults=SPEC] [--k=N] [--report] [--report-full] "
+               "[--verify-modes] [--verify-cutoff=N] "
+               "[--suite=regexp|fir|mcnc|all] [--pairs=N] "
+               "mode0.blif mode1.blif [...]\n",
                argv0);
 }
 
@@ -129,6 +148,117 @@ void print_robustness_stats() {
       "robustness: %llu faults injected, %llu retries, %llu timeouts, "
       "%llu cancelled, %llu manifest skips\n",
       injected, retries, timeouts, cancelled, skips);
+}
+
+/// Prints the equivalence-gate counters (docs/VERIFICATION.md).
+void print_verify_stats() {
+  const auto value = [](const char* name) {
+    return static_cast<unsigned long long>(perf::counter_value(name));
+  };
+  std::printf(
+      "verify: %llu SAT calls, %llu conflicts, %llu sim fallbacks, "
+      "%llu counterexamples\n",
+      value("verify.sat_calls"), value("verify.conflicts"),
+      value("verify.sim_fallbacks"), value("verify.cex_found"));
+}
+
+/// Runs the mode-equivalence gate on a finished experiment and prints the
+/// per-mode PROVEN/FAILED table (docs/VERIFICATION.md). Returns true only
+/// when every mode is proven equivalent to its input LUT circuit.
+bool verify_experiment(const core::MultiModeExperiment& experiment,
+                       const std::vector<techmap::LutCircuit>& modes,
+                       const verify::VerifyOptions& vopt, const char* label) {
+  if (!experiment.tunable.has_value()) {
+    std::fprintf(stderr,
+                 "error: %s: flow produced no tunable circuit to verify\n",
+                 label);
+    return false;
+  }
+  const auto report = verify::check_modes(*experiment.tunable, modes, vopt);
+  std::printf("\nmode equivalence (%s):\n", label);
+  std::printf("  %-4s | %-7s | %s\n", "mode", "verdict", "detail");
+  std::printf("  -----+---------+-------\n");
+  for (const auto& mode_report : report.modes) {
+    std::printf("  %-4d | %-7s | %s\n", mode_report.mode,
+                mode_report.proven ? "PROVEN" : "FAILED",
+                mode_report.detail.empty() ? "equivalent"
+                                           : mode_report.detail.c_str());
+    if (mode_report.cex.has_value()) {
+      const auto& cex = *mode_report.cex;
+      std::string assignment;
+      for (std::size_t i = 0; i < cex.inputs.size(); ++i) {
+        if (!assignment.empty()) assignment += " ";
+        assignment += cex.input_names[i] + "=" + (cex.inputs[i] ? "1" : "0");
+      }
+      std::printf("         counterexample at '%s': %s -> spec=%d impl=%d\n",
+                  cex.output.c_str(), assignment.c_str(),
+                  cex.spec_value ? 1 : 0, cex.impl_value ? 1 : 0);
+    }
+  }
+  return report.all_proven();
+}
+
+/// Suite mode (--suite=NAME): runs the named built-in app suite(s) through
+/// the full flow, one benchmark at a time, sharing RRGs and flow artifacts
+/// across benchmarks. With --verify-modes every benchmark's merged circuit
+/// is proven against its input modes; any FAILED verdict makes the exit
+/// status nonzero. This is the CI equivalence gate's entry point.
+int run_suites(const std::vector<std::string>& suite_names,
+               const core::FlowOptions& options, int k, int limit_pairs,
+               const std::string& cache_dir, bool verify_modes,
+               const verify::VerifyOptions& vopt) {
+  apps::SuiteOptions suite_options;
+  suite_options.seed = options.seed;
+  suite_options.k = k;
+  suite_options.limit_pairs = limit_pairs;
+
+  core::FlowCache flow_cache;
+  core::RrgCache rrg_cache;
+  core::FlowContext context;
+  context.cache = &flow_cache;
+  context.rrgs = &rrg_cache;
+  if (!cache_dir.empty()) {
+    flow_cache.attach_store(std::make_shared<core::ArtifactStore>(cache_dir));
+  }
+
+  bool all_proven = true;
+  std::size_t benchmarks_run = 0;
+  for (const auto& suite_name : suite_names) {
+    std::vector<apps::MultiModeBenchmark> benchmarks;
+    if (suite_name == "regexp") {
+      benchmarks = apps::regexp_suite(suite_options);
+    } else if (suite_name == "fir") {
+      benchmarks = apps::fir_suite(suite_options);
+    } else {
+      benchmarks = apps::mcnc_suite(suite_options);
+    }
+    for (const auto& bench : benchmarks) {
+      const std::string label = suite_name + "/" + bench.name;
+      const auto experiment =
+          core::run_experiment(bench.modes, options, context);
+      const auto metrics =
+          core::reconfig_metrics(experiment, options.encoding);
+      std::printf("%s: W=%d, DCS %llu bits (%.2fx faster reconfiguration)\n",
+                  label.c_str(), experiment.region.channel_width,
+                  static_cast<unsigned long long>(metrics.dcs_bits),
+                  metrics.dcs_speedup());
+      ++benchmarks_run;
+      if (verify_modes) {
+        all_proven =
+            verify_experiment(experiment, bench.modes, vopt, label.c_str()) &&
+            all_proven;
+      }
+    }
+  }
+  std::printf("\n%zu benchmarks run\n", benchmarks_run);
+  if (verify_modes) {
+    print_verify_stats();
+    std::printf("mode equivalence gate: %s\n",
+                all_proven ? "all modes PROVEN" : "FAILED");
+  }
+  print_cache_stats(cache_dir);
+  print_robustness_stats();
+  return all_proven ? 0 : 2;
 }
 
 /// Batch mode (--seeds=N): multi-seed placement restarts through the batch
@@ -236,6 +366,10 @@ int main(int argc, char** argv) {
   std::string fault_spec;  // --faults; overrides $MMFLOW_FAULTS
   bool report = false;
   bool report_full = false;
+  bool verify_modes = false;
+  verify::VerifyOptions verify_options;
+  std::string suite;
+  int limit_pairs = 0;
   std::vector<std::string> paths;
 
   try {
@@ -306,6 +440,29 @@ int main(int argc, char** argv) {
         fault_spec = arg.substr(9);
       } else if (arg.rfind("--k=", 0) == 0) {
         k = parse_int(arg.substr(4), "--k");
+      } else if (arg == "--verify-modes") {
+        verify_modes = true;
+      } else if (arg.rfind("--verify-cutoff=", 0) == 0) {
+        verify_options.sim_cutoff =
+            parse_int(arg.substr(16), "--verify-cutoff");
+        if (verify_options.sim_cutoff < 0) {
+          std::fprintf(stderr, "error: --verify-cutoff must be >= 0\n");
+          return 1;
+        }
+      } else if (arg.rfind("--suite=", 0) == 0) {
+        suite = arg.substr(8);
+        if (suite != "regexp" && suite != "fir" && suite != "mcnc" &&
+            suite != "all") {
+          std::fprintf(stderr,
+                       "error: --suite must be regexp, fir, mcnc or all\n");
+          return 1;
+        }
+      } else if (arg.rfind("--pairs=", 0) == 0) {
+        limit_pairs = parse_int(arg.substr(8), "--pairs");
+        if (limit_pairs < 0) {
+          std::fprintf(stderr, "error: --pairs must be >= 0\n");
+          return 1;
+        }
       } else if (arg == "--report") {
         report = true;
       } else if (arg == "--report-full") {
@@ -326,8 +483,26 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 1;
   }
-  if (paths.size() < 2) {
+  if (!suite.empty()) {
+    if (!paths.empty()) {
+      std::fprintf(stderr, "error: --suite does not take BLIF paths\n");
+      return 1;
+    }
+    if (seeds > 1 || resume || job_timeout_ms > 0 || retries > 0) {
+      std::fprintf(stderr,
+                   "error: --suite is incompatible with the batch flags "
+                   "(--seeds/--resume/--job-timeout-ms/--retries)\n");
+      return 1;
+    }
+  } else if (paths.size() < 2) {
     usage(argv[0]);
+    return 1;
+  }
+  if (verify_modes &&
+      (seeds > 1 || resume || job_timeout_ms > 0 || retries > 0)) {
+    std::fprintf(stderr,
+                 "error: --verify-modes is a single-run gate; it cannot be "
+                 "combined with the batch flags\n");
     return 1;
   }
   if (resume && cache_dir.empty()) {
@@ -351,6 +526,17 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!suite.empty()) {
+      std::vector<std::string> suite_names;
+      if (suite == "all") {
+        suite_names = {"regexp", "fir", "mcnc"};
+      } else {
+        suite_names = {suite};
+      }
+      return run_suites(suite_names, options, k, limit_pairs, cache_dir,
+                        verify_modes, verify_options);
+    }
+
     // Front end: BLIF -> synthesis -> mapping, per mode.
     auto modes = apps::mcnc::load_blif_modes(paths, k);
     for (std::size_t m = 0; m < modes.size(); ++m) {
@@ -421,9 +607,15 @@ int main(int argc, char** argv) {
       ropt.limit = report_full ? 0 : 32;
       std::printf("\n%s\n", tunable::describe(*experiment.tunable, ropt).c_str());
     }
+    bool all_proven = true;
+    if (verify_modes) {
+      all_proven =
+          verify_experiment(experiment, modes, verify_options, "this run");
+      print_verify_stats();
+    }
     print_cache_stats(cache_dir);
     print_robustness_stats();
-    return 0;
+    return all_proven ? 0 : 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

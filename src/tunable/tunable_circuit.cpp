@@ -99,15 +99,22 @@ void TunableCircuit::build_connections(const MergeAssignment& assignment) {
   // have the same source and sink can be merged into one Tunable connection
   // of which the activation function is an addition of the Boolean products").
   struct Key {
-    std::uint64_t packed;
-    bool operator<(const Key& o) const { return packed < o.packed; }
+    std::uint64_t source;  ///< kind bit (bit 32) | index — 33 bits
+    std::uint64_t sink;
+    bool operator<(const Key& o) const {
+      return source != o.source ? source < o.source : sink < o.sink;
+    }
   };
   auto pack = [](TRef a, TRef b) {
+    // Each endpoint needs 33 bits (kind + 32-bit index), so the pair cannot
+    // be packed into one word: a single-uint64 `(sa << 33) | sb` drops the
+    // source kind bit and silently merges a Tio source with the Tlut source
+    // of the same index, losing one of the two connections.
     const std::uint64_t sa =
         (static_cast<std::uint64_t>(a.kind == TRef::Kind::Tio) << 32) | a.index;
     const std::uint64_t sb =
         (static_cast<std::uint64_t>(b.kind == TRef::Kind::Tio) << 32) | b.index;
-    return Key{(sa << 33) | sb};
+    return Key{sa, sb};
   };
   std::map<Key, std::pair<std::pair<TRef, TRef>, ModeSet>> groups;
 

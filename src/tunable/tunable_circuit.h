@@ -26,6 +26,10 @@
 #include "techmap/lutcircuit.h"
 #include "tunable/modefunc.h"
 
+namespace mmflow::verify {
+struct TunableCircuitMutator;
+}
+
 namespace mmflow::tunable {
 
 /// Endpoint of a tunable connection.
@@ -169,6 +173,11 @@ class TunableCircuit {
   void validate() const;
 
  private:
+  /// The verification layer's mutation harness (src/verify/mutate.h) corrupts
+  /// constructed private state to prove the equivalence checker catches real
+  /// merge bugs; nothing else may touch these members.
+  friend struct mmflow::verify::TunableCircuitMutator;
+
   void build_connections(const MergeAssignment& assignment);
   void assign_pins();
 

@@ -1,0 +1,85 @@
+#include "verify/cnf.h"
+
+#include <algorithm>
+
+namespace mmflow::verify {
+
+using techmap::Ref;
+
+LutConeEncoder::LutConeEncoder(const techmap::LutCircuit& circuit,
+                               SatSolver& solver, std::vector<Lit> pi_lits)
+    : circuit_(circuit),
+      solver_(solver),
+      pi_lits_(std::move(pi_lits)),
+      block_lit_(circuit.num_blocks(), -1) {
+  MMFLOW_REQUIRE(pi_lits_.size() == circuit.num_pis());
+  for (const auto& block : circuit_.blocks()) MMFLOW_REQUIRE(!block.has_ff);
+}
+
+Lit LutConeEncoder::encode(Ref ref) {
+  if (ref.kind == Ref::Kind::PrimaryInput) {
+    MMFLOW_REQUIRE(ref.index < pi_lits_.size());
+    return pi_lits_[ref.index];
+  }
+  return encode_block(ref.index);
+}
+
+Lit LutConeEncoder::encode_block(std::uint32_t block) {
+  MMFLOW_REQUIRE(block < circuit_.num_blocks());
+  if (block_lit_[block] >= 0) return static_cast<Lit>(block_lit_[block]);
+
+  // Encode fanins first. The circuit is combinational and acyclic, so the
+  // recursion depth is bounded by the logic depth.
+  const auto& b = circuit_.blocks()[block];
+  std::vector<Lit> fanin(b.inputs.size());
+  for (std::size_t i = 0; i < b.inputs.size(); ++i) fanin[i] = encode(b.inputs[i]);
+
+  const Lit y = make_lit(solver_.new_var());
+  const auto n = static_cast<std::uint32_t>(b.inputs.size());
+  for (std::uint32_t m = 0; m < (1u << n); ++m) {
+    std::vector<Lit> clause;
+    clause.reserve(n + 1);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      // Literal that is false exactly when x_i matches bit i of minterm m.
+      clause.push_back(((m >> i) & 1) ? lit_not(fanin[i]) : fanin[i]);
+    }
+    const bool out = (b.truth >> m) & 1;
+    clause.push_back(out ? y : lit_not(y));
+    solver_.add_clause(std::move(clause));  // dedups; drops tautologies
+  }
+
+  block_lit_[block] = static_cast<std::int64_t>(y);
+  return y;
+}
+
+void LutConeEncoder::set_block_lit(std::uint32_t block, Lit lit) {
+  MMFLOW_REQUIRE(block < circuit_.num_blocks());
+  MMFLOW_REQUIRE(block_lit_[block] < 0);
+  block_lit_[block] = static_cast<std::int64_t>(lit);
+}
+
+std::vector<std::uint32_t> LutConeEncoder::support(Ref ref) const {
+  std::vector<bool> in_support(circuit_.num_pis(), false);
+  std::vector<bool> visited(circuit_.num_blocks(), false);
+  std::vector<Ref> stack{ref};
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    stack.pop_back();
+    if (r.kind == Ref::Kind::PrimaryInput) {
+      MMFLOW_REQUIRE(r.index < circuit_.num_pis());
+      in_support[r.index] = true;
+      continue;
+    }
+    MMFLOW_REQUIRE(r.index < circuit_.num_blocks());
+    if (visited[r.index]) continue;
+    visited[r.index] = true;
+    for (const Ref input : circuit_.blocks()[r.index].inputs) stack.push_back(input);
+  }
+  std::vector<std::uint32_t> result;
+  for (std::uint32_t i = 0; i < in_support.size(); ++i) {
+    if (in_support[i]) result.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace mmflow::verify

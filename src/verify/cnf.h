@@ -1,0 +1,60 @@
+#pragma once
+/// \file cnf.h
+/// Tseitin CNF encoding of LUT cones for the mode-equivalence gate.
+///
+/// A K-input LUT with inputs x_0..x_{n-1}, output y and truth table T is
+/// encoded minterm by minterm: for every minterm m the clause
+///
+///     (x_0 ≠ m_0) ∨ ... ∨ (x_{n-1} ≠ m_{n-1}) ∨ (y = T[m])
+///
+/// i.e. "if the inputs match minterm m, the output equals T[m]" — 2^n clauses
+/// of at most n+1 literals. Duplicate fanins fall out naturally: repeated
+/// literals are deduplicated and minterms that assign the same variable both
+/// polarities become tautologies, which `SatSolver::add_clause` drops.
+///
+/// The encoder works on *combinational* LutCircuits (the verification layer
+/// first rewrites registered blocks into pseudo-PI/pseudo-PO pairs) and is
+/// lazy: only the cone of the requested reference is materialized, so a miter
+/// over one output pair never pays for the rest of the circuit.
+
+#include <cstdint>
+#include <vector>
+
+#include "techmap/lutcircuit.h"
+#include "verify/sat.h"
+
+namespace mmflow::verify {
+
+/// Lazily encodes cones of one combinational LutCircuit into a shared solver.
+/// Two encoders over the same solver with shared `pi_lits` build a miter.
+class LutConeEncoder {
+ public:
+  /// `pi_lits` supplies one literal per primary input of `circuit` (the
+  /// caller owns variable creation, which is how the two miter sides share
+  /// their inputs). `circuit` must be combinational (no registered blocks).
+  LutConeEncoder(const techmap::LutCircuit& circuit, SatSolver& solver,
+                 std::vector<Lit> pi_lits);
+
+  /// Literal carrying the value of `ref`; encodes its cone on first use.
+  [[nodiscard]] Lit encode(techmap::Ref ref);
+
+  /// Pre-seeds the literal of `block`, so encoding stops there instead of
+  /// materializing its cone. The mode checker uses this to collapse impl
+  /// blocks proven pointwise-equal to a spec block onto the spec literal
+  /// (SAT sweeping), which keeps the output miters shallow.
+  void set_block_lit(std::uint32_t block, Lit lit);
+
+  /// Primary-input indices in the cone of `ref` (sorted ascending). Drives
+  /// the exhaustive-simulation cutoff decision.
+  [[nodiscard]] std::vector<std::uint32_t> support(techmap::Ref ref) const;
+
+ private:
+  Lit encode_block(std::uint32_t block);
+
+  const techmap::LutCircuit& circuit_;
+  SatSolver& solver_;
+  std::vector<Lit> pi_lits_;
+  std::vector<std::int64_t> block_lit_;  ///< per block; -1 = not yet encoded
+};
+
+}  // namespace mmflow::verify

@@ -1,0 +1,96 @@
+#pragma once
+/// \file mutate.h
+/// Seeded mutation harness — the checker of the checker.
+///
+/// A verification gate is only trustworthy if it demonstrably catches real
+/// bugs, so this module corrupts a constructed `TunableCircuit`'s *private*
+/// state and the test suite asserts that `verify::check_modes` (run against a
+/// pristine snapshot of the mode circuits) reports FAILED with a replayable
+/// counterexample. Mutating the constructed state — rather than the merge
+/// inputs — matters: rebuilding a TunableCircuit from, say, a permuted
+/// `MergeAssignment` just produces a *different but still correct* merge that
+/// rightly verifies PROVEN.
+///
+/// Three mutation classes model the paper flow's plausible silent failures:
+///  * FlipTruthBit   — one logical truth-table bit of one mode's LUT content
+///                     (a mis-resolved parameterized configuration bit);
+///  * SwapAssignment — two entries of one mode's PI→TIO merge-assignment map
+///                     (a desynchronized interface correspondence);
+///  * DropActivation — one mode removed from one tunable connection's
+///                     activation set (a routing bit lost for that mode).
+///
+/// Mutation points are selected through the `common/faults` registry at the
+/// `verify.mutate` site (arm with e.g. `MMFLOW_FAULTS=verify.mutate@3`): the
+/// enumeration probes the site once per candidate point, and the first probe
+/// that fires picks the starting point. From there the harness advances to
+/// the first *observable* candidate — one whose corruption provably changes
+/// the mode's behaviour under `verify::mode_differs_under_random_sim` — so an
+/// applied mutation always yields a FAILED verdict, never a silent no-op
+/// (e.g. flipping a truth bit whose input minterm is unreachable).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "techmap/lutcircuit.h"
+#include "tunable/tunable_circuit.h"
+
+namespace mmflow::verify {
+
+/// Fault site probed once per candidate mutation point.
+inline constexpr const char* kMutateFaultSite = "verify.mutate";
+
+enum class MutationKind : std::uint8_t {
+  FlipTruthBit,
+  SwapAssignment,
+  DropActivation,
+};
+
+[[nodiscard]] const char* mutation_kind_name(MutationKind kind);
+
+/// One candidate corruption of a TunableCircuit.
+struct MutationPoint {
+  MutationKind kind = MutationKind::FlipTruthBit;
+  int mode = 0;
+  /// FlipTruthBit: LUT index in the mode's stored circuit;
+  /// SwapAssignment: first PI index; DropActivation: connection index.
+  std::uint32_t a = 0;
+  /// FlipTruthBit: logical truth-table bit; SwapAssignment: second PI index.
+  std::uint32_t b = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// All candidate mutation points of a circuit in canonical order: kind-major
+/// (FlipTruthBit, SwapAssignment, DropActivation), then mode, then resource
+/// index. Deterministic for a given circuit.
+[[nodiscard]] std::vector<MutationPoint> enumerate_mutation_points(
+    const tunable::TunableCircuit& tunable);
+
+/// Applies one mutation to the circuit's constructed private state (via the
+/// TunableCircuitMutator friend accessor).
+void apply_mutation(tunable::TunableCircuit& tunable,
+                    const MutationPoint& point);
+
+/// Probes `verify.mutate` once per candidate point; if a probe fires, applies
+/// the first observable mutation at or cyclically after the fired index and
+/// returns it (nullopt when the site never fires, i.e. faults not armed).
+/// `pristine` must be a snapshot of `tunable.modes()` taken before any
+/// mutation; `sim_seed` drives the deterministic observability stimulus.
+/// Throws InternalError if no candidate point is observable at all — that
+/// would mean the circuit tolerates every single-point corruption, which for
+/// real circuits indicates a harness bug.
+std::optional<MutationPoint> inject_mutation(
+    tunable::TunableCircuit& tunable,
+    const std::vector<techmap::LutCircuit>& pristine,
+    std::uint64_t sim_seed = 0x6d75746174ULL);
+
+/// Whether applying `point` to (a copy of) `tunable` observably changes the
+/// target mode's behaviour versus `pristine` (deterministic randomized sim).
+[[nodiscard]] bool mutation_is_observable(
+    const tunable::TunableCircuit& tunable,
+    const std::vector<techmap::LutCircuit>& pristine,
+    const MutationPoint& point, std::uint64_t sim_seed = 0x6d75746174ULL);
+
+}  // namespace mmflow::verify

@@ -1,0 +1,244 @@
+#include "verify/sat.h"
+
+#include <algorithm>
+
+namespace mmflow::verify {
+
+std::uint32_t SatSolver::new_var() {
+  const auto var = static_cast<std::uint32_t>(assign_.size());
+  assign_.push_back(kUndef);
+  phase_.push_back(kFalse);  // default decision polarity: false
+  reason_.push_back(-1);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  watches_.emplace_back();  // positive literal
+  watches_.emplace_back();  // negative literal
+  return var;
+}
+
+void SatSolver::watch(Lit lit, std::uint32_t clause) {
+  // A clause watching `lit` must be revisited when `lit` becomes false, so
+  // it is filed under ¬lit.
+  watches_[lit_not(lit)].push_back(clause);
+}
+
+std::uint32_t SatSolver::attach(std::vector<Lit> lits) {
+  MMFLOW_CHECK(lits.size() >= 2);
+  const auto index = static_cast<std::uint32_t>(clauses_.size());
+  watch(lits[0], index);
+  watch(lits[1], index);
+  clauses_.push_back(Clause{std::move(lits)});
+  return index;
+}
+
+void SatSolver::add_clause(std::vector<Lit> lits) {
+  MMFLOW_REQUIRE(trail_lim_.empty());  // clauses enter at the root level
+  for (const Lit lit : lits) MMFLOW_REQUIRE(lit_var(lit) < num_vars());
+  if (unsat_on_input_) return;
+
+  // Canonicalize: sort, remove duplicates, drop tautologies and literals
+  // already false at the root level.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> kept;
+  kept.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (i + 1 < lits.size() && lits[i + 1] == lit_not(lits[i])) return;  // x ∨ ¬x
+    const std::int8_t value = lit_value(lits[i]);
+    if (value == kTrue) return;  // satisfied at root level already
+    if (value == kUndef) kept.push_back(lits[i]);
+  }
+
+  if (kept.empty()) {
+    unsat_on_input_ = true;
+    return;
+  }
+  if (kept.size() == 1) {
+    enqueue(kept[0], -1);
+    if (propagate() >= 0) unsat_on_input_ = true;
+    return;
+  }
+  attach(std::move(kept));
+}
+
+void SatSolver::enqueue(Lit lit, std::int32_t reason) {
+  const std::uint32_t var = lit_var(lit);
+  MMFLOW_CHECK(assign_[var] == kUndef);
+  assign_[var] = lit_negated(lit) ? kFalse : kTrue;
+  phase_[var] = assign_[var];
+  reason_[var] = reason;
+  level_[var] = static_cast<int>(trail_lim_.size());
+  trail_.push_back(lit);
+}
+
+std::int32_t SatSolver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit lit = trail_[qhead_++];  // became true; clauses watching ¬it wake
+    ++stats_.propagations;
+    std::vector<std::uint32_t>& wl = watches_[lit];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < wl.size(); ++i) {
+      const std::uint32_t ci = wl[i];
+      std::vector<Lit>& lits = clauses_[ci].lits;
+      // Normalize so the false literal (¬lit's counterpart) sits at slot 1.
+      const Lit false_lit = lit_not(lit);
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      if (lit_value(lits[0]) == kTrue) {
+        wl[kept++] = ci;  // satisfied; keep the watch
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t j = 2; j < lits.size(); ++j) {
+        if (lit_value(lits[j]) != kFalse) {
+          std::swap(lits[1], lits[j]);
+          watch(lits[1], ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // watch migrated; drop from this list
+      wl[kept++] = ci;
+      if (lit_value(lits[0]) == kFalse) {
+        // Conflict: restore the untraversed tail of the watch list.
+        for (std::size_t j = i + 1; j < wl.size(); ++j) wl[kept++] = wl[j];
+        wl.resize(kept);
+        qhead_ = trail_.size();
+        return static_cast<std::int32_t>(ci);
+      }
+      enqueue(lits[0], static_cast<std::int32_t>(ci));  // unit
+    }
+    wl.resize(kept);
+  }
+  return -1;
+}
+
+void SatSolver::bump(std::uint32_t var) {
+  activity_[var] += activity_inc_;
+  if (activity_[var] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    activity_inc_ *= 1e-100;
+  }
+}
+
+void SatSolver::decay() { activity_inc_ *= (1.0 / 0.95); }
+
+int SatSolver::analyze(std::int32_t conflict, std::vector<Lit>& learnt) {
+  // Standard first-UIP: walk the trail backwards resolving antecedents until
+  // exactly one literal of the current decision level remains.
+  learnt.clear();
+  learnt.push_back(0);  // slot for the asserting literal
+  std::vector<bool> seen(num_vars(), false);
+  const int current_level = static_cast<int>(trail_lim_.size());
+  int counter = 0;
+  std::size_t index = trail_.size();
+  Lit uip = 0;
+  std::int32_t reason = conflict;
+
+  for (;;) {
+    MMFLOW_CHECK(reason >= 0);  // decisions are never antecedents here
+    const std::vector<Lit>& lits = clauses_[static_cast<std::uint32_t>(reason)].lits;
+    // Skip lits[0] on learned steps: it is the literal being resolved away.
+    for (std::size_t i = (reason == conflict ? 0u : 1u); i < lits.size(); ++i) {
+      const Lit q = lits[i];
+      const std::uint32_t v = lit_var(q);
+      if (seen[v] || level_[v] == 0) continue;
+      seen[v] = true;
+      bump(v);
+      if (level_[v] == current_level) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Find the next marked literal on the trail.
+    while (!seen[lit_var(trail_[index - 1])]) --index;
+    --index;
+    uip = trail_[index];
+    seen[lit_var(uip)] = false;
+    --counter;
+    if (counter == 0) break;
+    reason = reason_[lit_var(uip)];
+    MMFLOW_CHECK(reason != conflict);
+  }
+  learnt[0] = lit_not(uip);
+
+  // Backjump level: highest level among the non-asserting literals.
+  int back = 0;
+  std::size_t max_at = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (level_[lit_var(learnt[i])] > back) {
+      back = level_[lit_var(learnt[i])];
+      max_at = i;
+    }
+  }
+  if (learnt.size() > 1) std::swap(learnt[1], learnt[max_at]);
+  return back;
+}
+
+void SatSolver::backtrack(int target_level) {
+  while (static_cast<int>(trail_lim_.size()) > target_level) {
+    const std::uint32_t mark = trail_lim_.back();
+    while (trail_.size() > mark) {
+      const std::uint32_t var = lit_var(trail_.back());
+      assign_[var] = kUndef;
+      reason_[var] = -1;
+      trail_.pop_back();
+    }
+    trail_lim_.pop_back();
+  }
+  qhead_ = trail_.size();
+}
+
+std::int32_t SatSolver::pick_branch_var() const {
+  std::int32_t best = -1;
+  double best_activity = -1.0;
+  for (std::uint32_t v = 0; v < num_vars(); ++v) {
+    if (assign_[v] != kUndef) continue;
+    if (activity_[v] > best_activity) {  // strict >: ties keep the lowest index
+      best_activity = activity_[v];
+      best = static_cast<std::int32_t>(v);
+    }
+  }
+  return best;
+}
+
+SatResult SatSolver::solve() {
+  if (unsat_on_input_) return SatResult::Unsat;
+  if (propagate() >= 0) return SatResult::Unsat;
+
+  std::vector<Lit> learnt;
+  for (;;) {
+    const std::int32_t conflict = propagate();
+    if (conflict >= 0) {
+      ++stats_.conflicts;
+      if (trail_lim_.empty()) return SatResult::Unsat;  // root-level conflict
+      const int back = analyze(conflict, learnt);
+      backtrack(back);
+      ++stats_.learned_clauses;
+      stats_.learned_literals += learnt.size();
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], -1);
+      } else {
+        const std::uint32_t ci = attach(learnt);
+        enqueue(clauses_[ci].lits[0], static_cast<std::int32_t>(ci));
+      }
+      decay();
+      continue;
+    }
+    const std::int32_t var = pick_branch_var();
+    if (var < 0) return SatResult::Sat;  // full assignment, no conflict
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    enqueue(make_lit(static_cast<std::uint32_t>(var),
+                     phase_[static_cast<std::uint32_t>(var)] == kFalse),
+            -1);
+  }
+}
+
+bool SatSolver::model_value(std::uint32_t var) const {
+  MMFLOW_REQUIRE(var < num_vars());
+  return assign_[var] == kTrue;
+}
+
+}  // namespace mmflow::verify

@@ -1,0 +1,128 @@
+#pragma once
+/// \file sat.h
+/// Small in-tree CDCL SAT solver for the mode-equivalence gate.
+///
+/// The solver implements the classic MiniSat-style loop — two-watched-literal
+/// unit propagation, first-UIP conflict analysis with clause learning and
+/// non-chronological backjumping, and a VSIDS-lite decision heuristic
+/// (additive-bump / multiplicative-decay activities, ties broken by lowest
+/// variable index) — in a few hundred lines. It is deliberately *not* a
+/// competition solver: the miters produced by src/verify are small (one LUT
+/// cone pair per call), so simplicity, auditability and determinism beat raw
+/// speed here.
+///
+/// ## Determinism contract
+///
+/// Given the same sequence of `new_var`/`add_clause` calls, `solve()` performs
+/// the identical search on every run and platform: there is no randomness, no
+/// timing dependence, no restarts and no clause-database reduction, decision
+/// ties resolve to the lowest variable index, and the default decision
+/// polarity is false (phase saving then repeats earlier assignments). The
+/// returned model (on Sat) and the conflict/decision/propagation counts are
+/// therefore bit-identical across reruns — the verification gate's
+/// "counterexamples are reproducible" guarantee rests on this.
+///
+/// Verdicts are two-valued (Sat/Unsat); there is no budget cutoff. The
+/// intended workload (LUT-cone miters) solves in microseconds, and a prover
+/// that can time out would weaken the gate from "proved" to "probably".
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mmflow::verify {
+
+/// A literal: variable `v` (0-based) with optional negation, packed as
+/// `2*v + (negated ? 1 : 0)` (the MiniSat convention).
+using Lit = std::uint32_t;
+
+[[nodiscard]] constexpr Lit make_lit(std::uint32_t var, bool negated = false) {
+  return 2 * var + (negated ? 1u : 0u);
+}
+[[nodiscard]] constexpr std::uint32_t lit_var(Lit lit) { return lit >> 1; }
+[[nodiscard]] constexpr bool lit_negated(Lit lit) { return (lit & 1) != 0; }
+[[nodiscard]] constexpr Lit lit_not(Lit lit) { return lit ^ 1u; }
+
+enum class SatResult : std::uint8_t { Sat, Unsat };
+
+/// Search statistics, exposed so the verification layer can aggregate the
+/// `verify.conflicts` perf counter and tests can assert the solver actually
+/// learned something on hard instances.
+struct SatStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+};
+
+class SatSolver {
+ public:
+  SatSolver() = default;
+
+  /// Creates a fresh unassigned variable and returns its index.
+  std::uint32_t new_var();
+  [[nodiscard]] std::uint32_t num_vars() const {
+    return static_cast<std::uint32_t>(assign_.size());
+  }
+
+  /// Adds a clause over existing variables. Duplicate literals are removed;
+  /// a tautological clause (x ∨ ¬x) is dropped; the empty clause makes the
+  /// formula trivially unsatisfiable. Must be called before `solve()`.
+  void add_clause(std::vector<Lit> lits);
+
+  /// Decides the conjunction of all added clauses. May be called once per
+  /// solver instance (the solver keeps its final state for model queries).
+  [[nodiscard]] SatResult solve();
+
+  /// Value of `var` in the satisfying assignment; only valid after `solve()`
+  /// returned Sat. Variables never touched by the search report false.
+  [[nodiscard]] bool model_value(std::uint32_t var) const;
+
+  [[nodiscard]] const SatStats& stats() const { return stats_; }
+
+ private:
+  // Assignment values per variable.
+  enum : std::int8_t { kFalse = -1, kUndef = 0, kTrue = 1 };
+
+  struct Clause {
+    std::vector<Lit> lits;
+  };
+
+  [[nodiscard]] std::int8_t lit_value(Lit lit) const {
+    const std::int8_t v = assign_[lit_var(lit)];
+    return static_cast<std::int8_t>(lit_negated(lit) ? -v : v);
+  }
+
+  void enqueue(Lit lit, std::int32_t reason);
+  /// Propagates to fixpoint; returns the conflicting clause index or -1.
+  [[nodiscard]] std::int32_t propagate();
+  /// First-UIP analysis of `conflict`; fills `learnt` (asserting literal
+  /// first) and returns the backjump level.
+  [[nodiscard]] int analyze(std::int32_t conflict, std::vector<Lit>& learnt);
+  void backtrack(int level);
+  void bump(std::uint32_t var);
+  void decay();
+  /// Highest-activity unassigned variable (ties: lowest index), or -1.
+  [[nodiscard]] std::int32_t pick_branch_var() const;
+  void watch(Lit lit, std::uint32_t clause);
+  /// Attaches a fully constructed clause and returns its index.
+  std::uint32_t attach(std::vector<Lit> lits);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<std::uint32_t>> watches_;  ///< per literal
+  std::vector<std::int8_t> assign_;                  ///< per var
+  std::vector<std::int8_t> phase_;                   ///< saved polarity per var
+  std::vector<std::int32_t> reason_;                 ///< per var, clause or -1
+  std::vector<int> level_;                           ///< per var
+  std::vector<double> activity_;                     ///< per var
+  double activity_inc_ = 1.0;
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;  ///< trail size at each decision
+  std::size_t qhead_ = 0;
+  bool unsat_on_input_ = false;  ///< empty clause or root-level conflict
+  SatStats stats_;
+};
+
+}  // namespace mmflow::verify

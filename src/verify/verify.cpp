@@ -1,0 +1,686 @@
+#include "verify/verify.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "common/perf.h"
+#include "common/rng.h"
+#include "netlist/sim.h"
+#include "netlist/sop.h"
+#include "verify/cnf.h"
+
+namespace mmflow::verify {
+
+using techmap::LutCircuit;
+using techmap::Ref;
+using tunable::ModeSet;
+using tunable::TRef;
+using tunable::TunableCircuit;
+
+namespace {
+
+/// Canonical bit-slice stimulus: pattern j toggles with period 2^(j+1), so
+/// the 64 lanes of a word enumerate all combinations of patterns 0..5.
+constexpr std::uint64_t kSlicePattern[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+
+using ConnKey = std::tuple<int, std::uint32_t, int, std::uint32_t>;
+
+ConnKey conn_key(TRef source, TRef sink) {
+  return {static_cast<int>(source.kind), source.index,
+          static_cast<int>(sink.kind), sink.index};
+}
+
+std::string ff_name(const LutCircuit& circuit, std::uint32_t block,
+                    const char* prefix) {
+  const std::string& name = circuit.blocks()[block].name;
+  return std::string(prefix) +
+         (name.empty() ? std::to_string(block) : name);
+}
+
+/// One matched spec/impl output to discharge (indices into the respective
+/// combinational abstractions' PO lists).
+struct OutputPair {
+  std::uint32_t spec_po = 0;
+  std::uint32_t impl_po = 0;
+  std::string name;
+};
+
+/// The combinational matching of one mode against the configured circuit.
+/// `detail` is non-empty on a structural mismatch (interface or register
+/// mismatch), in which case the rest of the struct is unusable.
+struct MatchedMode {
+  std::string detail;
+  CombAbstraction spec;
+  CombAbstraction impl;
+  /// impl comb input index -> shared input index (spec comb input order).
+  std::vector<std::uint32_t> impl_input_to_shared;
+  std::vector<OutputPair> outputs;
+  std::vector<std::string> input_names;  ///< shared order
+  /// SAT sweeping (see sweep_internal_equivalences): impl comb block ->
+  /// spec comb block proven pointwise-equal, or -1. Merged blocks collapse
+  /// onto the spec literal in the miter, keeping output cones shallow.
+  std::vector<std::int32_t> impl_equiv_spec;
+};
+
+/// A signal in the shared input space used by the sweeping truth check:
+/// either a shared primary input or a spec comb block output.
+struct SharedRef {
+  bool is_block = false;
+  std::uint32_t index = 0;
+  friend bool operator==(const SharedRef&, const SharedRef&) = default;
+};
+
+/// Proves internal impl/spec block pairs pointwise-equal, bottom-up.
+///
+/// Impl block t corresponds to spec block l through the merge assignment
+/// (t = tlut_of_lut(l)). Walking the spec circuit in topological order, both
+/// blocks' fanins are mapped into the shared space — shared PIs directly,
+/// impl block fanins through already-proven equivalences — and the two truth
+/// tables are compared exhaustively over the union of mapped fanins (<= 2K
+/// variables, so <= 2^(2K) evaluations, no SAT involved). Equal functions of
+/// pointwise-equal fanins are pointwise-equal, so the merge is sound; a pair
+/// that fails to merge (a genuine bug, or a seeded mutation) simply stays
+/// expanded and is decided by the output miter. This is the classic
+/// SAT-sweeping structure that keeps miters of structurally-similar circuits
+/// shallow — without it, wide MCNC cones cost millions of conflicts.
+void sweep_internal_equivalences(const TunableCircuit& tc, int mode,
+                                 MatchedMode& mm) {
+  const LutCircuit& spec = mm.spec.circuit;
+  const LutCircuit& impl = mm.impl.circuit;
+  const auto num_tluts = static_cast<std::uint32_t>(tc.num_tluts());
+  mm.impl_equiv_spec.assign(impl.num_blocks(), -1);
+
+  for (const std::uint32_t l : spec.comb_topo_order()) {
+    const std::uint32_t t = tc.tlut_of_lut(mode, l);
+    if (t >= num_tluts ||
+        tc.tlut(t)[static_cast<std::size_t>(mode)].lut !=
+            static_cast<std::int32_t>(l)) {
+      continue;
+    }
+    const LutCircuit::Block& spec_block = spec.blocks()[l];
+    const LutCircuit::Block& impl_block = impl.blocks()[t];
+
+    // Map both fanin lists into the shared space. kConst0 marks the impl
+    // const0 filler block (always index num_tluts in the configured
+    // circuit); an impl fanin without a proven equivalence aborts the merge.
+    constexpr std::uint32_t kConst0 = ~std::uint32_t{0};
+    std::vector<SharedRef> vars;
+    const auto var_bit = [&](SharedRef ref) {
+      for (std::size_t v = 0; v < vars.size(); ++v) {
+        if (vars[v] == ref) return static_cast<std::uint32_t>(v);
+      }
+      vars.push_back(ref);
+      return static_cast<std::uint32_t>(vars.size() - 1);
+    };
+    std::vector<std::uint32_t> spec_bit(spec_block.inputs.size());
+    for (std::size_t i = 0; i < spec_block.inputs.size(); ++i) {
+      const Ref r = spec_block.inputs[i];
+      spec_bit[i] = r.kind == Ref::Kind::PrimaryInput
+                        ? var_bit(SharedRef{false, r.index})
+                        : var_bit(SharedRef{true, r.index});
+    }
+    std::vector<std::uint32_t> impl_bit(impl_block.inputs.size());
+    bool mappable = true;
+    for (std::size_t i = 0; i < impl_block.inputs.size() && mappable; ++i) {
+      const Ref r = impl_block.inputs[i];
+      if (r.kind == Ref::Kind::PrimaryInput) {
+        impl_bit[i] = var_bit(SharedRef{false, mm.impl_input_to_shared[r.index]});
+      } else if (r.index == num_tluts) {
+        impl_bit[i] = kConst0;
+      } else if (mm.impl_equiv_spec[r.index] >= 0) {
+        impl_bit[i] = var_bit(SharedRef{
+            true, static_cast<std::uint32_t>(mm.impl_equiv_spec[r.index])});
+      } else {
+        mappable = false;
+      }
+    }
+    if (!mappable) continue;
+
+    bool equal = true;
+    for (std::uint64_t a = 0; a < (std::uint64_t{1} << vars.size()) && equal;
+         ++a) {
+      std::uint32_t sm = 0;
+      for (std::size_t i = 0; i < spec_bit.size(); ++i) {
+        if ((a >> spec_bit[i]) & 1) sm |= 1u << i;
+      }
+      std::uint32_t im = 0;
+      for (std::size_t i = 0; i < impl_bit.size(); ++i) {
+        if (impl_bit[i] != kConst0 && ((a >> impl_bit[i]) & 1)) im |= 1u << i;
+      }
+      equal = ((spec_block.truth >> sm) & 1) == ((impl_block.truth >> im) & 1);
+    }
+    if (equal) mm.impl_equiv_spec[t] = static_cast<std::int32_t>(l);
+  }
+}
+
+MatchedMode match_mode(const TunableCircuit& tc,
+                       const std::vector<LutCircuit>& modes, int mode) {
+  MatchedMode mm;
+  const LutCircuit& spec = modes[static_cast<std::size_t>(mode)];
+  const LutCircuit& internal = tc.modes()[static_cast<std::size_t>(mode)];
+  if (spec.k() != tc.k()) {
+    mm.detail = "K mismatch between specification and tunable circuit";
+    return mm;
+  }
+  if (spec.num_pis() != internal.num_pis() ||
+      spec.num_pos() != internal.num_pos()) {
+    mm.detail = "PI/PO interface mismatch between specification and merge";
+    return mm;
+  }
+  if (spec.num_blocks() != internal.num_blocks()) {
+    mm.detail = "block count mismatch between specification and merge";
+    return mm;
+  }
+
+  mm.spec = comb_abstraction(spec);
+  mm.impl = comb_abstraction(configured_mode(tc, mode));
+  mm.input_names = mm.spec.circuit.pi_names();
+
+  const auto npis = static_cast<std::uint32_t>(spec.num_pis());
+  const auto npos = static_cast<std::uint32_t>(spec.num_pos());
+
+  // Match registers through the merge assignment: spec FF at block l must be
+  // the FF of TLUT tlut_of_lut(mode, l) in the configured circuit.
+  std::unordered_map<std::uint32_t, std::uint32_t> impl_rank;  // block -> rank
+  for (std::uint32_t r = 0; r < mm.impl.ff_blocks.size(); ++r) {
+    impl_rank.emplace(mm.impl.ff_blocks[r], r);
+  }
+  std::vector<bool> impl_matched(mm.impl.ff_blocks.size(), false);
+  mm.impl_input_to_shared.assign(npis + mm.impl.ff_blocks.size(), 0);
+  for (std::uint32_t j = 0; j < npis; ++j) mm.impl_input_to_shared[j] = j;
+
+  std::vector<OutputPair> ff_outputs;
+  for (std::uint32_t rs = 0; rs < mm.spec.ff_blocks.size(); ++rs) {
+    const std::uint32_t l = mm.spec.ff_blocks[rs];
+    const std::uint32_t t = tc.tlut_of_lut(mode, l);
+    if (t >= tc.num_tluts() ||
+        tc.tlut(t)[static_cast<std::size_t>(mode)].lut !=
+            static_cast<std::int32_t>(l)) {
+      mm.detail = "register mapping desynchronized for spec block " +
+                  std::to_string(l);
+      return mm;
+    }
+    const auto it = impl_rank.find(t);
+    if (it == impl_rank.end()) {
+      mm.detail = "spec register at block " + std::to_string(l) +
+                  " is not registered in the configured circuit (TLUT " +
+                  std::to_string(t) + ")";
+      return mm;
+    }
+    const std::uint32_t ri = it->second;
+    if (impl_matched[ri]) {
+      mm.detail = "two spec registers map to TLUT " + std::to_string(t);
+      return mm;
+    }
+    impl_matched[ri] = true;
+    if (spec.blocks()[l].ff_init != tc.modes()[static_cast<std::size_t>(mode)]
+                                        .blocks()[l]
+                                        .ff_init) {
+      mm.detail = "FF init value mismatch at spec block " + std::to_string(l);
+      return mm;
+    }
+    mm.impl_input_to_shared[npis + ri] = npis + rs;
+    ff_outputs.push_back(
+        OutputPair{npos + rs, npos + ri, ff_name(spec, l, "ff_d:")});
+  }
+  for (std::uint32_t ri = 0; ri < impl_matched.size(); ++ri) {
+    if (!impl_matched[ri]) {
+      mm.detail = "configured circuit has an unmatched register at TLUT " +
+                  std::to_string(mm.impl.ff_blocks[ri]);
+      return mm;
+    }
+  }
+
+  for (std::uint32_t p = 0; p < npos; ++p) {
+    mm.outputs.push_back(OutputPair{p, p, spec.pos()[p].name});
+  }
+  mm.outputs.insert(mm.outputs.end(), ff_outputs.begin(), ff_outputs.end());
+  sweep_internal_equivalences(tc, mode, mm);
+  return mm;
+}
+
+/// Union cone support of one output pair in shared input space, following
+/// proven equivalences: an impl block merged with a spec block contributes
+/// the spec block's cone.
+std::vector<std::uint32_t> shared_support(const MatchedMode& mm, Ref spec_ref,
+                                          Ref impl_ref) {
+  const LutCircuit& spec = mm.spec.circuit;
+  const LutCircuit& impl = mm.impl.circuit;
+  std::vector<bool> in_support(mm.input_names.size(), false);
+  std::vector<bool> spec_visited(spec.num_blocks(), false);
+  std::vector<bool> impl_visited(impl.num_blocks(), false);
+  std::vector<Ref> spec_stack{spec_ref};
+  std::vector<Ref> impl_stack{impl_ref};
+  while (!spec_stack.empty() || !impl_stack.empty()) {
+    if (!spec_stack.empty()) {
+      const Ref r = spec_stack.back();
+      spec_stack.pop_back();
+      if (r.kind == Ref::Kind::PrimaryInput) {
+        in_support[r.index] = true;
+      } else if (!spec_visited[r.index]) {
+        spec_visited[r.index] = true;
+        for (const Ref input : spec.blocks()[r.index].inputs) {
+          spec_stack.push_back(input);
+        }
+      }
+      continue;
+    }
+    const Ref r = impl_stack.back();
+    impl_stack.pop_back();
+    if (r.kind == Ref::Kind::PrimaryInput) {
+      in_support[mm.impl_input_to_shared[r.index]] = true;
+    } else if (!impl_visited[r.index]) {
+      impl_visited[r.index] = true;
+      const std::int32_t eq = mm.impl_equiv_spec[r.index];
+      if (eq >= 0) {
+        spec_stack.push_back(Ref::block(static_cast<std::uint32_t>(eq)));
+      } else {
+        for (const Ref input : impl.blocks()[r.index].inputs) {
+          impl_stack.push_back(input);
+        }
+      }
+    }
+  }
+  std::vector<std::uint32_t> result;
+  for (std::uint32_t i = 0; i < in_support.size(); ++i) {
+    if (in_support[i]) result.push_back(i);
+  }
+  return result;
+}
+
+/// Evaluates both sides of a matched mode on one set of shared input words.
+struct MatchedSim {
+  netlist::Netlist spec_nl;
+  netlist::Netlist impl_nl;
+
+  explicit MatchedSim(const MatchedMode& mm)
+      : spec_nl(to_netlist(mm.spec.circuit)),
+        impl_nl(to_netlist(mm.impl.circuit)) {}
+
+  /// `shared_words` is indexed by shared input index; returns the PO words of
+  /// both sides ({spec, impl}).
+  std::pair<std::vector<std::uint64_t>, std::vector<std::uint64_t>> eval(
+      const MatchedMode& mm, const std::vector<std::uint64_t>& shared_words) {
+    std::vector<std::uint64_t> impl_words(mm.impl_input_to_shared.size());
+    for (std::size_t j = 0; j < impl_words.size(); ++j) {
+      impl_words[j] = shared_words[mm.impl_input_to_shared[j]];
+    }
+    netlist::Simulator spec_sim(spec_nl);
+    netlist::Simulator impl_sim(impl_nl);
+    return {spec_sim.eval_outputs(shared_words),
+            impl_sim.eval_outputs(impl_words)};
+  }
+};
+
+/// Replays a single-bit input assignment; returns the (spec, impl) values of
+/// one matched output pair.
+std::pair<bool, bool> eval_pair(MatchedSim& sim, const MatchedMode& mm,
+                                const OutputPair& pair,
+                                const std::vector<bool>& inputs) {
+  std::vector<std::uint64_t> words(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    words[i] = inputs[i] ? ~std::uint64_t{0} : 0;
+  }
+  const auto [spec_out, impl_out] = sim.eval(mm, words);
+  return {(spec_out[pair.spec_po] & 1) != 0, (impl_out[pair.impl_po] & 1) != 0};
+}
+
+ModeReport check_one(const TunableCircuit& tc,
+                     const std::vector<LutCircuit>& modes, int mode,
+                     const VerifyOptions& options) {
+  ModeReport report;
+  report.mode = mode;
+
+  const MatchedMode mm = match_mode(tc, modes, mode);
+  if (!mm.detail.empty()) {
+    report.detail = mm.detail;
+    return report;
+  }
+  MatchedSim sim(mm);
+  const auto n_shared = static_cast<std::uint32_t>(mm.input_names.size());
+
+  for (const OutputPair& pair : mm.outputs) {
+    const Ref spec_ref = mm.spec.circuit.pos()[pair.spec_po].driver;
+    const Ref impl_ref = mm.impl.circuit.pos()[pair.impl_po].driver;
+
+    // One solver per output pair: shared input variable i is solver var i.
+    SatSolver solver;
+    std::vector<Lit> spec_pi_lits(n_shared);
+    for (std::uint32_t i = 0; i < n_shared; ++i) {
+      spec_pi_lits[i] = make_lit(solver.new_var());
+    }
+    std::vector<Lit> impl_pi_lits(mm.impl_input_to_shared.size());
+    for (std::size_t j = 0; j < impl_pi_lits.size(); ++j) {
+      impl_pi_lits[j] = spec_pi_lits[mm.impl_input_to_shared[j]];
+    }
+    LutConeEncoder spec_enc(mm.spec.circuit, solver, spec_pi_lits);
+    LutConeEncoder impl_enc(mm.impl.circuit, solver, impl_pi_lits);
+
+    // Union cone support in shared input space (following proven internal
+    // equivalences) decides SAT vs simulation.
+    const std::vector<std::uint32_t> support =
+        shared_support(mm, spec_ref, impl_ref);
+
+    bool found_cex = false;
+    std::vector<bool> cex_inputs(n_shared, false);
+    bool spec_value = false;
+    bool impl_value = false;
+
+    if (static_cast<int>(support.size()) <= options.sim_cutoff) {
+      // Exhaustive bit-sliced simulation: 64 support combinations per chunk.
+      MMFLOW_PERF_ADD("verify.sim_fallbacks", 1);
+      const std::size_t s = support.size();
+      const std::uint64_t chunks = s > 6 ? (std::uint64_t{1} << (s - 6)) : 1;
+      for (std::uint64_t chunk = 0; chunk < chunks && !found_cex; ++chunk) {
+        std::vector<std::uint64_t> words(n_shared, 0);
+        for (std::size_t j = 0; j < s; ++j) {
+          words[support[j]] = j < 6 ? kSlicePattern[j]
+                              : (((chunk >> (j - 6)) & 1) ? ~std::uint64_t{0}
+                                                          : 0);
+        }
+        const auto [spec_out, impl_out] = sim.eval(mm, words);
+        const std::uint64_t diff =
+            spec_out[pair.spec_po] ^ impl_out[pair.impl_po];
+        if (diff == 0) continue;
+        const int lane = std::countr_zero(diff);
+        for (std::uint32_t i = 0; i < n_shared; ++i) {
+          cex_inputs[i] = ((words[i] >> lane) & 1) != 0;
+        }
+        spec_value = ((spec_out[pair.spec_po] >> lane) & 1) != 0;
+        impl_value = !spec_value;
+        found_cex = true;
+      }
+    } else {
+      // Miter: assert the two outputs differ; UNSAT proves the pair. Impl
+      // blocks swept onto a spec block reuse the spec literal, so the impl
+      // side only materializes the (usually empty) unmerged residue.
+      MMFLOW_PERF_ADD("verify.sat_calls", 1);
+      const Lit ys = spec_enc.encode(spec_ref);
+      if (impl_ref.kind == Ref::Kind::Block) {
+        std::vector<Ref> seed_stack{impl_ref};
+        std::vector<bool> seen(mm.impl.circuit.num_blocks(), false);
+        while (!seed_stack.empty()) {
+          const Ref r = seed_stack.back();
+          seed_stack.pop_back();
+          if (r.kind != Ref::Kind::Block || seen[r.index]) continue;
+          seen[r.index] = true;
+          const std::int32_t eq = mm.impl_equiv_spec[r.index];
+          if (eq >= 0) {
+            impl_enc.set_block_lit(
+                r.index, spec_enc.encode(Ref::block(static_cast<std::uint32_t>(eq))));
+            continue;
+          }
+          for (const Ref input : mm.impl.circuit.blocks()[r.index].inputs) {
+            seed_stack.push_back(input);
+          }
+        }
+      }
+      const Lit yi = impl_enc.encode(impl_ref);
+      solver.add_clause({ys, yi});
+      solver.add_clause({lit_not(ys), lit_not(yi)});
+      const SatResult result = solver.solve();
+      MMFLOW_PERF_ADD("verify.conflicts",
+                      static_cast<std::int64_t>(solver.stats().conflicts));
+      if (result == SatResult::Sat) {
+        for (std::uint32_t i = 0; i < n_shared; ++i) {
+          cex_inputs[i] = solver.model_value(i);
+        }
+        spec_value = solver.model_value(lit_var(ys)) != lit_negated(ys);
+        impl_value = solver.model_value(lit_var(yi)) != lit_negated(yi);
+        found_cex = true;
+      }
+    }
+
+    if (!found_cex) continue;
+
+    // Independent witness: replay the counterexample under netlist::Simulator
+    // before reporting it (cross-checks the solver and the encoder).
+    const auto [replay_spec, replay_impl] = eval_pair(sim, mm, pair, cex_inputs);
+    MMFLOW_CHECK_MSG(replay_spec == spec_value && replay_impl == impl_value &&
+                         replay_spec != replay_impl,
+                     "verify: counterexample failed to replay under netlist "
+                     "simulation");
+
+    MMFLOW_PERF_ADD("verify.cex_found", 1);
+    Counterexample cex;
+    cex.mode = mode;
+    cex.output = pair.name;
+    cex.input_names = mm.input_names;
+    cex.inputs = cex_inputs;
+    cex.spec_value = spec_value;
+    cex.impl_value = impl_value;
+    report.detail = "functional mismatch at output '" + pair.name + "'";
+    report.cex = std::move(cex);
+    return report;
+  }
+
+  report.proven = true;
+  return report;
+}
+
+}  // namespace
+
+LutCircuit configured_mode(const TunableCircuit& tc, int mode) {
+  MMFLOW_REQUIRE(mode >= 0 && mode < tc.num_modes());
+  const LutCircuit& internal = tc.modes()[static_cast<std::size_t>(mode)];
+  const int k = tc.k();
+  const std::uint32_t minterms = 1u << k;
+  LutCircuit out(k, internal.name() + "_configured");
+
+  for (const std::string& name : internal.pi_names()) out.add_pi(name);
+
+  // Pad -> spec PI index (first claim wins; duplicates surface behaviourally).
+  std::unordered_map<std::uint32_t, std::uint32_t> pad_to_pi;
+  for (std::uint32_t p = 0; p < internal.num_pis(); ++p) {
+    const std::uint32_t pad = tc.tio_of_pi(mode, p);
+    if (pad < tc.num_tios()) pad_to_pi.emplace(pad, p);
+  }
+
+  // Activation of each (source, sink) tunable connection.
+  std::map<ConnKey, ModeSet> activation;
+  for (const tunable::TConn& conn : tc.conns()) {
+    activation[conn_key(conn.source, conn.sink)] |= conn.activation;
+  }
+  const auto conn_active = [&](TRef source, TRef sink) {
+    const auto it = activation.find(conn_key(source, sink));
+    return it != activation.end() && ((it->second >> mode) & 1) != 0;
+  };
+
+  // One block per TLUT (block index == TLUT index), truth bits and FF select
+  // resolved through the parameterized ModeFunctions. Inputs are wired in a
+  // second pass once every target index exists.
+  const auto num_tluts = static_cast<std::uint32_t>(tc.num_tluts());
+  for (std::uint32_t t = 0; t < num_tluts; ++t) {
+    const std::vector<tunable::ModeFunction> bits = tc.parameterized_bits(t);
+    LutCircuit::Block block;
+    block.name = "tlut" + std::to_string(t);
+    for (std::uint32_t b = 0; b < minterms; ++b) {
+      if (bits[b].eval(mode)) block.truth |= std::uint64_t{1} << b;
+    }
+    block.has_ff = bits[minterms].eval(mode);
+    const std::int32_t lut = tc.tlut(t)[static_cast<std::size_t>(mode)].lut;
+    block.ff_init =
+        lut >= 0 &&
+        internal.blocks()[static_cast<std::uint32_t>(lut)].ff_init;
+    out.add_block(std::move(block));
+  }
+  const std::uint32_t const0 =
+      out.add_block(LutCircuit::Block{"const0", {}, 0, false, false});
+
+  for (std::uint32_t t = 0; t < num_tluts; ++t) {
+    const TunableCircuit::PinAssignment& pa = tc.pins(t);
+    auto& block = out.blocks()[t];
+    block.inputs.assign(static_cast<std::size_t>(k), Ref::block(const0));
+    for (std::size_t pin = 0; pin < pa.pin_used.size() &&
+                              pin < static_cast<std::size_t>(k);
+         ++pin) {
+      if (((pa.pin_used[pin] >> mode) & 1) == 0) continue;
+      const TRef source = pa.pin_source[pin][static_cast<std::size_t>(mode)];
+      if (source == TRef::tlut(t)) {
+        block.inputs[pin] = Ref::block(t);  // intra-block FF feedback
+        continue;
+      }
+      // The routed path only exists if the tunable connection carrying it is
+      // activated in this mode; otherwise the pin floats to constant 0.
+      if (!conn_active(source, TRef::tlut(t))) continue;
+      if (source.kind == TRef::Kind::Tio) {
+        const auto it = pad_to_pi.find(source.index);
+        if (it != pad_to_pi.end()) block.inputs[pin] = Ref::pi(it->second);
+      } else if (source.index < num_tluts) {
+        block.inputs[pin] = Ref::block(source.index);
+      }
+    }
+  }
+
+  for (std::uint32_t p = 0; p < internal.num_pos(); ++p) {
+    const std::uint32_t pad = tc.tio_of_po(mode, p);
+    Ref driver = Ref::block(const0);
+    // First activated connection into the output pad drives it.
+    for (const tunable::TConn& conn : tc.conns()) {
+      if (conn.sink != TRef::tio(pad) || ((conn.activation >> mode) & 1) == 0) {
+        continue;
+      }
+      if (conn.source.kind == TRef::Kind::Tio) {
+        const auto it = pad_to_pi.find(conn.source.index);
+        if (it != pad_to_pi.end()) driver = Ref::pi(it->second);
+      } else if (conn.source.index < num_tluts) {
+        driver = Ref::block(conn.source.index);
+      }
+      break;
+    }
+    out.add_po(internal.pos()[p].name, driver);
+  }
+  return out;
+}
+
+CombAbstraction comb_abstraction(const LutCircuit& circuit) {
+  CombAbstraction out{LutCircuit(circuit.k(), circuit.name() + "_comb"), {}};
+  const auto num_blocks = static_cast<std::uint32_t>(circuit.num_blocks());
+  std::vector<std::uint32_t> pseudo_pi(num_blocks, 0);
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    if (circuit.blocks()[b].has_ff) out.ff_blocks.push_back(b);
+  }
+  for (const std::string& name : circuit.pi_names()) out.circuit.add_pi(name);
+  for (const std::uint32_t b : out.ff_blocks) {
+    pseudo_pi[b] = out.circuit.add_pi(ff_name(circuit, b, "ff_q:"));
+  }
+  const auto remap = [&](Ref r) {
+    if (r.kind == Ref::Kind::Block && circuit.blocks()[r.index].has_ff) {
+      return Ref::pi(pseudo_pi[r.index]);
+    }
+    return r;
+  };
+  for (const LutCircuit::Block& src : circuit.blocks()) {
+    LutCircuit::Block block = src;
+    block.has_ff = false;
+    block.ff_init = false;
+    for (Ref& input : block.inputs) input = remap(input);
+    out.circuit.add_block(std::move(block));
+  }
+  for (const LutCircuit::Po& po : circuit.pos()) {
+    out.circuit.add_po(po.name, remap(po.driver));
+  }
+  // The combinational value of a registered block is its FF data input.
+  for (const std::uint32_t b : out.ff_blocks) {
+    out.circuit.add_po(ff_name(circuit, b, "ff_d:"), Ref::block(b));
+  }
+  return out;
+}
+
+netlist::Netlist to_netlist(const LutCircuit& comb) {
+  for (const auto& block : comb.blocks()) MMFLOW_REQUIRE(!block.has_ff);
+  netlist::Netlist nl(comb.name());
+  // Synthetic signal names: LutCircuit PI/block names need not be unique and
+  // the simulator addresses everything by index anyway.
+  std::vector<netlist::SignalId> pi_sig(comb.num_pis());
+  for (std::uint32_t i = 0; i < comb.num_pis(); ++i) {
+    pi_sig[i] = nl.add_input("i" + std::to_string(i));
+  }
+  std::vector<netlist::SignalId> block_sig(comb.num_blocks(),
+                                           netlist::kNoSignal);
+  for (const std::uint32_t b : comb.comb_topo_order()) {
+    const LutCircuit::Block& block = comb.blocks()[b];
+    std::vector<netlist::SignalId> inputs(block.inputs.size());
+    for (std::size_t i = 0; i < block.inputs.size(); ++i) {
+      const Ref r = block.inputs[i];
+      inputs[i] = r.kind == Ref::Kind::PrimaryInput ? pi_sig[r.index]
+                                                    : block_sig[r.index];
+      MMFLOW_CHECK(inputs[i] != netlist::kNoSignal);
+    }
+    block_sig[b] = nl.add_gate(
+        std::move(inputs),
+        netlist::cover_from_truth(
+            static_cast<std::uint32_t>(block.inputs.size()), block.truth));
+  }
+  for (std::uint32_t p = 0; p < comb.num_pos(); ++p) {
+    const Ref driver = comb.pos()[p].driver;
+    nl.add_output("o" + std::to_string(p),
+                  driver.kind == Ref::Kind::PrimaryInput
+                      ? pi_sig[driver.index]
+                      : block_sig[driver.index]);
+  }
+  return nl;
+}
+
+VerifyReport check_modes(const TunableCircuit& tunable,
+                         const std::vector<LutCircuit>& modes,
+                         const VerifyOptions& options) {
+  MMFLOW_REQUIRE(static_cast<int>(modes.size()) == tunable.num_modes());
+  MMFLOW_REQUIRE(options.sim_cutoff >= 0);
+  VerifyReport report;
+  for (int mode = 0; mode < tunable.num_modes(); ++mode) {
+    report.modes.push_back(check_one(tunable, modes, mode, options));
+  }
+  return report;
+}
+
+VerifyReport check_modes(const TunableCircuit& tunable,
+                         const VerifyOptions& options) {
+  return check_modes(tunable, tunable.modes(), options);
+}
+
+bool replay_counterexample(const TunableCircuit& tunable,
+                           const std::vector<LutCircuit>& modes,
+                           const Counterexample& cex) {
+  if (cex.mode < 0 || cex.mode >= tunable.num_modes() ||
+      static_cast<int>(modes.size()) != tunable.num_modes()) {
+    return false;
+  }
+  const MatchedMode mm = match_mode(tunable, modes, cex.mode);
+  if (!mm.detail.empty()) return false;
+  if (cex.inputs.size() != mm.input_names.size()) return false;
+  const auto pair_it =
+      std::find_if(mm.outputs.begin(), mm.outputs.end(),
+                   [&](const OutputPair& p) { return p.name == cex.output; });
+  if (pair_it == mm.outputs.end()) return false;
+  MatchedSim sim(mm);
+  const auto [spec_value, impl_value] = eval_pair(sim, mm, *pair_it, cex.inputs);
+  return spec_value != impl_value && spec_value == cex.spec_value &&
+         impl_value == cex.impl_value;
+}
+
+bool mode_differs_under_random_sim(const TunableCircuit& tunable,
+                                   const std::vector<LutCircuit>& modes,
+                                   int mode, int rounds, std::uint64_t seed) {
+  MMFLOW_REQUIRE(mode >= 0 && mode < tunable.num_modes());
+  const MatchedMode mm = match_mode(tunable, modes, mode);
+  if (!mm.detail.empty()) return true;  // structural mismatch => FAILED too
+  MatchedSim sim(mm);
+  Rng rng(seed ^ (static_cast<std::uint64_t>(mode) * 0x9e3779b97f4a7c15ULL));
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::uint64_t> words(mm.input_names.size());
+    for (auto& w : words) w = rng();
+    const auto [spec_out, impl_out] = sim.eval(mm, words);
+    for (const OutputPair& pair : mm.outputs) {
+      if (spec_out[pair.spec_po] != impl_out[pair.impl_po]) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mmflow::verify

@@ -1,0 +1,143 @@
+#pragma once
+/// \file verify.h
+/// SAT-based mode-equivalence gate.
+///
+/// Proves, per mode, that the configured `TunableCircuit` — truth bits and
+/// routing resolved for that mode through `tunable/modefunc` and the tunable
+/// connections' activation sets — computes the same function as the mode's
+/// input `techmap::LutCircuit`. Sequential circuits are checked as
+/// combinational equivalence over matched registers: FF outputs become
+/// pseudo primary inputs, FF data inputs become pseudo primary outputs, and
+/// registers are matched through the merge assignment (`tlut_of_lut`), with
+/// FF placement and initial values compared structurally.
+///
+/// Each matched output pair is discharged by a miter: both cones are
+/// Tseitin-encoded (verify/cnf.h) into one `SatSolver` (verify/sat.h) over
+/// shared input variables with two clauses asserting the outputs differ —
+/// UNSAT proves the pair, SAT yields a counterexample input vector. Pairs
+/// whose union cone support is at most `VerifyOptions::sim_cutoff` inputs
+/// are instead proven by exhaustive bit-sliced simulation through
+/// `netlist::Simulator`. Every counterexample is replayed under
+/// `netlist::Simulator` before it is reported, so a reported FAILED verdict
+/// is always independently witnessed.
+///
+/// Determinism contract: given the same tunable circuit, mode list and
+/// options, verdicts, counterexamples and the `verify.*` perf counters
+/// (`verify.sat_calls`, `verify.conflicts`, `verify.sim_fallbacks`,
+/// `verify.cex_found`) are bit-identical across reruns — the SAT solver is
+/// deterministic, the simulation stimulus is exhaustive, and all iteration
+/// orders are index-canonical. Spec: docs/VERIFICATION.md.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "techmap/lutcircuit.h"
+#include "tunable/tunable_circuit.h"
+
+namespace mmflow::verify {
+
+struct VerifyOptions {
+  /// Output pairs whose union cone support has at most this many inputs are
+  /// proven by exhaustive simulation instead of SAT. 0 forces SAT everywhere.
+  int sim_cutoff = 8;
+};
+
+/// A distinguishing input vector for one matched output pair.
+struct Counterexample {
+  int mode = 0;
+  std::string output;  ///< matched output name (PO name, or "ff_d:<name>")
+  /// One entry per matched input (PIs first, then matched FF states as
+  /// "ff_q:<name>"); `inputs[i]` is the value driving `input_names[i]`.
+  std::vector<std::string> input_names;
+  std::vector<bool> inputs;
+  bool spec_value = false;  ///< mode circuit's output under `inputs`
+  bool impl_value = false;  ///< configured tunable circuit's output
+};
+
+struct ModeReport {
+  int mode = 0;
+  bool proven = false;
+  /// Human-readable failure reason. Structural mismatches (interface or
+  /// register mismatches) report here without a counterexample; functional
+  /// mismatches always carry one.
+  std::string detail;
+  std::optional<Counterexample> cex;
+};
+
+struct VerifyReport {
+  std::vector<ModeReport> modes;
+  [[nodiscard]] bool all_proven() const {
+    for (const auto& m : modes) {
+      if (!m.proven) return false;
+    }
+    return true;
+  }
+};
+
+/// Proves every mode of `tunable` equivalent to the corresponding circuit in
+/// `modes` (the specification). `modes` is deliberately an external argument
+/// rather than `tunable.modes()`: the checker-of-the-checker tests corrupt a
+/// tunable circuit's internals and verify against a pristine snapshot.
+[[nodiscard]] VerifyReport check_modes(
+    const tunable::TunableCircuit& tunable,
+    const std::vector<techmap::LutCircuit>& modes,
+    const VerifyOptions& options = {});
+
+/// Convenience overload: verifies against the tunable circuit's own stored
+/// mode circuits (the normal production gate — it still proves that truth-bit
+/// parameterization, pin assignment and connection activations reconstruct
+/// each mode's function).
+[[nodiscard]] VerifyReport check_modes(const tunable::TunableCircuit& tunable,
+                                       const VerifyOptions& options = {});
+
+// ---- building blocks (exposed for tests and the mutation harness) ----------
+
+/// Materializes the tunable circuit as configured for one mode: one block per
+/// TLUT with its 2^K pin-space truth bits and FF select resolved through
+/// `parameterized_bits(t)[b].eval(mode)`, and every pin wired through the
+/// tunable connection that feeds it *only if* that connection's activation
+/// set contains the mode (otherwise the pin reads constant 0). Never throws
+/// on corrupted circuits with a consistent interface: missing or inactive
+/// connections degrade to constant-0 pins so the miter can produce a
+/// counterexample instead of crashing.
+[[nodiscard]] techmap::LutCircuit configured_mode(
+    const tunable::TunableCircuit& tunable, int mode);
+
+/// Combinational abstraction of a (possibly sequential) LutCircuit: block
+/// indices are preserved, registered blocks lose their FF, every consumer of
+/// a registered block reads a fresh pseudo-PI ("ff_q:<block name>") instead,
+/// and one pseudo-PO ("ff_d:<block name>") per register exposes its data
+/// input after the real POs.
+struct CombAbstraction {
+  techmap::LutCircuit circuit;           ///< combinational
+  std::vector<std::uint32_t> ff_blocks;  ///< registered blocks, ascending
+};
+[[nodiscard]] CombAbstraction comb_abstraction(
+    const techmap::LutCircuit& circuit);
+
+/// Converts a combinational LutCircuit to a gate-level netlist (one SOP gate
+/// per block) for `netlist::Simulator` — the exhaustive-simulation fallback
+/// and the counterexample replay path.
+[[nodiscard]] netlist::Netlist to_netlist(const techmap::LutCircuit& comb);
+
+/// Replays `cex` under `netlist::Simulator` on the matched combinational
+/// abstractions of spec and configured circuit. Returns true iff the two
+/// sides disagree on the named output exactly as the counterexample claims.
+/// `check_modes` replays every counterexample through this before reporting.
+[[nodiscard]] bool replay_counterexample(
+    const tunable::TunableCircuit& tunable,
+    const std::vector<techmap::LutCircuit>& modes, const Counterexample& cex);
+
+/// Deterministic randomized behavioural diff of one mode (64 * `rounds`
+/// stimulus patterns over the matched combinational abstractions). Used by
+/// the mutation harness to pick provably observable corruption points; a
+/// `true` here guarantees `check_modes` reports FAILED for the mode.
+[[nodiscard]] bool mode_differs_under_random_sim(
+    const tunable::TunableCircuit& tunable,
+    const std::vector<techmap::LutCircuit>& modes, int mode, int rounds,
+    std::uint64_t seed);
+
+}  // namespace mmflow::verify

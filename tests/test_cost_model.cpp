@@ -228,7 +228,11 @@ TEST(CostModelGolden, WholeExperimentAndTimingReportBitIdentical) {
     f.u64(rc.modes);
     for (const auto n : rc.nodes) f.u64(n);
   }
-  EXPECT_EQ(f.h, 15491696471224041938ULL);
+  // Golden rebased when the tunable-connection grouping key was widened to
+  // 66 bits: the old single-word key dropped the source kind bit, which
+  // collapsed Tio/Tlut sources of equal index into one connection and also
+  // ordered conns differently.
+  EXPECT_EQ(f.h, 10170641163974283721ULL);
 
   const auto report = core::timing_report(exp, modes);
   Fnv t;

@@ -195,6 +195,57 @@ TEST(Netlist, UnsetLatchInputFailsValidation) {
   EXPECT_THROW(nl.validate(), InternalError);
 }
 
+// The verification layer's exhaustive-simulation fallback (src/verify) leans
+// on the simulator for LUT-shaped gates; pin down the corner cases it feeds.
+
+TEST(Simulator, ZeroInputConstantGates) {
+  Netlist nl;
+  const auto one = nl.add_gate({}, cover_from_truth(0, 1), "one");
+  const auto zero = nl.add_gate({}, cover_from_truth(0, 0), "zero");
+  nl.add_output("one", one);
+  nl.add_output("zero", zero);
+  Simulator sim(nl);
+  const auto out = sim.eval_outputs({});
+  EXPECT_EQ(out[0], ~std::uint64_t{0});
+  EXPECT_EQ(out[1], 0u);
+}
+
+TEST(Simulator, SaturatedSixInputGateMatchesTruthTable) {
+  // A full-width 6-input gate: the 64 bit-slice lanes enumerate all input
+  // combinations, so one eval checks the entire truth table.
+  Rng rng(2024);
+  const std::uint64_t truth = rng();
+  Netlist nl;
+  std::vector<SignalId> ins;
+  for (int i = 0; i < 6; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  nl.add_output("o", nl.add_gate(ins, cover_from_truth(6, truth)));
+  Simulator sim(nl);
+  std::vector<std::uint64_t> words(6);
+  for (int j = 0; j < 6; ++j) {
+    for (int lane = 0; lane < 64; ++lane) {
+      if ((lane >> j) & 1) words[j] |= std::uint64_t{1} << lane;
+    }
+  }
+  EXPECT_EQ(sim.eval_outputs(words)[0], truth);
+}
+
+TEST(Simulator, DuplicateFaninGate) {
+  // The same signal wired to both pins: XOR collapses to constant 0, AND to
+  // the identity — the unreachable (01/10) truth rows must never fire.
+  Netlist nl;
+  const auto a = nl.add_input("a");
+  nl.add_output("xor_aa", nl.add_gate({a, a}, cover_from_truth(2, 0b0110)));
+  nl.add_output("and_aa", nl.add_gate({a, a}, cover_from_truth(2, 0b1000)));
+  Simulator sim(nl);
+  Rng rng(55);
+  for (int round = 0; round < 8; ++round) {
+    const std::uint64_t word = rng();
+    const auto out = sim.eval_outputs({word});
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_EQ(out[1], word);
+  }
+}
+
 TEST(Blif, ParseSimpleModel) {
   const std::string text = R"(
 # comment

@@ -4,6 +4,11 @@ in them must resolve.
 
 Usage: check_doc_links.py FILE.md [FILE.md ...]
 
+Every docs/*.md of the repository is scanned as well, whether or not it was
+named on the command line — a doc added without being wired into CI must not
+be able to accumulate dangling links. Files named explicitly additionally
+fail the gate when missing.
+
 Checks inline markdown links `[text](target)`. External targets (http/https/
 mailto) and pure in-page anchors (#...) are skipped, as is anything inside
 fenced code blocks or inline code spans (code showing link syntax as an
@@ -51,15 +56,31 @@ def main(argv: list[str]) -> int:
         print("usage: check_doc_links.py FILE.md [FILE.md ...]", file=sys.stderr)
         return 2
     errors = []
+    seen = set()
     for path in argv[1:]:
         if not os.path.isfile(path):
             errors.append(f"{path}: required documentation file is missing")
             continue
+        seen.add(os.path.abspath(path))
         errors.extend(check_file(path))
+    # Sweep docs/*.md for files not named on the command line.
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    docs_dir = os.path.join(repo_root, "docs")
+    swept = 0
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            path = os.path.join(docs_dir, name)
+            if not name.endswith(".md") or os.path.abspath(path) in seen:
+                continue
+            errors.extend(check_file(path))
+            swept += 1
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:
-        print(f"docs OK: {len(argv) - 1} file(s), all relative links resolve")
+        print(
+            f"docs OK: {len(seen)} file(s) + {swept} swept from docs/, "
+            "all relative links resolve"
+        )
     return 1 if errors else 0
 
 
