@@ -66,6 +66,30 @@
 ///                                 verify-modes CI gate)
 ///   --pairs=N                     with --suite: only the first N pairs per
 ///                                 suite (0 = full)
+///   --tune                        self-tuning flow search (docs/TUNING.md):
+///                                 successive halving over the knob space on
+///                                 the --suite benchmarks (or the BLIF
+///                                 modes), printing the Pareto front of flow
+///                                 configurations against the default-knob
+///                                 baseline. Deterministic: the same
+///                                 --tune-seed reproduces the front
+///                                 bit-identically for every --jobs value
+///                                 and across cache/resume reruns. Combines
+///                                 with --jobs, --cache-dir, --resume,
+///                                 --retries, --faults
+///   --tune-budget=N               distinct knob configurations sampled at
+///                                 rung 0 (default 16)
+///   --tune-seed=S                 tune-schedule seed (default 1; distinct
+///                                 from --seed, the flow seed)
+///   --tune-objectives=LIST        dominance objectives, comma-separated
+///                                 subset of wirelength, critical_path,
+///                                 frames (default: all three; wall time is
+///                                 always reported but never an objective)
+///   --tune-knobs=SPEC             knob space as name=lo:hi[:log],...
+///                                 (default: the curated registry subset,
+///                                 see docs/TUNING.md)
+///   --tune-json=PATH              write the front + trials + perf counters
+///                                 as bench-style JSON to PATH
 ///
 /// Numeric flags are parsed with the checked parsers of common/strings.h:
 /// garbage or trailing junk ("--jobs=abc") is a usage error, never a silent
@@ -77,6 +101,9 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#include <algorithm>
+#include <fstream>
 
 #include "apps/mcnc/mcnc.h"
 #include "apps/suites.h"
@@ -91,6 +118,7 @@
 #include "core/metrics.h"
 #include "core/timing.h"
 #include "tunable/report.h"
+#include "tune/tuner.h"
 #include "verify/verify.h"
 
 using namespace mmflow;
@@ -106,6 +134,9 @@ void usage(const char* argv0) {
                "[--faults=SPEC] [--k=N] [--report] [--report-full] "
                "[--verify-modes] [--verify-cutoff=N] "
                "[--suite=regexp|fir|mcnc|all] [--pairs=N] "
+               "[--tune] [--tune-budget=N] [--tune-seed=S] "
+               "[--tune-objectives=LIST] [--tune-knobs=SPEC] "
+               "[--tune-json=PATH] "
                "mode0.blif mode1.blif [...]\n",
                argv0);
 }
@@ -224,14 +255,8 @@ int run_suites(const std::vector<std::string>& suite_names,
   bool all_proven = true;
   std::size_t benchmarks_run = 0;
   for (const auto& suite_name : suite_names) {
-    std::vector<apps::MultiModeBenchmark> benchmarks;
-    if (suite_name == "regexp") {
-      benchmarks = apps::regexp_suite(suite_options);
-    } else if (suite_name == "fir") {
-      benchmarks = apps::fir_suite(suite_options);
-    } else {
-      benchmarks = apps::mcnc_suite(suite_options);
-    }
+    const std::vector<apps::MultiModeBenchmark> benchmarks =
+        apps::suite_by_name(suite_name, suite_options);
     for (const auto& bench : benchmarks) {
       const std::string label = suite_name + "/" + bench.name;
       const auto experiment =
@@ -347,6 +372,108 @@ int run_seed_batch(const std::vector<techmap::LutCircuit>& modes,
   return 0;
 }
 
+/// Writes the tune report as bench-style JSON ({"bench", "rows", "perf"},
+/// matching bench/bench_json.h conventions): one row per front point plus
+/// the baseline, then every trial, then the perf counters.
+bool write_tune_json(const std::string& path, const tune::TuneResult& result) {
+  std::ofstream os(path);
+  if (!os) return false;
+  const auto row = [&result](std::ostream& s, const tune::TuneTrial& trial,
+                             bool on_front) {
+    s << "    {\"trial\": " << trial.index << ", \"rung\": " << trial.rung
+      << ", \"baseline\": "
+      << (trial.index == result.baseline.index ? "true" : "false")
+      << ", \"front\": " << (on_front ? "true" : "false")
+      << ", \"ok\": " << (trial.ok ? "true" : "false")
+      << ", \"from_ledger\": " << (trial.from_ledger ? "true" : "false");
+    for (std::size_t i = 0; i < result.knob_names.size(); ++i) {
+      s << ", \"knob." << result.knob_names[i]
+        << "\": " << format_double(trial.knob_values[i], 6);
+    }
+    for (std::size_t i = 0; i < result.objective_names.size(); ++i) {
+      s << ", \"" << result.objective_names[i] << "\": "
+        << (trial.ok ? format_double(trial.objectives[i], 6) : "null");
+    }
+    s << ", \"wall_ms\": " << format_double(trial.wall_ms, 1) << "}";
+  };
+  os << "{\n  \"bench\": \"tune\",\n  \"rows\": [\n";
+  bool first = true;
+  for (const auto& trial : result.front) {
+    if (!first) os << ",\n";
+    first = false;
+    row(os, trial, true);
+  }
+  const bool baseline_on_front =
+      std::any_of(result.front.begin(), result.front.end(),
+                  [&result](const tune::TuneTrial& t) {
+                    return t.index == result.baseline.index;
+                  });
+  if (!baseline_on_front && result.rungs_run == result.rungs) {
+    if (!first) os << ",\n";
+    first = false;
+    row(os, result.baseline, false);
+  }
+  os << "\n  ],\n  \"trials\": [\n";
+  first = true;
+  for (const auto& trial : result.trials) {
+    if (!first) os << ",\n";
+    first = false;
+    row(os, trial, false);
+  }
+  os << "\n  ],\n  \"perf\": ";
+  perf::Registry::instance().write_json(os, 2);
+  os << "\n}\n";
+  return static_cast<bool>(os);
+}
+
+/// Tune mode (--tune): self-tuning flow search over the knob space
+/// (docs/TUNING.md). Prints the Pareto front against the default-knob
+/// baseline; --tune-json additionally writes the full report.
+int run_tune(const std::vector<tune::TuneBenchmark>& benchmarks,
+             const tune::TuneOptions& tune_options,
+             const std::string& json_path) {
+  std::printf("tune: %d configurations over %zu knobs, %zu benchmarks, "
+              "seed %llu\n",
+              tune_options.budget,
+              (tune_options.space.size() != 0 ? tune_options.space
+                                              : tune::KnobSpace::defaults())
+                  .size(),
+              benchmarks.size(),
+              static_cast<unsigned long long>(tune_options.seed));
+  const tune::TuneResult result = tune::tune(benchmarks, tune_options);
+  if (result.stopped_early) {
+    std::printf("tune: stopped after rung %d of %d\n", result.rungs_run,
+                result.rungs);
+    return 0;
+  }
+  std::printf("\ntrials: %zu evaluations over %d rungs (%llu ledger hits, "
+              "%llu failures)\n",
+              result.trials.size(), result.rungs_run,
+              static_cast<unsigned long long>(
+                  perf::counter_value("tune.ledger_hits")),
+              static_cast<unsigned long long>(
+                  perf::counter_value("tune.failures")));
+  std::printf("\nPareto front (%zu points; baseline* = default knobs on the "
+              "front):\n%s",
+              result.front.size(),
+              tune::format_front_table(result).c_str());
+  print_cache_stats(tune_options.cache_dir);
+  print_robustness_stats();
+  if (!json_path.empty()) {
+    if (!write_tune_json(json_path, result)) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (result.front.empty()) {
+    std::fprintf(stderr, "error: empty front (every final-rung trial and "
+                         "the baseline failed)\n");
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -370,6 +497,9 @@ int main(int argc, char** argv) {
   verify::VerifyOptions verify_options;
   std::string suite;
   int limit_pairs = 0;
+  bool tune_mode = false;
+  tune::TuneOptions tune_options;
+  std::string tune_json;
   std::vector<std::string> paths;
 
   try {
@@ -463,6 +593,24 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "error: --pairs must be >= 0\n");
           return 1;
         }
+      } else if (arg == "--tune") {
+        tune_mode = true;
+      } else if (arg.rfind("--tune-budget=", 0) == 0) {
+        tune_options.budget = parse_int(arg.substr(14), "--tune-budget");
+        if (tune_options.budget < 1) {
+          std::fprintf(stderr, "error: --tune-budget must be >= 1\n");
+          return 1;
+        }
+      } else if (arg.rfind("--tune-seed=", 0) == 0) {
+        tune_options.seed = parse_u64(arg.substr(12), "--tune-seed");
+      } else if (arg.rfind("--tune-objectives=", 0) == 0) {
+        tune_options.objectives =
+            tune::ObjectiveSet::parse(arg.substr(18), "--tune-objectives");
+      } else if (arg.rfind("--tune-knobs=", 0) == 0) {
+        tune_options.space =
+            tune::KnobSpace::from_spec(arg.substr(13), "--tune-knobs");
+      } else if (arg.rfind("--tune-json=", 0) == 0) {
+        tune_json = arg.substr(12);
       } else if (arg == "--report") {
         report = true;
       } else if (arg == "--report-full") {
@@ -488,7 +636,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: --suite does not take BLIF paths\n");
       return 1;
     }
-    if (seeds > 1 || resume || job_timeout_ms > 0 || retries > 0) {
+    // --tune drives the suite through the batch driver itself, so the
+    // batch fault-tolerance flags are meaningful there.
+    if (!tune_mode && (seeds > 1 || resume || job_timeout_ms > 0 || retries > 0)) {
       std::fprintf(stderr,
                    "error: --suite is incompatible with the batch flags "
                    "(--seeds/--resume/--job-timeout-ms/--retries)\n");
@@ -496,6 +646,12 @@ int main(int argc, char** argv) {
     }
   } else if (paths.size() < 2) {
     usage(argv[0]);
+    return 1;
+  }
+  if (tune_mode && (verify_modes || seeds > 1 || report)) {
+    std::fprintf(stderr,
+                 "error: --tune is incompatible with "
+                 "--verify-modes/--seeds/--report\n");
     return 1;
   }
   if (verify_modes &&
@@ -526,6 +682,41 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (tune_mode) {
+      tune_options.base = options;
+      tune_options.cache_dir = cache_dir;
+      tune_options.resume = resume;
+      tune_options.jobs = jobs;
+      tune_options.max_retries = retries;
+      tune_options.retry_backoff_ms = retry_backoff_ms;
+      tune_options.job_timeout_ms = job_timeout_ms;
+
+      std::vector<tune::TuneBenchmark> benchmarks;
+      if (!suite.empty()) {
+        apps::SuiteOptions suite_options;
+        suite_options.seed = options.seed;
+        suite_options.k = k;
+        suite_options.limit_pairs = limit_pairs;
+        const std::vector<std::string> suite_names =
+            suite == "all" ? std::vector<std::string>{"regexp", "fir", "mcnc"}
+                           : std::vector<std::string>{suite};
+        for (const auto& suite_name : suite_names) {
+          for (auto& bench : apps::suite_by_name(suite_name, suite_options)) {
+            benchmarks.push_back(tune::TuneBenchmark{
+                suite_name + "/" + bench.name,
+                std::make_shared<const std::vector<techmap::LutCircuit>>(
+                    std::move(bench.modes))});
+          }
+        }
+      } else {
+        benchmarks.push_back(tune::TuneBenchmark{
+            "blif",
+            std::make_shared<const std::vector<techmap::LutCircuit>>(
+                apps::mcnc::load_blif_modes(paths, k))});
+      }
+      return run_tune(benchmarks, tune_options, tune_json);
+    }
+
     if (!suite.empty()) {
       std::vector<std::string> suite_names;
       if (suite == "all") {

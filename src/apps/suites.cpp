@@ -3,6 +3,7 @@
 #include "aig/bridge.h"
 #include "apps/mcnc/mcnc.h"
 #include "apps/regexp/engine.h"
+#include "common/check.h"
 #include "common/log.h"
 #include "techmap/mapper.h"
 
@@ -109,6 +110,15 @@ std::size_t generic_fir_luts(int k) {
   const auto mapped = techmap::map_to_luts(
       aig::aig_from_netlist(fir::generic_fir(suite_fir_spec())), options);
   return mapped.num_blocks();
+}
+
+std::vector<MultiModeBenchmark> suite_by_name(const std::string& name,
+                                              const SuiteOptions& options) {
+  if (name == "regexp") return regexp_suite(options);
+  if (name == "fir") return fir_suite(options);
+  if (name == "mcnc") return mcnc_suite(options);
+  throw PreconditionError("unknown suite '" + name +
+                          "' (expected regexp, fir or mcnc)");
 }
 
 }  // namespace mmflow::apps

@@ -40,6 +40,12 @@ struct SuiteOptions {
 [[nodiscard]] std::vector<MultiModeBenchmark> mcnc_suite(
     const SuiteOptions& options = {});
 
+/// Dispatch by suite name ("regexp", "fir" or "mcnc", case-sensitive) — the
+/// shared front door of the CLI's --suite flag, the benches and the
+/// autotuner. Throws PreconditionError naming the unknown suite otherwise.
+[[nodiscard]] std::vector<MultiModeBenchmark> suite_by_name(
+    const std::string& name, const SuiteOptions& options = {});
+
 /// The FIR spec shared by the suite (also used by the area benchmark, which
 /// compares against the generic filter's LUT count).
 [[nodiscard]] fir::FirSpec suite_fir_spec();

@@ -111,4 +111,67 @@ double parse_double(std::string_view text, std::string_view what) {
   return value;
 }
 
+KnobRangeSpec parse_knob_range(std::string_view term, std::string_view what) {
+  const std::string_view t = trim(term);
+  const auto fail = [&](const std::string& detail) -> PreconditionError {
+    return PreconditionError(std::string(what) + ": knob term \"" +
+                             std::string(t) + "\": " + detail +
+                             " (expected name=lo:hi[:log])");
+  };
+  const std::size_t eq = t.find('=');
+  if (eq == std::string_view::npos) throw fail("missing '='");
+  KnobRangeSpec spec;
+  spec.name = std::string(trim(t.substr(0, eq)));
+  if (spec.name.empty()) throw fail("empty knob name");
+  const auto fields = split_char(t.substr(eq + 1), ':');
+  if (fields.size() < 2 || fields.size() > 3) {
+    throw fail("range of knob '" + spec.name + "' needs lo:hi bounds");
+  }
+  // parse_double already rejects NaN, infinities and garbage — the error it
+  // throws names the knob via `what` below.
+  const std::string bound_what =
+      std::string(what) + " knob '" + spec.name + "'";
+  spec.lo = parse_double(fields[0], bound_what);
+  spec.hi = parse_double(fields[1], bound_what);
+  if (spec.lo > spec.hi) {
+    throw fail("knob '" + spec.name + "' has reversed bounds (" + fields[0] +
+               " > " + fields[1] + ")");
+  }
+  if (spec.lo == spec.hi) {
+    throw fail("knob '" + spec.name + "' has an empty range");
+  }
+  if (fields.size() == 3) {
+    if (trim(fields[2]) != "log") {
+      throw fail("knob '" + spec.name + "' has unknown scale \"" + fields[2] +
+                 "\" (only :log is supported)");
+    }
+    spec.log_scale = true;
+    if (spec.lo <= 0.0) {
+      throw fail("knob '" + spec.name + "' is log-scaled but its lower bound "
+                 "is not positive");
+    }
+  }
+  return spec;
+}
+
+std::vector<KnobRangeSpec> parse_knob_ranges(std::string_view spec,
+                                             std::string_view what) {
+  std::vector<KnobRangeSpec> out;
+  for (const auto& term : split_char(spec, ',')) {
+    if (trim(term).empty()) continue;  // tolerate stray commas
+    out.push_back(parse_knob_range(term, what));
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      if (out[i].name == out.back().name) {
+        throw PreconditionError(std::string(what) + ": duplicate knob '" +
+                                out.back().name + "'");
+      }
+    }
+  }
+  if (out.empty()) {
+    throw PreconditionError(std::string(what) +
+                            ": empty knob spec (no name=lo:hi terms)");
+  }
+  return out;
+}
+
 }  // namespace mmflow

@@ -50,4 +50,35 @@ namespace mmflow {
 /// Parses all of `text` as a finite double.
 [[nodiscard]] double parse_double(std::string_view text, std::string_view what);
 
+// ---- knob-range specs -------------------------------------------------------
+//
+// The autotuner (src/tune/) searches over named numeric knobs; a search
+// range is written `name=lo:hi[:log]`, e.g. `inner_num=2:20:log` or
+// `timing_tradeoff=0:1`, and a whole space is a comma-separated list of
+// such terms. The grammar lives here next to the other checked knob
+// parsers so every surface (CLI flag, MMFLOW_TUNE_KNOBS, tests) rejects
+// malformed specs identically — and, like the PR 5 parsers, every error
+// names the offending knob instead of silently degrading.
+
+/// One parsed `name=lo:hi[:log]` term. Bounds are inclusive; `log_scale`
+/// means samples are spaced uniformly in log(value) (requires lo > 0).
+struct KnobRangeSpec {
+  std::string name;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool log_scale = false;
+};
+
+/// Parses one `name=lo:hi[:log]` term. Rejects (always naming the knob and
+/// `what`, e.g. "--tune-knobs"): missing '=' or bounds, non-finite bounds
+/// (NaN/inf — via parse_double), reversed bounds (lo > hi), empty ranges
+/// (lo == hi), an unknown scale suffix, and log scale with lo <= 0.
+[[nodiscard]] KnobRangeSpec parse_knob_range(std::string_view term,
+                                             std::string_view what);
+
+/// Parses a comma-separated list of `name=lo:hi[:log]` terms. Additionally
+/// rejects duplicate knob names and specs with no terms at all.
+[[nodiscard]] std::vector<KnobRangeSpec> parse_knob_ranges(
+    std::string_view spec, std::string_view what);
+
 }  // namespace mmflow

@@ -81,6 +81,28 @@ std::vector<BatchJob> engine_sweep(
   return jobs;
 }
 
+std::vector<BatchJob> config_sweep(
+    const std::string& name,
+    std::shared_ptr<const std::vector<techmap::LutCircuit>> modes,
+    const std::vector<FlowOptions>& configs,
+    const std::vector<std::string>& labels) {
+  MMFLOW_REQUIRE(modes != nullptr);
+  MMFLOW_REQUIRE_MSG(labels.empty() || labels.size() == configs.size(),
+                     "config_sweep: " << labels.size() << " labels for "
+                                      << configs.size() << " configs");
+  std::vector<BatchJob> jobs;
+  jobs.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    BatchJob job;
+    job.options = configs[i];
+    job.name = name + "/" +
+               (labels.empty() ? "cfg" + std::to_string(i) : labels[i]);
+    job.modes = modes;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
 BatchDriver::BatchDriver(const BatchOptions& options) : options_(options) {
   if (options_.use_cache && !options_.cache_dir.empty()) {
     cache_.attach_store(std::make_shared<ArtifactStore>(options_.cache_dir));

@@ -172,6 +172,19 @@ struct BatchResult {
     std::shared_ptr<const std::vector<techmap::LutCircuit>> modes,
     const FlowOptions& base);
 
+/// Expands an explicit list of flow configurations into one job per config —
+/// the autotuner's trial-batch entry point (src/tune/): each knob-space
+/// trial is one fully resolved FlowOptions, and the batch determinism
+/// contract above makes the trial results independent of `jobs` and
+/// scheduling. Names are `<name>/<label[i]>` when `labels` is non-empty
+/// (must then match `configs` in size), else `<name>/cfg<i>`. Pure function;
+/// thread-safe.
+[[nodiscard]] std::vector<BatchJob> config_sweep(
+    const std::string& name,
+    std::shared_ptr<const std::vector<techmap::LutCircuit>> modes,
+    const std::vector<FlowOptions>& configs,
+    const std::vector<std::string>& labels = {});
+
 class BatchDriver {
  public:
   explicit BatchDriver(const BatchOptions& options = {});

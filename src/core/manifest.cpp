@@ -11,6 +11,44 @@
 
 namespace mmflow::core {
 
+// ---- RecordLog --------------------------------------------------------------
+
+std::size_t RecordLog::load(
+    const std::function<bool(const std::string& line)>& parse) {
+  std::ifstream is(path_);
+  if (!is) return 0;  // no log yet: empty, by contract
+  std::string line;
+  std::size_t skipped = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (parse(line)) continue;
+    ++skipped;
+    // A record torn by a kill has no trailing newline; anything appended
+    // after it would fuse onto the torn line and be lost on the next
+    // load. Re-terminate the file once so later appends start clean.
+    if (!is.eof()) continue;  // mid-file garbage is already line-terminated
+    std::ofstream os(path_, std::ios::app);
+    os << '\n';
+  }
+  if (skipped != 0) {
+    MMFLOW_WARN("record log: skipped " << skipped << " corrupt line(s) in "
+                                       << path_.string());
+  }
+  return skipped;
+}
+
+bool RecordLog::append(const std::string& line) {
+  // Open-append-close per record: the line is durably handed to the OS
+  // before append() returns, so a killed process loses at most the record
+  // being written — which resume simply recomputes.
+  std::ofstream os(path_, std::ios::app);
+  os << line << '\n';
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+// ---- RunManifest ------------------------------------------------------------
+
 namespace {
 
 /// One line per key. The leading tag versions the record format; a line
@@ -45,30 +83,13 @@ bool parse_record(const std::string& line, FlowKey* key) {
 
 }  // namespace
 
-RunManifest::RunManifest(std::filesystem::path path) : path_(std::move(path)) {
-  std::ifstream is(path_);
-  if (!is) return;  // no manifest yet: empty, by contract
-  std::string line;
-  std::size_t skipped = 0;
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
+RunManifest::RunManifest(std::filesystem::path path) : log_(std::move(path)) {
+  log_.load([this](const std::string& line) {
     FlowKey key;
-    if (parse_record(line, &key)) {
-      keys_.insert(key);
-    } else {
-      ++skipped;
-      // A record torn by a kill has no trailing newline; anything appended
-      // after it would fuse onto the torn line and be lost on the next
-      // load. Re-terminate the file once so later appends start clean.
-      if (!is.eof()) continue;  // mid-file garbage is already line-terminated
-      std::ofstream os(path_, std::ios::app);
-      os << '\n';
-    }
-  }
-  if (skipped != 0) {
-    MMFLOW_WARN("run manifest: skipped " << skipped << " corrupt line(s) in "
-                                         << path_.string());
-  }
+    if (!parse_record(line, &key)) return false;
+    keys_.insert(key);
+    return true;
+  });
 }
 
 bool RunManifest::contains(const FlowKey& key) const {
@@ -79,15 +100,9 @@ bool RunManifest::contains(const FlowKey& key) const {
 void RunManifest::record(const FlowKey& key) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!keys_.insert(key).second) return;  // already on disk
-  // Open-append-close per record: the line is durably handed to the OS
-  // before record() returns, so a killed process loses at most the record
-  // being written — which resume simply recomputes.
-  std::ofstream os(path_, std::ios::app);
-  os << format_record(key) << '\n';
-  os.flush();
-  if (!os) {
+  if (!log_.append(format_record(key))) {
     MMFLOW_PERF_ADD("manifest.write_errors", 1);
-    MMFLOW_WARN("run manifest: cannot append to " << path_.string());
+    MMFLOW_WARN("run manifest: cannot append to " << log_.path().string());
   }
 }
 

@@ -1,34 +1,71 @@
 #pragma once
 /// \file manifest.h
-/// Append-only run manifest: which whole-experiment FlowKeys a sweep has
-/// completed, persisted next to the ArtifactStore.
+/// Append-only, torn-line-tolerant record logs: the generic `RecordLog`
+/// plus the batch driver's `RunManifest` built on it (the tune subsystem's
+/// trial ledger, src/tune/ledger.h, is the other client).
 ///
 /// The artifact store answers "is this result on disk?" only by paying for a
-/// load; the manifest answers "did a previous run finish this job?" from one
-/// line per completed key. A killed sweep restarted with `--resume` consults
-/// it to skip straight to the missing keys (their results then come from the
-/// store as ordinary disk hits), recomputing only what the dead process
-/// never finished.
+/// load; a record log answers "did a previous run finish this unit of work?"
+/// from one line per completed record. A killed sweep restarted with
+/// `--resume` consults it to skip straight to the missing records (their
+/// results then come from the store as ordinary disk hits), recomputing only
+/// what the dead process never finished.
 ///
-/// Robustness contract (matches the store's): the manifest is advisory and
+/// Robustness contract (matches the store's): a log is advisory and
 /// self-healing. A missing or unreadable file means "nothing completed";
-/// corrupt lines (a record torn by the kill) are skipped, never fatal; a
-/// failed append is warned and counted, and costs at most one redundant
-/// recompute on the next resume — which, by the determinism contract,
-/// produces the identical bytes. Records are appended line-at-a-time with an
-/// immediate flush so a kill loses at most the in-flight line.
+/// corrupt lines (a record torn by the kill, or a future/foreign record
+/// kind) are skipped, never fatal; a failed append is warned and counted,
+/// and costs at most one redundant recompute on the next resume — which, by
+/// the determinism contract, produces the identical bytes. Records are
+/// appended line-at-a-time with an immediate flush so a kill loses at most
+/// the in-flight line.
 ///
-/// Thread-safety: all methods are mutex-guarded; concurrent batch workers
-/// may record() freely.
+/// Record kinds: every record carries a leading tag (e.g. "mmflow-run-v1",
+/// "mmflow-tune-v1") that versions its format. Each client owns its tag and
+/// its field layout; `RecordLog` owns only the line discipline — load with
+/// per-line validation, skip-and-count corruption, re-terminate a torn tail
+/// so later appends start clean, append-with-flush.
+///
+/// Thread-safety: `RecordLog::append` may be called from concurrent workers
+/// (each append opens/writes/closes under the caller's lock discipline);
+/// `RunManifest` methods are mutex-guarded, so batch workers may record()
+/// freely.
 
 #include <cstddef>
 #include <filesystem>
+#include <functional>
 #include <mutex>
+#include <string>
 #include <unordered_set>
 
 #include "core/flows.h"
 
 namespace mmflow::core {
+
+/// The shared line discipline of the append-only logs (see file comment).
+/// Not itself thread-safe: clients serialize load()/append() themselves.
+class RecordLog {
+ public:
+  explicit RecordLog(std::filesystem::path path) : path_(std::move(path)) {}
+
+  /// Reads every line of the log, calling `parse` on each non-empty one;
+  /// `parse` returns false for lines it cannot validate (wrong tag, torn
+  /// fields, trailing junk). Invalid lines are skipped and counted; a torn
+  /// *trailing* line (no newline — the kill signature) is re-terminated once
+  /// so later appends start on a fresh line. A missing file is an empty log.
+  /// Returns the number of skipped lines.
+  std::size_t load(const std::function<bool(const std::string& line)>& parse);
+
+  /// Appends `line` + '\n', flushed to the OS before returning, so a killed
+  /// process loses at most the record being written. Returns false when the
+  /// write failed (caller warns/counts; by contract never fatal).
+  [[nodiscard]] bool append(const std::string& line);
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
 
 class RunManifest {
  public:
@@ -47,7 +84,9 @@ class RunManifest {
   /// Keys known completed.
   [[nodiscard]] std::size_t size() const;
 
-  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  [[nodiscard]] const std::filesystem::path& path() const {
+    return log_.path();
+  }
 
   /// The conventional manifest location for a sweep using `cache_dir` as its
   /// artifact-store root.
@@ -55,7 +94,7 @@ class RunManifest {
       const std::filesystem::path& cache_dir);
 
  private:
-  std::filesystem::path path_;
+  RecordLog log_;
   mutable std::mutex mutex_;
   std::unordered_set<FlowKey, FlowKeyHash> keys_;
 };

@@ -1,0 +1,156 @@
+#include "tune/ledger.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/log.h"
+#include "common/perf.h"
+#include "common/strings.h"
+
+namespace mmflow::tune {
+
+namespace {
+
+constexpr char kRecordTag[] = "mmflow-tune-v1";
+
+/// Exact IEEE-754 bits in hex: the only encoding that round-trips every
+/// double bit-identically, which the resume determinism contract requires.
+std::string hex_bits(double value) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, std::bit_cast<std::uint64_t>(value));
+  return buf;
+}
+
+bool parse_hex_bits(std::string_view text, double& out) {
+  if (text.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (const char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return false;
+    bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+  }
+  out = std::bit_cast<double>(bits);
+  return true;
+}
+
+/// Decodes a comma-separated hex-bits list ("-" means an empty list).
+bool parse_bits_list(std::string_view text, std::vector<double>& out) {
+  out.clear();
+  if (text == "-") return true;
+  for (const std::string& field : split_char(text, ',')) {
+    double value;
+    if (!parse_hex_bits(field, value)) return false;
+    out.push_back(value);
+  }
+  return !out.empty();
+}
+
+std::string format_bits_list(const std::vector<double>& values) {
+  if (values.empty()) return "-";
+  std::string out;
+  for (const double v : values) {
+    if (!out.empty()) out += ',';
+    out += hex_bits(v);
+  }
+  return out;
+}
+
+/// Strict decimal u64 (the trial index and wall_ms fields).
+bool parse_dec_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 20) return false;
+  out = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TrialLedger::format_record(std::uint64_t config_hash,
+                                       const TrialRecord& record) {
+  char head[96];
+  std::snprintf(head, sizeof(head), "%s %016" PRIx64 " %" PRIu64 " %d %s ",
+                kRecordTag, config_hash, record.trial, record.rung,
+                record.ok ? "ok" : "failed");
+  return std::string(head) + format_bits_list(record.knob_values) + " " +
+         format_bits_list(record.objectives) + " " +
+         std::to_string(record.wall_ms);
+}
+
+bool TrialLedger::parse_record(const std::string& line,
+                               std::uint64_t& config_hash,
+                               TrialRecord& record) {
+  const std::vector<std::string> fields = split_ws(line);
+  if (fields.size() != 8 || fields[0] != kRecordTag) return false;
+  double hash_bits;  // 16 hex chars, decoded via the same strict hex reader
+  if (!parse_hex_bits(fields[1], hash_bits)) return false;
+  config_hash = std::bit_cast<std::uint64_t>(hash_bits);
+  if (!parse_dec_u64(fields[2], record.trial)) return false;
+  std::uint64_t rung;
+  if (!parse_dec_u64(fields[3], rung) || rung > 64) return false;
+  record.rung = static_cast<int>(rung);
+  if (fields[4] == "ok") record.ok = true;
+  else if (fields[4] == "failed") record.ok = false;
+  else return false;
+  if (!parse_bits_list(fields[5], record.knob_values)) return false;
+  record.objectives.clear();
+  if (record.ok) {
+    if (!parse_bits_list(fields[6], record.objectives)) return false;
+  } else if (fields[6] != "-") {
+    return false;  // a failed trial has no QoR by construction
+  }
+  return parse_dec_u64(fields[7], record.wall_ms);
+}
+
+TrialLedger::TrialLedger(std::filesystem::path path, std::uint64_t config_hash)
+    : log_(std::move(path)), config_hash_(config_hash) {
+  std::size_t mismatched = 0;
+  const std::size_t corrupt = log_.load([&](const std::string& line) {
+    std::uint64_t hash;
+    TrialRecord record;
+    if (!parse_record(line, hash, record)) return false;
+    if (hash != config_hash_) {
+      // A well-formed record from a different tune configuration: valid for
+      // the line discipline (don't re-terminate the file), useless for us.
+      ++mismatched;
+      return true;
+    }
+    records_.emplace(std::make_pair(record.trial, record.rung),
+                     std::move(record));
+    return true;
+  });
+  skipped_ = corrupt + mismatched;
+  if (mismatched != 0) {
+    MMFLOW_WARN("trial ledger: ignored "
+                << mismatched << " record(s) from a different tune "
+                << "configuration in " << log_.path().string());
+  }
+  MMFLOW_PERF_ADD("tune.ledger_skips", static_cast<long long>(skipped_));
+}
+
+const TrialRecord* TrialLedger::find(std::uint64_t trial, int rung) const {
+  const auto it = records_.find(std::make_pair(trial, rung));
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void TrialLedger::record(const TrialRecord& record) {
+  const auto key = std::make_pair(record.trial, record.rung);
+  if (records_.contains(key)) return;  // already durable
+  if (!log_.append(format_record(config_hash_, record))) {
+    MMFLOW_PERF_ADD("tune.ledger_write_errors", 1);
+    MMFLOW_WARN("trial ledger: cannot append to " << log_.path().string());
+  }
+  records_.emplace(key, record);
+}
+
+std::filesystem::path TrialLedger::default_path(
+    const std::filesystem::path& cache_dir) {
+  return cache_dir / "tune.log";
+}
+
+}  // namespace mmflow::tune

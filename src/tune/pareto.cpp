@@ -1,0 +1,67 @@
+#include "tune/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mmflow::tune {
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  MMFLOW_REQUIRE_MSG(a.size() == b.size(), "objective vectors of size "
+                                               << a.size() << " vs "
+                                               << b.size());
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+ParetoSet::ParetoSet(std::size_t dims) : dims_(dims) {
+  MMFLOW_REQUIRE(dims >= 1);
+}
+
+bool ParetoSet::add(ParetoPoint point) {
+  MMFLOW_REQUIRE_MSG(point.objectives.size() == dims_,
+                     "point has " << point.objectives.size()
+                                  << " objectives, set expects " << dims_);
+  for (const double v : point.objectives) {
+    MMFLOW_REQUIRE_MSG(std::isfinite(v),
+                       "non-finite objective " << v << " for trial "
+                                               << point.tag);
+  }
+  for (ParetoPoint& member : members_) {
+    if (dominates(member.objectives, point.objectives)) return false;
+    if (member.objectives == point.objectives) {
+      // Bit-equal vector: keep only the canonical (lowest-tag) witness so the
+      // front is independent of insertion order.
+      if (point.tag < member.tag) {
+        member.tag = point.tag;
+        return true;
+      }
+      return false;
+    }
+  }
+  // Not dominated and not a duplicate: evict everything it dominates.
+  members_.erase(std::remove_if(members_.begin(), members_.end(),
+                                [&point](const ParetoPoint& member) {
+                                  return dominates(point.objectives,
+                                                   member.objectives);
+                                }),
+                 members_.end());
+  members_.push_back(std::move(point));
+  return true;
+}
+
+std::vector<ParetoPoint> ParetoSet::points() const {
+  std::vector<ParetoPoint> out = members_;
+  std::sort(out.begin(), out.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.tag < b.tag;
+            });
+  return out;
+}
+
+}  // namespace mmflow::tune

@@ -1,0 +1,58 @@
+#pragma once
+/// \file pareto.h
+/// Exact Pareto set over QoR vectors — the autotuner's result container.
+///
+/// All objectives are minimized. Point `a` *dominates* `b` iff `a` is no
+/// worse on every objective and strictly better on at least one; dominance
+/// is a strict partial order (irreflexive, asymmetric, transitive —
+/// property-tested in tests/test_tune.cpp). The set maintains the minimal
+/// antichain of everything ever inserted: no member dominates another, every
+/// rejected point is dominated by (or objective-equal to) some member, and
+/// the final contents are independent of insertion order.
+///
+/// Determinism: ties are broken by `tag` (the canonical trial index) — two
+/// points with bit-equal objective vectors keep only the lower tag, and
+/// `points()` returns members sorted by tag — so a front assembled from any
+/// execution order (jobs=K, warm replay, resume) is bit-identical.
+/// Objectives must be finite; NaN would poison the partial order and is
+/// rejected up front.
+
+#include <cstdint>
+#include <vector>
+
+namespace mmflow::tune {
+
+/// One candidate: an objective vector (minimized) plus its canonical
+/// identity (trial index) and an opaque payload index for the caller.
+struct ParetoPoint {
+  std::vector<double> objectives;
+  std::uint64_t tag = 0;
+};
+
+/// True iff `a` dominates `b` (see file comment). Requires equal sizes.
+[[nodiscard]] bool dominates(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+class ParetoSet {
+ public:
+  /// A set over `dims`-dimensional objective vectors, dims >= 1.
+  explicit ParetoSet(std::size_t dims);
+
+  /// Inserts `point` (objectives must be finite, size == dims): returns true
+  /// iff the point joins the front (it then evicts every member it
+  /// dominates). Dominated points and objective-equal points with a higher
+  /// tag are rejected.
+  bool add(ParetoPoint point);
+
+  /// Current front, sorted by tag (the canonical order).
+  [[nodiscard]] std::vector<ParetoPoint> points() const;
+
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] std::size_t dims() const { return dims_; }
+
+ private:
+  std::size_t dims_;
+  std::vector<ParetoPoint> members_;  ///< unsorted antichain
+};
+
+}  // namespace mmflow::tune

@@ -1,0 +1,68 @@
+#include "tune/sampler.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mmflow::tune {
+
+namespace {
+
+/// The generalized golden ratio gamma_d: unique positive root of
+/// x^(d+1) = x + 1 (d=1 gives the golden ratio). Newton iteration from 1.5
+/// converges in a handful of steps and is fully deterministic.
+double gamma_d(std::size_t d) {
+  double x = 1.5;
+  for (int it = 0; it < 64; ++it) {
+    const double p = std::pow(x, static_cast<double>(d + 1)) - x - 1.0;
+    const double dp =
+        static_cast<double>(d + 1) * std::pow(x, static_cast<double>(d)) - 1.0;
+    const double next = x - p / dp;
+    if (next == x) break;
+    x = next;
+  }
+  return x;
+}
+
+/// SplitMix64 step (same finalizer as common/rng.h's seeding) — used for
+/// the per-dimension rotation offsets.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double fract(double x) { return x - std::floor(x); }
+
+}  // namespace
+
+KnobSampler::KnobSampler(std::size_t dims, std::uint64_t seed) {
+  MMFLOW_REQUIRE(dims >= 1);
+  const double gamma = gamma_d(dims);
+  alphas_.resize(dims);
+  offsets_.resize(dims);
+  std::uint64_t state = seed;
+  double a = 1.0;
+  for (std::size_t i = 0; i < dims; ++i) {
+    a /= gamma;
+    alphas_[i] = fract(a);
+    offsets_[i] =
+        static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;  // [0, 1)
+  }
+}
+
+std::vector<double> KnobSampler::unit_point(std::uint64_t index) const {
+  std::vector<double> point(alphas_.size());
+  // `index * alpha mod 1` computed in double: for the trial counts a tune
+  // ever runs (<= millions) the product stays well under 2^53, so the
+  // lattice structure is exact enough and, crucially, bit-reproducible.
+  const double t = static_cast<double>(index + 1);
+  for (std::size_t i = 0; i < alphas_.size(); ++i) {
+    point[i] = fract(offsets_[i] + t * alphas_[i]);
+  }
+  return point;
+}
+
+}  // namespace mmflow::tune

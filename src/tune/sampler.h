@@ -1,0 +1,40 @@
+#pragma once
+/// \file sampler.h
+/// Seeded low-discrepancy sampling of the unit hypercube — the trial
+/// schedule generator of the autotuner.
+///
+/// The sampler is the R_d sequence (the generalized-golden-ratio Kronecker
+/// lattice: coordinate i of point t is `frac(offset_i + t * alpha_i)` with
+/// `alpha_i = frac(1/gamma_d^(i+1))`, gamma_d the unique positive root of
+/// x^(d+1) = x + 1), plus a seeded Cranley-Patterson rotation: the offsets
+/// come from SplitMix64 of the tune seed, so different seeds explore
+/// different (still low-discrepancy) point sets.
+///
+/// Determinism contract: `unit_point(t)` is a pure function of
+/// (dims, seed, t) — no internal state, no draw order. That is what makes
+/// the trial schedule reproducible under any `--jobs` value and trivially
+/// resumable: a restarted tuner regenerates point t bit-identically without
+/// replaying points 0..t-1.
+
+#include <cstdint>
+#include <vector>
+
+namespace mmflow::tune {
+
+class KnobSampler {
+ public:
+  /// A sampler for `dims`-dimensional points under `seed`. `dims` >= 1.
+  KnobSampler(std::size_t dims, std::uint64_t seed);
+
+  /// Point `index` of the sequence: `dims` coordinates in [0, 1). Pure
+  /// function of the constructor arguments and `index`; thread-safe.
+  [[nodiscard]] std::vector<double> unit_point(std::uint64_t index) const;
+
+  [[nodiscard]] std::size_t dims() const { return alphas_.size(); }
+
+ private:
+  std::vector<double> alphas_;   ///< per-dimension irrational strides
+  std::vector<double> offsets_;  ///< seeded rotation, in [0, 1)
+};
+
+}  // namespace mmflow::tune

@@ -28,6 +28,8 @@
 #include "core/batch.h"
 #include "core/manifest.h"
 #include "core/metrics.h"
+#include "tune/knobs.h"
+#include "tune/tuner.h"
 #include "netlist/blif.h"
 #include "techmap/mapper.h"
 
@@ -661,6 +663,55 @@ TEST(BlifRobustness, CorruptedInputsNeverEscapeAsNonParseErrors) {
   doubled.insert(nl_pos + 1, good.substr(good.find(".names"),
                                          nl_pos + 1 - good.find(".names")));
   expect_parse_or_ok(doubled, "doubled-names");
+}
+
+
+// ------------------------------------------------------------- tune chaos --
+
+/// Chaos criterion for the autotuner: a full tune under injected job and
+/// store-write faults, healed by retries, must produce the *same front
+/// bits* as a clean run — the tuner's determinism contract survives the
+/// fault-tolerance machinery end to end (docs/TUNING.md).
+TEST(Robustness, ChaosTuneMatchesCleanFrontBitIdentically) {
+  FaultsGuard guard;
+  const std::vector<tune::TuneBenchmark> benchmarks{tune::TuneBenchmark{
+      "chaos", std::make_shared<const std::vector<techmap::LutCircuit>>(
+                   similar_mode_pair(40, 61))}};
+  tune::TuneOptions options;
+  options.seed = 9;
+  options.budget = 4;
+  options.base = fast_options(1);
+  options.space = tune::KnobSpace::from_spec(
+      "astar_fac=1.0:1.6,align_discount=0.1:1.0", "test");
+
+  const auto clean = tune::tune(benchmarks, options);
+  ASSERT_FALSE(clean.front.empty());
+
+  // Chaos run: the 2nd batch job attempt dies once, and *every* store
+  // write fails; retries heal the former, the store degrades to counters
+  // for the latter. Jobs > 1 so the faults land on worker threads.
+  TempDir dir;
+  faults::install("batch.job@2,store.write@1*");
+  tune::TuneOptions chaos_options = options;
+  chaos_options.cache_dir = dir.path.string();
+  chaos_options.jobs = 2;
+  chaos_options.max_retries = 2;
+  const auto injected_before = counter("faults.injected");
+  const auto chaos = tune::tune(benchmarks, chaos_options);
+  EXPECT_GT(counter("faults.injected"), injected_before);
+
+  ASSERT_EQ(clean.front.size(), chaos.front.size());
+  for (std::size_t i = 0; i < clean.front.size(); ++i) {
+    EXPECT_EQ(clean.front[i].index, chaos.front[i].index);
+    EXPECT_EQ(clean.front[i].knob_values, chaos.front[i].knob_values);
+    EXPECT_EQ(clean.front[i].objectives, chaos.front[i].objectives);
+  }
+  ASSERT_EQ(clean.trials.size(), chaos.trials.size());
+  for (std::size_t i = 0; i < clean.trials.size(); ++i) {
+    EXPECT_EQ(clean.trials[i].index, chaos.trials[i].index);
+    EXPECT_EQ(clean.trials[i].ok, chaos.trials[i].ok);
+    EXPECT_EQ(clean.trials[i].objectives, chaos.trials[i].objectives);
+  }
 }
 
 }  // namespace

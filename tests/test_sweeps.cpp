@@ -2,9 +2,12 @@
 
 #include <map>
 #include <set>
+#include <string>
 
 #include "arch/rrg.h"
+#include "common/check.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "route/router.h"
 
 namespace mmflow::route {
@@ -163,3 +166,75 @@ INSTANTIATE_TEST_SUITE_P(ModeCounts, ModeCountSweepTest,
 
 }  // namespace
 }  // namespace mmflow::route
+
+// ---- knob-range sweep specs -------------------------------------------------
+//
+// The autotuner's search space is written as `name=lo:hi[:log]` terms
+// (common/strings.h). Like the other checked knob parsers, every malformed
+// term must be rejected with an error naming the knob — a sweep that
+// silently skips or misreads a range would search the wrong space.
+
+namespace mmflow {
+namespace {
+
+TEST(KnobRangeSpec, ParsesLinearAndLogTerms) {
+  const auto linear = parse_knob_range("astar_fac=1.0:1.6", "--tune-knobs");
+  EXPECT_EQ(linear.name, "astar_fac");
+  EXPECT_DOUBLE_EQ(linear.lo, 1.0);
+  EXPECT_DOUBLE_EQ(linear.hi, 1.6);
+  EXPECT_FALSE(linear.log_scale);
+
+  const auto log = parse_knob_range(" inner_num = 2 : 20 : log ", "t");
+  EXPECT_EQ(log.name, "inner_num");
+  EXPECT_TRUE(log.log_scale);
+
+  const auto list =
+      parse_knob_ranges("a=1:2,b=0.5:0.9,,c=1:8:log", "--tune-knobs");
+  ASSERT_EQ(list.size(), 3u);  // stray comma tolerated
+  EXPECT_EQ(list[1].name, "b");
+}
+
+/// Every rejection names the offending knob and the surface (`what`), like
+/// the PR 5 checked parsers.
+void expect_named_rejection(const std::string& term, const std::string& knob) {
+  try {
+    (void)parse_knob_range(term, "--tune-knobs");
+    FAIL() << "expected PreconditionError for '" << term << "'";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--tune-knobs"), std::string::npos) << what;
+    if (!knob.empty()) {
+      EXPECT_NE(what.find(knob), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(KnobRangeSpec, RejectsMalformedTermsWithNamedErrors) {
+  expect_named_rejection("inner_num", "");              // missing '='
+  expect_named_rejection("=1:2", "");                   // empty name
+  expect_named_rejection("inner_num=1", "inner_num");   // missing hi
+  expect_named_rejection("inner_num=1:2:3:4", "inner_num");
+  expect_named_rejection("inner_num=nan:2", "inner_num");
+  expect_named_rejection("inner_num=1:inf", "inner_num");
+  expect_named_rejection("inner_num=2:1", "inner_num");  // reversed bounds
+  expect_named_rejection("inner_num=2:2", "inner_num");  // empty range
+  expect_named_rejection("inner_num=1:2:cubic", "inner_num");
+  expect_named_rejection("inner_num=0:2:log", "inner_num");  // log needs lo>0
+  expect_named_rejection("inner_num=-1:2:log", "inner_num");
+  expect_named_rejection("inner_num=abc:2", "inner_num");
+}
+
+TEST(KnobRangeSpec, RejectsDuplicateKnobsAndEmptySpecs) {
+  try {
+    (void)parse_knob_ranges("a=1:2,b=3:4,a=5:6", "--tune-knobs");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'a'"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_knob_ranges("", "t"), PreconditionError);
+  EXPECT_THROW((void)parse_knob_ranges(",,", "t"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mmflow

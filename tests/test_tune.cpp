@@ -1,0 +1,523 @@
+/// Autotuner tests (docs/TUNING.md): Pareto-dominance property battery
+/// (strict partial order, minimal insertion-order-invariant fronts), the
+/// seeded low-discrepancy sampler, the knob space and objective-set
+/// parsers, the trial-ledger codec and its torn-line/config-guard
+/// robustness, and the tuner's determinism contract — bit-identical trial
+/// schedules and fronts across jobs values and across a kill + resume.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "techmap/lutcircuit.h"
+#include "tune/knobs.h"
+#include "tune/ledger.h"
+#include "tune/pareto.h"
+#include "tune/sampler.h"
+#include "tune/tuner.h"
+
+// The shared mode-pair recipe (same as test_batch/test_robustness).
+#include "aig/bridge.h"
+#include "netlist/netlist.h"
+#include "techmap/mapper.h"
+
+namespace mmflow {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+
+  TempDir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("mmflow_tune_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+std::vector<techmap::LutCircuit> similar_mode_pair(int num_gates,
+                                                   std::uint64_t seed) {
+  Rng rng(seed);
+  auto build = [&](bool variant, std::uint64_t vseed) {
+    Rng vrng(vseed);
+    netlist::Netlist nl(variant ? "modeB" : "modeA");
+    std::vector<netlist::SignalId> pool;
+    for (int i = 0; i < 6; ++i) {
+      pool.push_back(nl.add_input("i" + std::to_string(i)));
+    }
+    Rng shared(seed * 7919);
+    for (int g = 0; g < num_gates; ++g) {
+      Rng& r = (g < num_gates * 3 / 4) ? shared : vrng;
+      const auto a = pool[r.next_below(pool.size())];
+      const auto b = pool[r.next_below(pool.size())];
+      netlist::SignalId s = 0;
+      switch (r.next_below(4)) {
+        case 0: s = nl.add_and(a, b); break;
+        case 1: s = nl.add_or(a, b); break;
+        case 2: s = nl.add_xor(a, b); break;
+        case 3: s = nl.add_nand(a, b); break;
+      }
+      pool.push_back(s);
+    }
+    for (int i = 0; i < 4; ++i) {
+      nl.add_output("o" + std::to_string(i), pool[pool.size() - 1 - i]);
+    }
+    auto mapped = techmap::map_to_luts(aig::aig_from_netlist(nl));
+    mapped.set_name(nl.name());
+    return mapped;
+  };
+  std::vector<techmap::LutCircuit> modes;
+  modes.push_back(build(false, rng()));
+  modes.push_back(build(true, rng()));
+  return modes;
+}
+
+/// A cheap tune setup: tiny mode pair, fast flow, and a knob space that
+/// does not touch the annealing effort (so every trial stays quick).
+std::vector<tune::TuneBenchmark> tiny_benchmarks(std::uint64_t seed) {
+  return {tune::TuneBenchmark{
+      "tiny", std::make_shared<const std::vector<techmap::LutCircuit>>(
+                  similar_mode_pair(40, seed))}};
+}
+
+tune::TuneOptions fast_tune_options() {
+  tune::TuneOptions options;
+  options.seed = 5;
+  options.budget = 4;
+  options.base.anneal.inner_num = 2.0;
+  options.space = tune::KnobSpace::from_spec(
+      "astar_fac=1.0:1.6,align_discount=0.1:1.0", "test");
+  return options;
+}
+
+/// Everything the determinism contract covers: schedule identity plus
+/// bit-identical knob values and objectives. wall_ms and from_ledger are
+/// explicitly exempt.
+void expect_same_trials(const std::vector<tune::TuneTrial>& a,
+                        const std::vector<tune::TuneTrial>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index) << "trial " << i;
+    EXPECT_EQ(a[i].rung, b[i].rung) << "trial " << i;
+    EXPECT_EQ(a[i].ok, b[i].ok) << "trial " << i;
+    EXPECT_EQ(a[i].knob_values, b[i].knob_values) << "trial " << i;
+    EXPECT_EQ(a[i].objectives, b[i].objectives) << "trial " << i;
+  }
+}
+
+// ------------------------------------------------ dominance & Pareto set --
+
+/// Random objective vector with coordinates drawn from a small grid, so
+/// ties and dominance both occur often.
+std::vector<double> random_point(Rng& rng, std::size_t dims) {
+  std::vector<double> point(dims);
+  for (double& v : point) v = static_cast<double>(rng.next_below(8));
+  return point;
+}
+
+TEST(Pareto, DominanceIsAStrictPartialOrder) {
+  Rng rng(123);
+  for (int dims = 1; dims <= 4; ++dims) {
+    for (int iteration = 0; iteration < 400; ++iteration) {
+      const auto a = random_point(rng, dims);
+      const auto b = random_point(rng, dims);
+      const auto c = random_point(rng, dims);
+      // Irreflexive.
+      EXPECT_FALSE(tune::dominates(a, a));
+      // Asymmetric.
+      EXPECT_FALSE(tune::dominates(a, b) && tune::dominates(b, a));
+      // Transitive.
+      if (tune::dominates(a, b) && tune::dominates(b, c)) {
+        EXPECT_TRUE(tune::dominates(a, c));
+      }
+    }
+  }
+}
+
+TEST(Pareto, FrontIsMinimalAndComplete) {
+  Rng rng(321);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const std::size_t dims = 2 + rng.next_below(3);
+    std::vector<tune::ParetoPoint> inserted;
+    tune::ParetoSet set(dims);
+    for (std::uint64_t tag = 0; tag < 24; ++tag) {
+      tune::ParetoPoint point{random_point(rng, dims), tag};
+      inserted.push_back(point);
+      set.add(std::move(point));
+    }
+    const auto front = set.points();
+    ASSERT_FALSE(front.empty());
+    // Minimal: no member dominates (or equals) another.
+    for (const auto& a : front) {
+      for (const auto& b : front) {
+        if (a.tag == b.tag) continue;
+        EXPECT_FALSE(tune::dominates(a.objectives, b.objectives));
+        EXPECT_NE(a.objectives, b.objectives);
+      }
+    }
+    // Complete: every insertion is dominated by or equal to a member.
+    for (const auto& point : inserted) {
+      const bool covered = std::any_of(
+          front.begin(), front.end(), [&point](const tune::ParetoPoint& m) {
+            return m.objectives == point.objectives ||
+                   tune::dominates(m.objectives, point.objectives);
+          });
+      EXPECT_TRUE(covered);
+    }
+  }
+}
+
+TEST(Pareto, FrontIsInsertionOrderInvariant) {
+  Rng rng(55);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    const std::size_t dims = 2 + rng.next_below(3);
+    std::vector<tune::ParetoPoint> points;
+    for (std::uint64_t tag = 0; tag < 16; ++tag) {
+      points.push_back({random_point(rng, dims), tag});
+    }
+    tune::ParetoSet forward(dims);
+    for (const auto& p : points) forward.add(p);
+
+    // A seeded shuffle (Fisher-Yates on a copy).
+    std::vector<tune::ParetoPoint> shuffled = points;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+    }
+    tune::ParetoSet backward(dims);
+    for (const auto& p : shuffled) backward.add(p);
+
+    const auto a = forward.points();
+    const auto b = backward.points();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].tag, b[i].tag);
+      EXPECT_EQ(a[i].objectives, b[i].objectives);
+    }
+  }
+}
+
+TEST(Pareto, EqualVectorsKeepTheLowestTag) {
+  tune::ParetoSet set(2);
+  EXPECT_TRUE(set.add({{1.0, 2.0}, 7}));
+  EXPECT_FALSE(set.add({{1.0, 2.0}, 9}));  // higher tag loses
+  EXPECT_TRUE(set.add({{1.0, 2.0}, 3}));   // lower tag takes over
+  const auto front = set.points();
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].tag, 3u);
+}
+
+TEST(Pareto, RejectsNonFiniteObjectives) {
+  tune::ParetoSet set(2);
+  EXPECT_THROW(set.add({{1.0, std::nan("")}, 0}), PreconditionError);
+  EXPECT_THROW(set.add({{1.0, INFINITY}, 0}), PreconditionError);
+  EXPECT_THROW(set.add({{1.0}, 0}), PreconditionError);  // wrong dims
+}
+
+// ----------------------------------------------------------------- sampler --
+
+TEST(Sampler, PointsAreInUnitRangeAndSeedDeterministic) {
+  const tune::KnobSampler a(4, 42);
+  const tune::KnobSampler b(4, 42);
+  const tune::KnobSampler other(4, 43);
+  bool any_difference = false;
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    const auto pa = a.unit_point(t);
+    ASSERT_EQ(pa.size(), 4u);
+    for (const double v : pa) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+    EXPECT_EQ(pa, b.unit_point(t));  // pure function of (dims, seed, t)
+    if (pa != other.unit_point(t)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);  // the rotation actually depends on the seed
+}
+
+TEST(Sampler, LowDiscrepancyBeatsDegenerateClustering) {
+  // Coarse sanity: 64 points over [0,1)^2 should hit most of a 4x4 grid —
+  // a lattice that collapsed to a line or point would not.
+  const tune::KnobSampler sampler(2, 1);
+  std::vector<bool> cell(16, false);
+  for (std::uint64_t t = 0; t < 64; ++t) {
+    const auto p = sampler.unit_point(t);
+    const int cx = std::min(3, static_cast<int>(p[0] * 4));
+    const int cy = std::min(3, static_cast<int>(p[1] * 4));
+    cell[static_cast<std::size_t>(cy * 4 + cx)] = true;
+  }
+  EXPECT_GE(std::count(cell.begin(), cell.end(), true), 12);
+}
+
+// -------------------------------------------------- knob space & parsing --
+
+TEST(KnobSpace, DefaultsApplyRoundTrip) {
+  const auto space = tune::KnobSpace::defaults();
+  ASSERT_GT(space.size(), 0u);
+  const std::vector<double> lo_corner(space.size(), 0.0);
+  const std::vector<double> hi_corner(space.size(), 1.0);
+  const auto lo = space.values(lo_corner);
+  const auto hi = space.values(hi_corner);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_DOUBLE_EQ(lo[i], space.knobs()[i].lo);
+    EXPECT_DOUBLE_EQ(hi[i], space.knobs()[i].hi);
+  }
+  core::FlowOptions base;
+  const auto applied = space.apply(base, hi_corner);
+  EXPECT_DOUBLE_EQ(applied.anneal.inner_num, 20.0);  // registry hi
+  // The baseline's coordinates read back the base options unchanged.
+  const auto baseline = space.baseline_values(base);
+  EXPECT_DOUBLE_EQ(baseline[0], base.anneal.inner_num);
+}
+
+TEST(KnobSpace, LogScaleInterpolatesGeometrically) {
+  const auto space =
+      tune::KnobSpace::from_spec("inner_num=2:32:log", "test");
+  ASSERT_EQ(space.size(), 1u);
+  EXPECT_DOUBLE_EQ(space.values({0.0})[0], 2.0);
+  EXPECT_NEAR(space.values({0.5})[0], 8.0, 1e-9);  // geometric midpoint
+  EXPECT_NEAR(space.values({1.0})[0], 32.0, 1e-9);
+}
+
+TEST(KnobSpace, RejectsUnknownKnobNamingTheRegistry) {
+  try {
+    (void)tune::KnobSpace::from_spec("no_such_knob=1:2", "--tune-knobs");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("no_such_knob"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("--tune-knobs"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("inner_num"), std::string::npos);
+  }
+}
+
+TEST(KnobSpace, HashCoversNamesRangesAndScale) {
+  const auto a = tune::KnobSpace::from_spec("inner_num=2:20", "t");
+  const auto b = tune::KnobSpace::from_spec("inner_num=2:20:log", "t");
+  const auto c = tune::KnobSpace::from_spec("inner_num=2:19", "t");
+  const auto d = tune::KnobSpace::from_spec("astar_fac=1:1.5", "t");
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+  EXPECT_NE(a.hash(), d.hash());
+  EXPECT_EQ(a.hash(), tune::KnobSpace::from_spec("inner_num=2:20", "t").hash());
+}
+
+TEST(Objectives, ParseValidatesNamesAndWalltime) {
+  const auto set = tune::ObjectiveSet::parse("frames,wirelength", "--tune-objectives");
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.names[0], "frames");
+  EXPECT_EQ(set.names[1], "wirelength");
+  EXPECT_THROW((void)tune::ObjectiveSet::parse("bogus", "t"), PreconditionError);
+  EXPECT_THROW((void)tune::ObjectiveSet::parse("frames,frames", "t"),
+               PreconditionError);
+  EXPECT_THROW((void)tune::ObjectiveSet::parse("", "t"), PreconditionError);
+  try {
+    (void)tune::ObjectiveSet::parse("walltime", "--tune-objectives");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("non-deterministic"),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------- ledger --
+
+tune::TrialRecord sample_record() {
+  tune::TrialRecord record;
+  record.trial = 7;
+  record.rung = 2;
+  record.ok = true;
+  record.knob_values = {1.25, -0.0, 3.5e-7};
+  record.objectives = {1.1163, 44.5, 8968.0};
+  record.wall_ms = 1234;
+  return record;
+}
+
+TEST(TrialLedger, RecordCodecRoundTripsBitExactly) {
+  const auto record = sample_record();
+  const std::string line = tune::TrialLedger::format_record(0xabcdef12u, record);
+  std::uint64_t hash = 0;
+  tune::TrialRecord decoded;
+  ASSERT_TRUE(tune::TrialLedger::parse_record(line, hash, decoded));
+  EXPECT_EQ(hash, 0xabcdef12u);
+  EXPECT_EQ(decoded.trial, record.trial);
+  EXPECT_EQ(decoded.rung, record.rung);
+  EXPECT_EQ(decoded.ok, record.ok);
+  EXPECT_EQ(decoded.knob_values, record.knob_values);
+  EXPECT_EQ(decoded.objectives, record.objectives);
+  EXPECT_EQ(decoded.wall_ms, record.wall_ms);
+  // -0.0 must survive as -0.0 (bit identity, not value identity).
+  EXPECT_TRUE(std::signbit(decoded.knob_values[1]));
+
+  tune::TrialRecord failed = record;
+  failed.ok = false;
+  failed.objectives.clear();
+  const std::string failed_line = tune::TrialLedger::format_record(1, failed);
+  ASSERT_TRUE(tune::TrialLedger::parse_record(failed_line, hash, decoded));
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_TRUE(decoded.objectives.empty());
+}
+
+TEST(TrialLedger, ParseRejectsMalformedLines) {
+  const std::string good =
+      tune::TrialLedger::format_record(42, sample_record());
+  std::uint64_t hash;
+  tune::TrialRecord record;
+  EXPECT_TRUE(tune::TrialLedger::parse_record(good, hash, record));
+  EXPECT_FALSE(tune::TrialLedger::parse_record("", hash, record));
+  EXPECT_FALSE(tune::TrialLedger::parse_record("garbage", hash, record));
+  EXPECT_FALSE(tune::TrialLedger::parse_record(
+      good.substr(0, good.size() / 2), hash, record));  // torn tail
+  EXPECT_FALSE(tune::TrialLedger::parse_record(good + " junk", hash, record));
+  std::string wrong_tag = good;
+  wrong_tag[8] = 'X';
+  EXPECT_FALSE(tune::TrialLedger::parse_record(wrong_tag, hash, record));
+  // A failed record must not carry objectives.
+  std::string contradictory = good;
+  const auto pos = contradictory.find(" ok ");
+  ASSERT_NE(pos, std::string::npos);
+  contradictory.replace(pos, 4, " failed ");
+  EXPECT_FALSE(tune::TrialLedger::parse_record(contradictory, hash, record));
+}
+
+TEST(TrialLedger, SurvivesTornLinesAndForeignConfigs) {
+  TempDir dir;
+  const fs::path path = dir.path / "tune.log";
+  {
+    tune::TrialLedger ledger(path, 100);
+    ledger.record(sample_record());
+    tune::TrialRecord second = sample_record();
+    second.trial = 9;
+    ledger.record(second);
+  }
+  {
+    // A record from another configuration plus a torn tail (no newline).
+    tune::TrialLedger foreign(path, 999);
+    tune::TrialRecord other = sample_record();
+    other.trial = 11;
+    foreign.record(other);
+    std::ofstream os(path, std::ios::app);
+    os << tune::TrialLedger::format_record(100, sample_record()).substr(0, 20);
+  }
+  tune::TrialLedger reloaded(path, 100);
+  EXPECT_EQ(reloaded.size(), 2u);     // the two matching records survive
+  EXPECT_GE(reloaded.skipped(), 2u);  // foreign config + torn tail
+  ASSERT_NE(reloaded.find(7, 2), nullptr);
+  ASSERT_NE(reloaded.find(9, 2), nullptr);
+  EXPECT_EQ(reloaded.find(11, 2), nullptr);  // foreign config filtered
+  EXPECT_EQ(reloaded.find(7, 2)->objectives, sample_record().objectives);
+
+  // The re-terminated tail keeps later appends loadable.
+  tune::TrialRecord third = sample_record();
+  third.trial = 12;
+  reloaded.record(third);
+  tune::TrialLedger final_state(path, 100);
+  EXPECT_EQ(final_state.size(), 3u);
+}
+
+// ------------------------------------------------------------ tuner runs --
+
+TEST(Tuner, ScheduleAndFrontAreJobsInvariant) {
+  const auto benchmarks = tiny_benchmarks(41);
+  auto options = fast_tune_options();
+
+  options.jobs = 1;
+  const auto sequential = tune::tune(benchmarks, options);
+  options.jobs = 4;
+  const auto parallel = tune::tune(benchmarks, options);
+
+  expect_same_trials(sequential.trials, parallel.trials);
+  expect_same_trials(sequential.front, parallel.front);
+  EXPECT_EQ(sequential.rungs, 3);  // budget 4 -> cohorts 4, 2, 1
+  EXPECT_FALSE(sequential.front.empty());
+  // Every front point is no worse than the baseline everywhere it ties and
+  // strictly better somewhere — guaranteed because the baseline competes.
+  for (const auto& point : sequential.front) {
+    if (point.index == sequential.baseline.index) continue;
+    EXPECT_FALSE(tune::dominates(sequential.baseline.objectives,
+                                 point.objectives));
+  }
+}
+
+TEST(Tuner, ResumeAfterKillMatchesUninterruptedRunBitIdentically) {
+  const auto benchmarks = tiny_benchmarks(43);
+
+  // Reference: uninterrupted, no persistence.
+  auto reference_options = fast_tune_options();
+  const auto reference = tune::tune(benchmarks, reference_options);
+
+  // "First process": persists artifacts + ledger, dies after rung 0.
+  TempDir dir;
+  auto killed_options = fast_tune_options();
+  killed_options.cache_dir = dir.path.string();
+  killed_options.stop_after_rung = 0;
+  const auto killed = tune::tune(benchmarks, killed_options);
+  EXPECT_TRUE(killed.stopped_early);
+  EXPECT_EQ(killed.rungs_run, 1);
+
+  // "Second process": fresh tuner, resumes from the ledger.
+  auto resumed_options = fast_tune_options();
+  resumed_options.cache_dir = dir.path.string();
+  resumed_options.resume = true;
+  const auto resumed = tune::tune(benchmarks, resumed_options);
+
+  expect_same_trials(reference.trials, resumed.trials);
+  expect_same_trials(reference.front, resumed.front);
+  // Rung 0 came from the ledger, not from recomputation.
+  int replayed = 0;
+  for (const auto& trial : resumed.trials) {
+    if (trial.from_ledger) {
+      EXPECT_EQ(trial.rung, 0);
+      ++replayed;
+    }
+  }
+  EXPECT_EQ(replayed, 4);  // the whole rung-0 cohort
+}
+
+TEST(Tuner, LedgerConfigGuardForcesColdStartOnMismatch) {
+  const auto benchmarks = tiny_benchmarks(47);
+  TempDir dir;
+  auto options = fast_tune_options();
+  options.cache_dir = dir.path.string();
+  options.stop_after_rung = 0;
+  (void)tune::tune(benchmarks, options);
+
+  // Same ledger, different tune seed: every record must be filtered.
+  auto other = fast_tune_options();
+  other.cache_dir = dir.path.string();
+  other.resume = true;
+  other.seed = options.seed + 1;
+  other.stop_after_rung = 0;
+  const auto rerun = tune::tune(benchmarks, other);
+  for (const auto& trial : rerun.trials) {
+    EXPECT_FALSE(trial.from_ledger);
+  }
+}
+
+TEST(Tuner, ValidatesItsPreconditions) {
+  const auto benchmarks = tiny_benchmarks(53);
+  auto options = fast_tune_options();
+  options.budget = 0;
+  EXPECT_THROW((void)tune::tune(benchmarks, options), PreconditionError);
+  options = fast_tune_options();
+  options.resume = true;  // without cache_dir
+  EXPECT_THROW((void)tune::tune(benchmarks, options), PreconditionError);
+  EXPECT_THROW((void)tune::tune({}, fast_tune_options()), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mmflow
