@@ -14,7 +14,9 @@
 #include "aig/bridge.h"
 #include "apps/regexp/engine.h"
 #include "apps/regexp/regex.h"
+#include "common/check.h"
 #include "common/log.h"
+#include "common/strings.h"
 #include "core/flows.h"
 #include "core/metrics.h"
 #include "techmap/mapper.h"
@@ -24,8 +26,19 @@ using namespace mmflow;
 int main(int argc, char** argv) {
   set_log_level(LogLevel::Warning);
   const auto& rules = apps::regexp::bleeding_edge_style_rules();
-  const std::size_t ia = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 0;
-  const std::size_t ib = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1;
+  // Checked parses (common/strings.h): `./regexp_multimode 2x` must be a
+  // usage error, not std::strtoul's silent partial parse of "2".
+  std::size_t ia = 0;
+  std::size_t ib = 1;
+  try {
+    if (argc > 1) ia = parse_u64(argv[1], "rule_index_a");
+    if (argc > 2) ib = parse_u64(argv[2], "rule_index_b");
+  } catch (const PreconditionError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr, "usage: %s [0..%zu] [0..%zu] (distinct)\n", argv[0],
+                 rules.size() - 1, rules.size() - 1);
+    return 1;
+  }
   if (ia >= rules.size() || ib >= rules.size() || ia == ib) {
     std::fprintf(stderr, "usage: %s [0..%zu] [0..%zu] (distinct)\n", argv[0],
                  rules.size() - 1, rules.size() - 1);

@@ -16,13 +16,35 @@
 ///    function-local static;
 ///  * deterministic output: `write_json()` emits entries sorted by name.
 ///
-/// Thread-safety: the registry is process-global; the name table is guarded
-/// by a mutex, and the counters/timers themselves are relaxed atomics so
-/// that the batch driver (src/core/batch.h) can run flow jobs on several
-/// worker threads without data races. Relaxed increments carry no ordering
-/// obligations — totals are exact, but a snapshot taken while workers are
-/// live may interleave mid-job values. Benches and tests read counters only
-/// after joining the workers.
+/// ## Thread-safety and the memory-order contract
+///
+/// The registry is process-global; the name table is guarded by a mutex,
+/// and the counters/timers themselves are atomics, so the batch driver
+/// (src/core/batch.h) and the parallel routing waves can bump them from
+/// several worker threads without data races (audited under
+/// -DMMFLOW_SANITIZE=thread; docs/STATIC_ANALYSIS.md).
+///
+/// Every counter/timer access is deliberately std::memory_order_relaxed,
+/// and that is the whole contract:
+///
+///  * **Atomicity only, no ordering.** A relaxed fetch_add can never lose
+///    an increment, so *final* totals are exact. But relaxed operations
+///    publish nothing: observing `route.calls == N` does not make any other
+///    memory written by those calls visible, so counters must never be used
+///    for synchronization or as a proxy for "that work's results are ready".
+///    All real synchronization happens elsewhere (WorkerPool's mutex/CV
+///    join, docs/ARCHITECTURE.md thread-safety table).
+///  * **No snapshot consistency.** A reader running concurrently with
+///    writers sees each counter at some point in its own history — not a
+///    single cross-counter instant. Paired counters (total_ns vs count in
+///    Timer, hits vs misses) can be observed mid-update relative to each
+///    other. Benches, tests and the JSON writers therefore read only after
+///    the workers are joined; the join's synchronizes-with edge is what
+///    makes the totals both exact *and* visible.
+///  * **Why not acq_rel:** the counters ride the hottest loops in the
+///    router; relaxed increments keep them a single uncontended RMW with no
+///    fence on x86/ARM. Strengthening the order would buy nothing (see
+///    above — nothing may depend on it) and cost real throughput.
 ///
 /// Cache instrumentation convention: every cache in the flow reports
 /// `<cache>.hits` / `<cache>.misses` pairs (e.g. `flowcache.mdr_hits`,

@@ -783,8 +783,17 @@ double merged_wirelength_cost(const CombinedPlacement& placement,
       for (const auto sink : net.sinks) touch(pl.site_of(sink));
     }
   }
+  // Sum per-net costs in sorted source-site order: the floating-point sum
+  // depends on addend order, and unordered_map bucket order is not part of
+  // any contract — this value reaches printed QoR via the benches.
+  std::vector<int> source_keys;
+  source_keys.reserve(merged.size());
+  // mmflow-lint: ordered-ok(collects keys only; the order-sensitive FP sum below iterates the sorted copy)
+  for (const auto& [key, t] : merged) source_keys.push_back(key);
+  std::sort(source_keys.begin(), source_keys.end());
   double cost = 0.0;
-  for (auto& [key, t] : merged) {
+  for (const int key : source_keys) {
+    Terminals& t = merged[key];
     std::sort(t.site_keys.begin(), t.site_keys.end());
     t.site_keys.erase(std::unique(t.site_keys.begin(), t.site_keys.end()),
                       t.site_keys.end());
@@ -811,6 +820,7 @@ std::size_t matched_connections(const CombinedPlacement& placement,
     }
   }
   std::size_t matches = 0;
+  // mmflow-lint: ordered-ok(commutative integer sum; every visit order yields the same total)
   for (const auto& [key, mask] : table) {
     matches += static_cast<std::size_t>(std::popcount(mask)) - 1;
   }

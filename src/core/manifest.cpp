@@ -8,6 +8,7 @@
 
 #include "common/log.h"
 #include "common/perf.h"
+#include "common/strings.h"
 
 namespace mmflow::core {
 
@@ -67,18 +68,19 @@ std::string format_record(const FlowKey& key) {
 }
 
 bool parse_record(const std::string& line, FlowKey* key) {
-  char tag[32] = {0};
-  int consumed = 0;
-  const int fields = std::sscanf(
-      line.c_str(),
-      "%31s %16" SCNx64 " %16" SCNx64 " %16" SCNx64 " %16" SCNx64 " %8" SCNx32
-      " %d %16" SCNx64 "%n",
-      tag, &key->netlist, &key->arch, &key->options, &key->seed, &key->engine,
-      &key->width, &key->variant, &consumed);
-  if (fields != 8 || std::string(tag) != kRecordTag) return false;
-  // Trailing junk after a well-formed prefix marks a torn/garbled line.
-  return line.find_first_not_of(" \t\r", static_cast<std::size_t>(consumed)) ==
-         std::string::npos;
+  // Checked field-by-field parse (common/strings.h): a wrong field count,
+  // tag mismatch or any non-hex/trailing junk in a field marks the line
+  // torn/garbled and degrades it to "not completed". Extra whitespace-split
+  // tokens after a well-formed prefix fail the field-count test.
+  const auto fields = split_ws(line);
+  if (fields.size() != 8 || fields[0] != kRecordTag) return false;
+  return try_parse_hex_u64(fields[1], &key->netlist) &&
+         try_parse_hex_u64(fields[2], &key->arch) &&
+         try_parse_hex_u64(fields[3], &key->options) &&
+         try_parse_hex_u64(fields[4], &key->seed) &&
+         try_parse_hex_u32(fields[5], &key->engine) &&
+         try_parse_int(fields[6], &key->width) &&
+         try_parse_hex_u64(fields[7], &key->variant);
 }
 
 }  // namespace

@@ -1,0 +1,20 @@
+// Fixture: MMF002 unchecked-parse violations.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+int parse_jobs(const char* text) {
+  return atoi(text);  // expect-lint: MMF002
+}
+
+double parse_tradeoff(const std::string& text) {
+  return std::stod(text);  // expect-lint: MMF002
+}
+
+unsigned long long parse_seed(const char* text) {
+  return std::strtoull(text, nullptr, 10);  // expect-lint: MMF002
+}
+
+int parse_pair(const char* text, int* a, int* b) {
+  return std::sscanf(text, "%d:%d", a, b);  // expect-lint: MMF002
+}

@@ -1,0 +1,32 @@
+// Fixture: MMF002 clean variant — the checked common/strings.h parsers.
+// Identifiers that merely *contain* a banned name (my_atoi) must not trip.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mmflow {
+int parse_int(std::string_view text, std::string_view what);
+std::uint64_t parse_u64(std::string_view text, std::string_view what);
+double parse_double(std::string_view text, std::string_view what);
+bool try_parse_hex_u64(std::string_view text, std::uint64_t* out);
+}  // namespace mmflow
+
+int parse_jobs(const std::string& text) {
+  return mmflow::parse_int(text, "--jobs");
+}
+
+double parse_tradeoff(const std::string& text) {
+  return mmflow::parse_double(text, "--timing-tradeoff");
+}
+
+std::uint64_t parse_key_field(const std::string& text) {
+  std::uint64_t value = 0;
+  if (!mmflow::try_parse_hex_u64(text, &value)) return 0;
+  return value;
+}
+
+int my_atoi_counter = 0;  // contains "atoi" but is not a call to it
+
+const char* describe() {
+  return "never call atoi(knob) here";  // banned name inside a string literal
+}

@@ -1,0 +1,25 @@
+// Fixture: MMF003 nondeterministic-rng violations.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+void seed_badly() {
+  srand(42);  // expect-lint: MMF003
+}
+
+int draw() {
+  return rand();  // expect-lint: MMF003
+}
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // expect-lint: MMF003
+  return rd();
+}
+
+long wall_clock_seed() {
+  return time(nullptr);  // expect-lint: MMF003
+}
+
+long cpu_seed() {
+  return std::clock();  // expect-lint: MMF003
+}

@@ -1,0 +1,31 @@
+// Fixture: MMF003 clean variant — explicit-seed Rng, and identifiers that
+// merely contain the banned tokens (wall_time, runtime(), localtime via a
+// member) must not trip.
+#include <chrono>
+#include <cstdint>
+
+namespace mmflow {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t operator()() { return state_ += 0x9e3779b97f4a7c15ull; }
+
+ private:
+  std::uint64_t state_;
+};
+}  // namespace mmflow
+
+std::uint64_t draw(std::uint64_t seed) {
+  mmflow::Rng rng(seed);  // explicit seed: deterministic per contract
+  return rng();
+}
+
+double wall_time() {  // contains "time" but is not ::time()
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+struct Stopwatch {
+  double runtime() const { return 0.0; }  // suffix "time" must not trip
+  double lap_clock() const { return 0.0; }  // suffix "clock" must not trip
+};

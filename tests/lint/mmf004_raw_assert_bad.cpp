@@ -1,0 +1,6 @@
+// Fixture: MMF004 raw-assert violations.
+#include <cassert>  // expect-lint: MMF004
+
+void check_width(int width) {
+  assert(width > 0);  // expect-lint: MMF004
+}

@@ -1,0 +1,16 @@
+// Fixture: MMF004 clean variant — always-on MMFLOW_CHECK / MMFLOW_REQUIRE,
+// and static_assert (compile-time, cannot be compiled out) must not trip.
+#include <stdexcept>
+#include <type_traits>
+
+#define MMFLOW_CHECK(expr) \
+  do { \
+    if (!(expr)) throw std::logic_error(#expr); \
+  } while (false)
+
+void check_width(int width) {
+  MMFLOW_CHECK(width > 0);
+  static_assert(std::is_signed_v<int>, "int is signed");
+}
+
+int reassert_count = 0;  // contains "assert" but is not a call to it

@@ -1,0 +1,18 @@
+// Fixture: MMF005 perf-name-grammar violations.
+#include <cstdint>
+#include <string_view>
+
+#define MMFLOW_PERF_ADD(name, delta) (void)(name)
+#define MMFLOW_PERF_SCOPE(name) (void)(name)
+
+namespace mmflow::perf {
+std::uint64_t& counter(std::string_view name);
+}
+
+void instrumented() {
+  MMFLOW_PERF_ADD("routeTotal", 1);  // expect-lint: MMF005
+  MMFLOW_PERF_ADD("route", 1);  // expect-lint: MMF005
+  MMFLOW_PERF_SCOPE("route.Heap.pushes");  // expect-lint: MMF005
+  MMFLOW_PERF_ADD("mystery.counter", 1);  // expect-lint: MMF005
+  mmflow::perf::counter("widget.spins") += 1;  // expect-lint: MMF005
+}

@@ -1,0 +1,24 @@
+// Fixture: MMF005 clean variant — registered module prefixes, well-formed
+// segments, and a runtime-completed literal prefix ("tune.rung" + N).
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#define MMFLOW_PERF_ADD(name, delta) (void)(name)
+#define MMFLOW_PERF_SCOPE(name) (void)(name)
+
+namespace mmflow::perf {
+std::uint64_t& counter(std::string_view name);
+}
+
+void instrumented(int rung) {
+  MMFLOW_PERF_ADD("route.heap_pushes", 1);
+  MMFLOW_PERF_ADD("flowcache.disk_hits", 1);
+  MMFLOW_PERF_SCOPE("combined_place.total");
+  MMFLOW_PERF_ADD("tune.rung0.trials", 1);
+  mmflow::perf::counter("tune.rung" + std::to_string(rung) + ".trials") += 1;
+}
+
+void dynamic_name(std::string_view name) {
+  mmflow::perf::counter(name) += 1;  // non-literal: checked at its source
+}

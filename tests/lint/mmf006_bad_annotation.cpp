@@ -1,0 +1,22 @@
+// Fixture: MMF006 bad-annotation violations — malformed or unknown lint
+// annotations must be loud, never silently inert.
+#include <unordered_map>
+
+int sum(const std::unordered_map<int, int>& table) {
+  int total = 0;
+  // expect-lint(+1): MMF006
+  // mmflow-lint: ordered-ok()
+  for (const auto& [k, v] : table) total += v;  // expect-lint: MMF001
+  return total;
+}
+
+int product(const std::unordered_map<int, int>& table) {
+  int total = 1;
+  // expect-lint(+1): MMF006
+  // mmflow-lint: iteration-is-fine(trust me)
+  for (const auto& [k, v] : table) total *= v;  // expect-lint: MMF001
+  return total;
+}
+
+// expect-lint(+1): MMF006
+// a stray mmflow-lint mention without the colon grammar

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Golden fixture tests for tools/mmflow_lint.py (stdlib only; wired into
+ctest as `lint_fixtures`).
+
+Each tests/lint/*.cpp fixture declares its expected diagnostics inline:
+
+    some_violation();  // expect-lint: MMF002
+    // expect-lint(+1): MMF006     <- the *next* line must be diagnosed
+
+The runner asserts, per fixture, the EXACT set of (line, rule) diagnostics
+and the exit code (1 when violations are expected, 0 for clean fixtures) —
+so a rule that stops firing, fires on the wrong line, or reports the wrong
+ID fails loudly. It then self-checks the live tree: `mmflow_lint.py src
+bench examples` must exit 0, and the CLI contract (exit 2 on a missing
+path, --list-rules catalogue) must hold.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+LINT_DIR = Path(__file__).resolve().parent
+REPO_ROOT = LINT_DIR.parent.parent
+LINT = REPO_ROOT / "tools" / "mmflow_lint.py"
+
+EXPECT_RE = re.compile(r"//\s*expect-lint(?:\((\+|-)(\d+)\))?:\s*(MMF\d{3})")
+DIAG_RE = re.compile(r"^(.*):(\d+): (MMF\d{3}) \[([a-z-]+)\]")
+
+failures: list[str] = []
+
+
+def run_lint(args: list[str]) -> tuple[int, str, str]:
+    proc = subprocess.run([sys.executable, str(LINT)] + args,
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def expected_diagnostics(fixture: Path) -> set[tuple[int, str]]:
+    expected: set[tuple[int, str]] = set()
+    for lineno, line in enumerate(fixture.read_text().splitlines(), start=1):
+        for sign, offset, rule in EXPECT_RE.findall(line):
+            delta = int(offset or 0) * (-1 if sign == "-" else 1)
+            expected.add((lineno + delta, rule))
+    return expected
+
+
+def check_fixture(fixture: Path) -> None:
+    expected = expected_diagnostics(fixture)
+    code, stdout, stderr = run_lint([str(fixture)])
+    actual: set[tuple[int, str]] = set()
+    for line in stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            actual.add((int(m.group(2)), m.group(3)))
+    name = fixture.name
+    if actual != expected:
+        missing = sorted(expected - actual)
+        surplus = sorted(actual - expected)
+        failures.append(
+            f"{name}: diagnostics mismatch"
+            + (f"; missing {missing}" if missing else "")
+            + (f"; unexpected {surplus}" if surplus else ""))
+    want_code = 1 if expected else 0
+    if code != want_code:
+        failures.append(f"{name}: exit code {code}, expected {want_code} "
+                        f"(stderr: {stderr.strip()})")
+
+
+def main() -> int:
+    fixtures = sorted(LINT_DIR.glob("*.cpp"))
+    if not fixtures:
+        print("no fixtures found", file=sys.stderr)
+        return 1
+    for fixture in fixtures:
+        check_fixture(fixture)
+
+    # Self-check: the live tree must be clean. This is the same invocation
+    # the CI lint job runs; a violation merged into src/bench/examples
+    # fails here first.
+    code, stdout, _ = run_lint(
+        [str(REPO_ROOT / d) for d in ("src", "bench", "examples")])
+    if code != 0:
+        failures.append(f"live tree not lint-clean (exit {code}):\n{stdout}")
+
+    # CLI contract pinned by docs/STATIC_ANALYSIS.md.
+    code, _, _ = run_lint([str(REPO_ROOT / "no-such-path")])
+    if code != 2:
+        failures.append(f"missing path: exit {code}, expected 2")
+    code, stdout, _ = run_lint(["--list-rules"])
+    if code != 0 or "MMF001" not in stdout or "MMF006" not in stdout:
+        failures.append("--list-rules does not print the rule catalogue")
+
+    if failures:
+        print(f"{len(failures)} lint-fixture failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(fixtures)} fixture(s) + live-tree self-check + CLI "
+          "contract")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

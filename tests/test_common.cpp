@@ -177,6 +177,43 @@ TEST(Strings, ParseDouble) {
   EXPECT_THROW(parse_double("inf", "lambda"), PreconditionError);
 }
 
+TEST(Strings, TryParseIntIsNonThrowingButJustAsStrict) {
+  // Record-log loaders (run manifest, tune ledger) treat a malformed field
+  // as a torn line to skip, not a caller error — same strictness as
+  // parse_int, bool instead of throw.
+  int value = -1;
+  EXPECT_TRUE(try_parse_int("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(try_parse_int(" -7 ", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_FALSE(try_parse_int("abc", &value));
+  EXPECT_FALSE(try_parse_int("4x", &value));
+  EXPECT_FALSE(try_parse_int("", &value));
+  EXPECT_FALSE(try_parse_int("999999999999999999999", &value));
+  EXPECT_EQ(value, -7);  // failures never clobber the output
+}
+
+TEST(Strings, TryParseHexAcceptsBareHexOnly) {
+  std::uint64_t u64 = 0;
+  EXPECT_TRUE(try_parse_hex_u64("00000000000000ff", &u64));
+  EXPECT_EQ(u64, 0xffu);
+  EXPECT_TRUE(try_parse_hex_u64("FFFFFFFFFFFFFFFF", &u64));
+  EXPECT_EQ(u64, ~std::uint64_t{0});
+  // The manifest writes fixed-width %016x fields: no 0x prefix, no sign,
+  // no junk. Everything else marks the record torn.
+  EXPECT_FALSE(try_parse_hex_u64("0xff", &u64));
+  EXPECT_FALSE(try_parse_hex_u64("-1", &u64));
+  EXPECT_FALSE(try_parse_hex_u64("ff ff", &u64));
+  EXPECT_FALSE(try_parse_hex_u64("", &u64));
+  EXPECT_FALSE(try_parse_hex_u64("10000000000000000", &u64));  // 65 bits
+
+  std::uint32_t u32 = 0;
+  EXPECT_TRUE(try_parse_hex_u32("0000beef", &u32));
+  EXPECT_EQ(u32, 0xbeefu);
+  EXPECT_FALSE(try_parse_hex_u32("100000000", &u32));  // 33 bits
+  EXPECT_FALSE(try_parse_hex_u32("beefs", &u32));
+}
+
 TEST(Check, ThrowsExpectedTypes) {
   EXPECT_THROW(MMFLOW_CHECK(false), InternalError);
   EXPECT_THROW(MMFLOW_REQUIRE(false), PreconditionError);
